@@ -1,0 +1,67 @@
+// Paper §2 related-work shape: canonical DAG representations (ROBDDs; the
+// paper also cites MODDs as "infeasible beyond 32-bit vectors") blow up on
+// multiplier functions.
+//
+// Builds the BDDs of the Mastrovito multiplier's output bits for growing k
+// under a node budget, reporting the node count of the most significant
+// output bit — the classic exponential multiplier series — and whether the
+// budget was exhausted (the memory-explosion stand-in).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/bdd/bdd.h"
+#include "circuit/mastrovito.h"
+#include "bench_util.h"
+
+namespace {
+
+constexpr std::size_t kNodeBudget = 4000000;
+
+void BM_BddMultiplier(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  const gfa::Gf2k field = gfa::Gf2k::make(k);
+  const gfa::Netlist netlist = make_mastrovito_multiplier(field);
+
+  std::size_t top_bit_nodes = 0, total_nodes = 0;
+  bool exploded = false;
+  for (auto _ : state) {
+    gfa::bdd::Manager manager(kNodeBudget);
+    std::vector<unsigned> vars(netlist.inputs().size());
+    for (unsigned i = 0; i < vars.size(); ++i) vars[i] = i;
+    try {
+      const auto refs = gfa::bdd::build_netlist_bdds(manager, netlist, vars);
+      top_bit_nodes =
+          manager.count_nodes(refs[netlist.find_word("Z")->bits[k - 1]]);
+      total_nodes = manager.num_nodes();
+    } catch (const gfa::bdd::BddBudgetExceeded&) {
+      exploded = true;
+      total_nodes = manager.num_nodes();
+    }
+    benchmark::DoNotOptimize(total_nodes);
+  }
+  state.counters["proved"] = exploded ? 0 : 1;
+  state.counters["top_bit_nodes"] = static_cast<double>(top_bit_nodes);
+  state.counters["total_nodes"] = static_cast<double>(total_nodes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "table", "Paper §2 related-work shape: BDD node growth on multipliers");
+  benchmark::AddCustomContext(
+      "paper_reference",
+      "canonical DAGs explode on multipliers (MODDs infeasible > 32-bit); "
+      "expect super-exponential top_bit_nodes growth and a budget trip");
+  for (unsigned k : gfa::bench::ladder({4, 6, 8, 10, 12, 14, 16}, 16)) {
+    benchmark::RegisterBenchmark("BddBaseline/Mastrovito", BM_BddMultiplier)
+        ->Arg(static_cast<int>(k))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->MeasureProcessCPUTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

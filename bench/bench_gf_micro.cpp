@@ -1,0 +1,78 @@
+// Microbenchmarks of the F_{2^k} substrate: field multiplication, squaring,
+// inversion and GF(2)[x] products across the NIST sizes. Not a paper table;
+// these calibrate the constant factors underlying Tables 1 and 2 (every
+// abstraction coefficient operation is one of these).
+
+#include <benchmark/benchmark.h>
+
+#include "gf/gf2k.h"
+
+namespace {
+
+gfa::Gf2Poly pseudo_elem(const gfa::Gf2k& field, std::uint64_t seed) {
+  gfa::Gf2Poly p;
+  std::uint64_t s = seed;
+  for (unsigned i = 0; i < field.k(); ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    if (s >> 63) p.set_coeff(i, true);
+  }
+  if (p.is_zero()) p = field.one();
+  return p;
+}
+
+void BM_FieldMul(benchmark::State& state) {
+  const gfa::Gf2k field = gfa::Gf2k::make(static_cast<unsigned>(state.range(0)));
+  auto a = pseudo_elem(field, 1), b = pseudo_elem(field, 2);
+  for (auto _ : state) {
+    a = field.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+
+void BM_FieldSquare(benchmark::State& state) {
+  const gfa::Gf2k field = gfa::Gf2k::make(static_cast<unsigned>(state.range(0)));
+  auto a = pseudo_elem(field, 3);
+  for (auto _ : state) {
+    a = field.square(a);
+    benchmark::DoNotOptimize(a);
+  }
+}
+
+void BM_FieldInv(benchmark::State& state) {
+  const gfa::Gf2k field = gfa::Gf2k::make(static_cast<unsigned>(state.range(0)));
+  auto a = pseudo_elem(field, 4);
+  for (auto _ : state) {
+    a = field.inv(a);
+    benchmark::DoNotOptimize(a);
+    if (a.is_zero()) a = field.alpha();
+  }
+}
+
+void BM_FieldPowQ(benchmark::State& state) {
+  // a^q (k squarings): the Frobenius ladder cost in the word lift.
+  const gfa::Gf2k field = gfa::Gf2k::make(static_cast<unsigned>(state.range(0)));
+  const auto a = pseudo_elem(field, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.pow(a, field.order()));
+  }
+}
+
+void BM_Gf2PolyMul(benchmark::State& state) {
+  const unsigned deg = static_cast<unsigned>(state.range(0));
+  gfa::Gf2Poly a, b;
+  for (unsigned i = 0; i <= deg; i += 3) a.set_coeff(i, true);
+  for (unsigned i = 1; i <= deg; i += 2) b.set_coeff(i, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FieldMul)->Arg(64)->Arg(163)->Arg(233)->Arg(409)->Arg(571);
+BENCHMARK(BM_FieldSquare)->Arg(64)->Arg(163)->Arg(233)->Arg(409)->Arg(571);
+BENCHMARK(BM_FieldInv)->Arg(64)->Arg(163)->Arg(233)->Arg(571);
+BENCHMARK(BM_FieldPowQ)->Arg(64)->Arg(163)->Arg(233);
+BENCHMARK(BM_Gf2PolyMul)->Arg(63)->Arg(163)->Arg(571)->Arg(2048);
+
+BENCHMARK_MAIN();

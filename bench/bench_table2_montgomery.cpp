@@ -1,0 +1,120 @@
+// Paper Table 2: "Abstraction of Montgomery blocks."
+//
+// For each field size k, generates the hierarchical Montgomery multiplier of
+// Fig. 1 (four MontMul blocks; Blk A/B absorb the constant R², Blk Out the
+// constant 1 — hence the different block sizes, as in the paper) and measures
+// the per-block abstraction time plus the word-level composition. The gate
+// counters reproduce the table's "# of Gates" rows.
+//
+// Paper reference (k=163): Blk A 33K gates / 144 s, Blk B 33K / 137 s,
+// Blk Mid 85K / 264 s, Blk Out 32K / 91 s, total 636 s — and scaling through
+// k=571 (total 87458 s), beyond what the flattened Table 1 flow reached.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "abstraction/hierarchy.h"
+#include "abstraction/word_lift.h"
+#include "circuit/montgomery.h"
+#include "bench_util.h"
+
+namespace {
+
+const gfa::Netlist& block_of(const gfa::MontgomeryHierarchy& h, int which) {
+  switch (which) {
+    case 0: return h.blk_a;
+    case 1: return h.blk_b;
+    case 2: return h.blk_mid;
+    default: return h.blk_out;
+  }
+}
+
+struct PerField {
+  gfa::Gf2k field;
+  gfa::MontgomeryHierarchy hierarchy;
+  gfa::WordLift lift;
+  explicit PerField(unsigned k)
+      : field(gfa::Gf2k::make(k)),
+        hierarchy(make_montgomery_hierarchy(field)),
+        lift(&field) {}
+};
+
+PerField& cached(unsigned k) {
+  static std::map<unsigned, std::unique_ptr<PerField>> cache;
+  auto& slot = cache[k];
+  if (!slot) slot = std::make_unique<PerField>(k);
+  return *slot;
+}
+
+void BM_MontgomeryBlock(benchmark::State& state) {
+  PerField& pf = cached(static_cast<unsigned>(state.range(0)));
+  const gfa::Netlist& blk = block_of(pf.hierarchy, static_cast<int>(state.range(1)));
+  gfa::ExtractionOptions options;
+  options.shared_lift = &pf.lift;
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    const gfa::WordFunction fn =
+        gfa::extract_word_function(blk, pf.field, options);
+    peak = fn.stats.peak_terms;
+    benchmark::DoNotOptimize(fn.g.num_terms());
+  }
+  state.counters["gates"] = static_cast<double>(blk.num_logic_gates());
+  state.counters["peak_terms"] = static_cast<double>(peak);
+}
+
+void BM_MontgomeryTotal(benchmark::State& state) {
+  // Full hierarchical flow: all four blocks + word-level composition, and the
+  // final check that the composed polynomial is A·B.
+  PerField& pf = cached(static_cast<unsigned>(state.range(0)));
+  gfa::ExtractionOptions options;
+  options.shared_lift = &pf.lift;
+  bool is_ab = false;
+  for (auto _ : state) {
+    const gfa::HierarchicalAbstraction ha =
+        abstract_montgomery(pf.hierarchy, pf.field, options);
+    const gfa::MPoly ab =
+        gfa::MPoly::variable(&pf.field, ha.composed.pool.id("A")) *
+        gfa::MPoly::variable(&pf.field, ha.composed.pool.id("B"));
+    is_ab = ha.composed.g == ab;
+    benchmark::DoNotOptimize(is_ab);
+  }
+  if (!is_ab) state.SkipWithError("composed polynomial is not A*B");
+  const std::size_t total_gates =
+      pf.hierarchy.blk_a.num_logic_gates() + pf.hierarchy.blk_b.num_logic_gates() +
+      pf.hierarchy.blk_mid.num_logic_gates() +
+      pf.hierarchy.blk_out.num_logic_gates();
+  state.counters["gates"] = static_cast<double>(total_gates);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("table", "Paper Table 2: Montgomery blocks");
+  benchmark::AddCustomContext(
+      "paper_reference",
+      "k=163 total 636s (BlkA 144 / BlkB 137 / BlkMid 264 / BlkOut 91); "
+      "k=571 total 87458s. Block gate shape: Mid >> A = B > Out");
+  static const char* kNames[] = {"BlkA", "BlkB", "BlkMid", "BlkOut"};
+  for (unsigned k : gfa::bench::ladder({16, 32, 64, 96, 128}, 163)) {
+    for (int b = 0; b < 4; ++b) {
+      benchmark::RegisterBenchmark(
+          (std::string("Table2/") + kNames[b]).c_str(), BM_MontgomeryBlock)
+          ->Args({static_cast<int>(k), b})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->MeasureProcessCPUTime();
+    }
+    benchmark::RegisterBenchmark("Table2/TotalHierarchical", BM_MontgomeryTotal)
+        ->Args({static_cast<int>(k), 0})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->MeasureProcessCPUTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

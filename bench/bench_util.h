@@ -1,0 +1,38 @@
+#pragma once
+// Shared helpers for the benchmark binaries.
+//
+// Every bench models one table or figure of the paper's evaluation (see
+// DESIGN.md's per-experiment index). Field-size ladders default to
+// laptop-scale runs; set GFA_BENCH_MAX_K to extend them up to the full NIST
+// set (233, 283, 409, 571) when you have the time budget of the paper's
+// 24-hour runs.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace gfa::bench {
+
+/// The NIST ECC field sizes of the paper's Tables 1 and 2.
+inline const std::vector<unsigned>& nist_sizes() {
+  static const std::vector<unsigned> kSizes = {163, 233, 283, 409, 571};
+  return kSizes;
+}
+
+/// Returns `base` extended by every NIST size <= GFA_BENCH_MAX_K
+/// (default `default_max`).
+inline std::vector<unsigned> ladder(std::vector<unsigned> base,
+                                    unsigned default_max) {
+  unsigned max_k = default_max;
+  if (const char* env = std::getenv("GFA_BENCH_MAX_K")) {
+    max_k = static_cast<unsigned>(std::atoi(env));
+  }
+  std::vector<unsigned> out;
+  for (unsigned k : base)
+    if (k <= max_k) out.push_back(k);
+  for (unsigned k : nist_sizes())
+    if (k <= max_k && (out.empty() || k > out.back())) out.push_back(k);
+  return out;
+}
+
+}  // namespace gfa::bench

@@ -1,0 +1,97 @@
+// Debugging with word-level abstraction (the paper's Example 5.1 at scale).
+//
+//   $ ./bug_hunt [k] [num_bugs]       (defaults k = 16, num_bugs = 8)
+//
+// Injects seeded single-gate defects into a Montgomery multiplier, abstracts
+// each defective circuit, and reports: whether the canonical polynomial
+// changed (bug detected), what the buggy polynomial looks like, and a
+// concrete counterexample input found by evaluating the polynomial
+// difference — information a miter-based checker cannot give.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "abstraction/equivalence.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/mutate.h"
+#include "circuit/sim.h"
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+gfa::Gf2Poly random_elem(const gfa::Gf2k& field, std::uint64_t& state) {
+  gfa::Gf2Poly p;
+  for (unsigned i = 0; i < field.k(); ++i)
+    if (splitmix(state) & 1u) p.set_coeff(i, true);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gfa;
+  const unsigned k = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
+  const int num_bugs = argc > 2 ? std::atoi(argv[2]) : 8;
+  const Gf2k field = Gf2k::make(k);
+
+  const Netlist golden = make_montgomery_multiplier_flat(field);
+  const WordFunction spec = extract_word_function(golden, field);
+  std::printf("Golden Montgomery multiplier over F_2^%u: Z = %s\n\n", k,
+              spec.g.to_string(spec.pool).c_str());
+
+  int detected = 0, benign = 0;
+  for (int i = 0; i < num_bugs; ++i) {
+    BugDescription desc;
+    const Netlist buggy = inject_random_bug(golden, 1000 + i, &desc);
+    const WordFunction fn = extract_word_function(buggy, field);
+    std::string why;
+    if (same_word_function(spec, fn, &why)) {
+      // Structurally mutated but functionally identical (e.g. an OR whose
+      // inputs can never both be 1 swapped for XOR).
+      std::printf("bug %d: %-40s -> functionally BENIGN\n", i, desc.text.c_str());
+      ++benign;
+      continue;
+    }
+    ++detected;
+    std::printf("bug %d: %-40s -> DETECTED\n", i, desc.text.c_str());
+    std::printf("        buggy polynomial has %zu terms; %s\n",
+                fn.g.num_terms(), why.c_str());
+
+    // Counterexample: sample inputs until the polynomials disagree (the
+    // difference polynomial is non-zero, so this terminates fast).
+    std::uint64_t state = 77 * (i + 1);
+    for (int t = 0; t < 4096; ++t) {
+      const auto a = random_elem(field, state);
+      const auto b = random_elem(field, state);
+      auto eval = [&](const WordFunction& f) {
+        return f.g.eval([&](VarId v) {
+          return f.pool.name(v) == "A" ? a : b;
+        });
+      };
+      const auto good = eval(spec), bad = eval(fn);
+      if (good != bad) {
+        std::printf("        counterexample: A=%s B=%s -> spec %s, impl %s\n",
+                    field.to_string(a).c_str(), field.to_string(b).c_str(),
+                    field.to_string(good).c_str(), field.to_string(bad).c_str());
+        // Confirm against the actual gate-level circuit.
+        const auto sim = simulate_words(
+            buggy, *buggy.find_word("Z"),
+            {{buggy.find_word("A"), {a}}, {buggy.find_word("B"), {b}}})[0];
+        std::printf("        gate-level simulation agrees: Z=%s\n",
+                    field.to_string(sim).c_str());
+        break;
+      }
+    }
+  }
+  std::printf("\n%d injected, %d detected, %d benign\n", num_bugs, detected,
+              benign);
+  return 0;
+}

@@ -1,0 +1,88 @@
+#pragma once
+// Multilinear polynomials over bit variables with F_{2^k} coefficients.
+//
+// This is the specialized representation behind the paper's §5 optimization.
+// Under RATO every gate polynomial is x + tail(x) with a unique leading bit
+// variable, so the whole Gröbner-basis computation collapses into a chain of
+// substitutions ("one S-polynomial, then division"). Those substitutions only
+// ever touch *multilinear* monomials: the vanishing polynomials x² - x of J_0
+// are applied eagerly by unioning variable sets, so a monomial is just a
+// sorted set of VarIds and a coefficient in F_{2^k}.
+//
+// Compared to the general MPoly engine this drops: exponents (always 1),
+// term-order bookkeeping (substitution order comes from the circuit), and
+// ordered storage (a hash map suffices) — which is what makes 100k-gate
+// multipliers abstractable.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gf/gf2k.h"
+#include "poly/varpool.h"
+
+namespace gfa {
+
+/// A multilinear monomial: strictly increasing VarIds.
+using BitMono = std::vector<VarId>;
+
+struct BitMonoHash {
+  std::size_t operator()(const BitMono& m) const {
+    std::size_t h = 14695981039346656037ull;
+    for (VarId v : m) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Union of two multilinear monomials (x² = x collapses duplicates).
+BitMono bitmono_mul(const BitMono& a, const BitMono& b);
+
+class BitPoly {
+ public:
+  using Elem = Gf2k::Elem;
+  using TermMap = std::unordered_map<BitMono, Elem, BitMonoHash>;
+
+  explicit BitPoly(const Gf2k* field) : field_(field) {}
+
+  static BitPoly constant(const Gf2k* field, Elem c);
+  static BitPoly variable(const Gf2k* field, VarId v);
+
+  const Gf2k& field() const { return *field_; }
+
+  bool is_zero() const { return terms_.empty(); }
+  std::size_t num_terms() const { return terms_.size(); }
+
+  /// Adds c·m, cancelling to zero where coefficients collide (char 2).
+  void add_term(const BitMono& m, const Elem& c);
+  void add_term(BitMono&& m, const Elem& c);
+
+  Elem coeff(const BitMono& m) const;
+
+  BitPoly operator+(const BitPoly& rhs) const;
+  BitPoly& operator+=(const BitPoly& rhs);
+  BitPoly operator*(const BitPoly& rhs) const;
+  BitPoly scaled(const Elem& c) const;
+
+  /// Maximum number of variables in any monomial (0 for constants).
+  std::size_t max_monomial_size() const;
+
+  /// Evaluates with every bit variable set to the given 0/1 value.
+  Elem eval(const std::vector<bool>& assignment) const;
+
+  const TermMap& terms() const { return terms_; }
+  TermMap& mutable_terms() { return terms_; }
+
+  bool operator==(const BitPoly& rhs) const { return terms_ == rhs.terms_; }
+
+  std::string to_string(const VarPool& pool) const;
+
+ private:
+  const Gf2k* field_;
+  TermMap terms_;
+};
+
+}  // namespace gfa

@@ -1,0 +1,157 @@
+#include "abstraction/extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+
+#include "abstraction/bitpoly.h"
+#include "abstraction/rato.h"
+#include "abstraction/rewriter.h"
+#include "abstraction/word_lift.h"
+
+namespace gfa {
+
+namespace {
+
+WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
+                              const Word* out_word,
+                              const ExtractionOptions& options) {
+  const unsigned k = field.k();
+  const std::vector<const Word*> in_words = input_words(netlist);
+  if (in_words.empty()) throw std::invalid_argument("no input words declared");
+  if (out_word->bits.size() != k)
+    throw std::invalid_argument("output word width != k");
+  for (const Word* w : in_words)
+    if (w->bits.size() != k) throw std::invalid_argument("input word width != k");
+
+  std::vector<bool> is_input(netlist.num_nets(), false);
+  for (NetId n : netlist.inputs()) is_input[n] = true;
+
+  WordFunction result{VarPool{}, MPoly(&field), out_word->name, {}, {}};
+
+  // Step 1: r := Σ_j α^j · z_j, i.e. Spoly(f_w, f_g) ->+ r realized as
+  // backward rewriting of the word-output combination.
+  std::vector<bool> substitutable(netlist.num_nets());
+  for (NetId n = 0; n < netlist.num_nets(); ++n) substitutable[n] = !is_input[n];
+  if (options.basis != nullptr && options.basis->size() != k)
+    throw std::invalid_argument("word basis must have k elements");
+  auto basis_elem = [&](unsigned j) {
+    return options.basis != nullptr ? (*options.basis)[j]
+                                    : field.alpha_pow(std::uint64_t{j});
+  };
+
+  BackwardRewriter rw(field, std::move(substitutable), options.max_terms);
+  ExtractionStats stats;
+  try {
+    for (unsigned j = 0; j < k; ++j)
+      rw.add(BitMono{out_word->bits[j]}, basis_elem(j));
+    stats.peak_terms = rw.num_terms();
+    for (NetId n : rato_net_order(netlist)) {
+      if (is_input[n]) continue;
+      rw.substitute(n, gate_tail_bitpoly(field, netlist.gate(n)));
+      ++stats.substitutions;
+      stats.peak_terms = std::max(stats.peak_terms, rw.num_terms());
+    }
+  } catch (const RewriteBudgetExceeded& e) {
+    throw ExtractionBudgetExceeded(e.what());
+  }
+
+  // The remainder now mentions only primary-input bits.
+  stats.remainder_terms = rw.terms().size();
+  bool any_bits = false;
+  for (const auto& [m, c] : rw.terms()) {
+    stats.remainder_degree = std::max(stats.remainder_degree, m.size());
+    if (!m.empty()) any_bits = true;
+    for (VarId v : m)
+      assert(is_input[v] && "non-input variable survived the reduction");
+  }
+  stats.case1 = !any_bits;
+
+  // Build the public variable pool: input bit variables then word variables.
+  std::vector<WordLift::WordBinding> bindings;
+  bindings.reserve(in_words.size());
+  std::vector<VarId> net_to_var(netlist.num_nets(), UINT32_MAX);
+  for (const Word* w : in_words) {
+    WordLift::WordBinding b;
+    b.bit_vars.reserve(w->bits.size());
+    for (NetId bit : w->bits) {
+      const VarId v =
+          result.pool.intern(netlist.gate(bit).name, VarKind::kBit);
+      net_to_var[bit] = v;
+      b.bit_vars.push_back(v);
+    }
+    b.word_var = result.pool.intern(w->name, VarKind::kWord);
+    bindings.push_back(std::move(b));
+    result.input_words.push_back(w->name);
+  }
+
+  // Remap the remainder onto pool variable ids.
+  BitPoly r(&field);
+  for (const auto& [m, c] : rw.terms()) {
+    BitMono mapped;
+    mapped.reserve(m.size());
+    for (VarId v : m) {
+      if (net_to_var[v] == UINT32_MAX)
+        throw std::invalid_argument(
+            "primary input '" + netlist.gate(v).name + "' is not part of any word");
+      mapped.push_back(net_to_var[v]);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    r.add_term(std::move(mapped), c);
+  }
+
+  // Step 2: the Case-2 lift (a no-op beyond copying constants for Case 1).
+  if (stats.case1) {
+    result.g = MPoly::constant(&field, r.coeff(BitMono{}));
+  } else if (options.shared_lift != nullptr) {
+    if (options.basis != nullptr &&
+        options.shared_lift->basis() != *options.basis)
+      throw std::invalid_argument("shared_lift built for a different basis");
+    result.g = options.shared_lift->lift(r, bindings, result.pool);
+  } else {
+    const WordLift lift(&field, options.basis);
+    result.g = lift.lift(r, bindings, result.pool);
+  }
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace
+
+WordFunction extract_word_function(const Netlist& netlist, const Gf2k& field,
+                                   const ExtractionOptions& options) {
+  const std::vector<const Word*> outs = output_words(netlist);
+  if (outs.size() != 1)
+    throw std::invalid_argument(
+        outs.empty() ? "no output word declared"
+                     : "several output words; use extract_word_function_for");
+  return extract_for_word(netlist, field, outs[0], options);
+}
+
+WordFunction extract_word_function_for(const Netlist& netlist, const Gf2k& field,
+                                       std::string_view output_word_name,
+                                       const ExtractionOptions& options) {
+  for (const Word* w : output_words(netlist)) {
+    if (w->name == output_word_name)
+      return extract_for_word(netlist, field, w, options);
+  }
+  throw std::invalid_argument("no output word named '" +
+                              std::string(output_word_name) + "'");
+}
+
+std::vector<WordFunction> extract_all_word_functions(
+    const Netlist& netlist, const Gf2k& field, const ExtractionOptions& options) {
+  ExtractionOptions local = options;
+  std::optional<WordLift> owned_lift;
+  if (local.shared_lift == nullptr) {
+    owned_lift.emplace(&field, local.basis);
+    local.shared_lift = &*owned_lift;
+  }
+  std::vector<WordFunction> out;
+  for (const Word* w : output_words(netlist))
+    out.push_back(extract_for_word(netlist, field, w, local));
+  return out;
+}
+
+}  // namespace gfa

@@ -1,0 +1,148 @@
+#include "abstraction/f4_reduction.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "abstraction/bitpoly.h"
+#include "abstraction/rato.h"
+#include "abstraction/rewriter.h"
+#include "abstraction/word_lift.h"
+
+namespace gfa {
+
+WordFunction extract_word_function_f4(const Netlist& netlist, const Gf2k& field,
+                                      const ExtractionOptions& options) {
+  const unsigned k = field.k();
+  const std::vector<const Word*> outs = output_words(netlist);
+  if (outs.size() != 1)
+    throw std::invalid_argument("f4 extraction expects a single output word");
+  const Word* out_word = outs[0];
+  const std::vector<const Word*> in_words = input_words(netlist);
+  if (in_words.empty()) throw std::invalid_argument("no input words declared");
+  if (out_word->bits.size() != k)
+    throw std::invalid_argument("output word width != k");
+  for (const Word* w : in_words)
+    if (w->bits.size() != k) throw std::invalid_argument("input word width != k");
+  if (options.basis != nullptr && options.basis->size() != k)
+    throw std::invalid_argument("word basis must have k elements");
+  auto basis_elem = [&](unsigned j) {
+    return options.basis != nullptr ? (*options.basis)[j]
+                                    : field.alpha_pow(std::uint64_t{j});
+  };
+
+  std::vector<bool> is_input(netlist.num_nets(), false);
+  for (NetId n : netlist.inputs()) is_input[n] = true;
+  const std::vector<unsigned> level = netlist.reverse_topological_levels();
+  unsigned max_level = 0;
+  for (NetId n = 0; n < netlist.num_nets(); ++n)
+    if (!is_input[n]) max_level = std::max(max_level, level[n]);
+
+  // Memoized gate tails.
+  std::vector<BitPoly> tails;
+  tails.reserve(netlist.num_nets());
+  for (NetId n = 0; n < netlist.num_nets(); ++n)
+    tails.push_back(is_input[n] ? BitPoly(&field)
+                                : gate_tail_bitpoly(field, netlist.gate(n)));
+
+  ExtractionStats stats;
+  BitPoly::TermMap r;
+  for (unsigned j = 0; j < k; ++j) {
+    const Gf2k::Elem c = basis_elem(j);
+    if (c.is_zero()) continue;
+    auto [it, inserted] = r.try_emplace(BitMono{out_word->bits[j]}, c);
+    if (!inserted) {
+      it->second += c;
+      if (it->second.is_zero()) r.erase(it);
+    }
+  }
+  stats.peak_terms = r.size();
+
+  // Level-synchronous batch reduction: at each level, every term reduces
+  // against all of the level's gate polynomials in one pass.
+  for (unsigned lv = 0; lv <= max_level; ++lv) {
+    BitPoly::TermMap next;
+    next.reserve(r.size());
+    auto emit = [&](const BitMono& mono, const Gf2k::Elem& coeff) {
+      if (coeff.is_zero()) return;
+      auto [it, inserted] = next.try_emplace(mono, coeff);
+      if (!inserted) {
+        it->second += coeff;
+        if (it->second.is_zero()) next.erase(it);
+      }
+    };
+    for (const auto& [mono, coeff] : r) {
+      BitMono rest;
+      BitMono batch;  // this level's gate variables in the monomial
+      for (VarId v : mono) {
+        if (!is_input[v] && level[v] == lv)
+          batch.push_back(v);
+        else
+          rest.push_back(v);
+      }
+      if (batch.empty()) {
+        emit(mono, coeff);
+        continue;
+      }
+      ++stats.substitutions;
+      // Expand the product of the batch's tails onto `rest`.
+      BitPoly acc(&field);
+      acc.add_term(rest, coeff);
+      for (VarId v : batch) acc = acc * tails[v];
+      for (const auto& [m, c] : acc.terms()) emit(m, c);
+    }
+    r = std::move(next);
+    stats.peak_terms = std::max(stats.peak_terms, r.size());
+    if (options.max_terms && r.size() > options.max_terms)
+      throw ExtractionBudgetExceeded("f4 reduction term budget exceeded");
+  }
+
+  // Remainder post-processing: identical to the default extractor.
+  stats.remainder_terms = r.size();
+  bool any_bits = false;
+  for (const auto& [m, c] : r) {
+    stats.remainder_degree = std::max(stats.remainder_degree, m.size());
+    if (!m.empty()) any_bits = true;
+  }
+  stats.case1 = !any_bits;
+
+  WordFunction result{VarPool{}, MPoly(&field), out_word->name, {}, {}};
+  std::vector<WordLift::WordBinding> bindings;
+  std::vector<VarId> net_to_var(netlist.num_nets(), UINT32_MAX);
+  for (const Word* w : in_words) {
+    WordLift::WordBinding b;
+    for (NetId bit : w->bits) {
+      const VarId v = result.pool.intern(netlist.gate(bit).name, VarKind::kBit);
+      net_to_var[bit] = v;
+      b.bit_vars.push_back(v);
+    }
+    b.word_var = result.pool.intern(w->name, VarKind::kWord);
+    bindings.push_back(std::move(b));
+    result.input_words.push_back(w->name);
+  }
+  BitPoly remainder(&field);
+  for (const auto& [m, c] : r) {
+    BitMono mapped;
+    mapped.reserve(m.size());
+    for (VarId v : m) {
+      if (net_to_var[v] == UINT32_MAX)
+        throw std::invalid_argument("primary input '" + netlist.gate(v).name +
+                                    "' is not part of any word");
+      mapped.push_back(net_to_var[v]);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    remainder.add_term(std::move(mapped), c);
+  }
+  if (stats.case1) {
+    result.g = MPoly::constant(&field, remainder.coeff(BitMono{}));
+  } else if (options.shared_lift != nullptr) {
+    result.g = options.shared_lift->lift(remainder, bindings, result.pool);
+  } else {
+    const WordLift lift(&field, options.basis);
+    result.g = lift.lift(remainder, bindings, result.pool);
+  }
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace gfa

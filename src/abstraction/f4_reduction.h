@@ -1,0 +1,22 @@
+#pragma once
+// F4-style batch reduction (paper §6: "we exploit an F4-style reduction
+// approach, described in [5] (Section 7), for which we built a custom tool").
+//
+// Where the default extractor substitutes one gate variable at a time through
+// an occurrence index, the F4-style engine is *level-synchronous*: it walks
+// the reverse-topological levels of the circuit and, at each level, reduces
+// every polynomial term against all of that level's gate polynomials in one
+// batch pass — the analogue of Faugère's F4 trading many single divisions for
+// one big elimination step. Both engines compute the same canonical
+// remainder (and the tests cross-check them); their cost profiles differ,
+// which bench_ablation measures.
+
+#include "abstraction/extractor.h"
+
+namespace gfa {
+
+/// Drop-in alternative to extract_word_function using the batch engine.
+WordFunction extract_word_function_f4(const Netlist& netlist, const Gf2k& field,
+                                      const ExtractionOptions& options = {});
+
+}  // namespace gfa

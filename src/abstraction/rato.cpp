@@ -1,0 +1,80 @@
+#include "abstraction/rato.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gfa {
+
+std::vector<const Word*> input_words(const Netlist& netlist) {
+  std::vector<const Word*> out;
+  for (const Word& w : netlist.words()) {
+    bool all_inputs = true;
+    for (NetId b : w.bits) {
+      if (netlist.gate(b).type != GateType::kInput) {
+        all_inputs = false;
+        break;
+      }
+    }
+    if (all_inputs) out.push_back(&w);
+  }
+  return out;
+}
+
+std::vector<const Word*> output_words(const Netlist& netlist) {
+  std::vector<const Word*> out;
+  for (const Word& w : netlist.words()) {
+    bool all_inputs = true;
+    for (NetId b : w.bits) {
+      if (netlist.gate(b).type != GateType::kInput) {
+        all_inputs = false;
+        break;
+      }
+    }
+    if (!all_inputs) out.push_back(&w);
+  }
+  return out;
+}
+
+const Word* output_word(const Netlist& netlist) {
+  const std::vector<const Word*> outs = output_words(netlist);
+  return outs.size() == 1 ? outs[0] : nullptr;
+}
+
+std::vector<NetId> rato_net_order(const Netlist& netlist) {
+  const std::vector<unsigned> level = netlist.reverse_topological_levels();
+  std::vector<NetId> order(netlist.num_nets());
+  for (NetId n = 0; n < order.size(); ++n) order[n] = n;
+  std::stable_sort(order.begin(), order.end(), [&](NetId a, NetId b) {
+    return level[a] < level[b];
+  });
+  return order;
+}
+
+namespace {
+
+TermOrder make_order(const Netlist& netlist, const CircuitIdeal& ideal,
+                     const std::vector<NetId>& bit_order) {
+  std::vector<VarId> priority;
+  priority.reserve(ideal.pool.size());
+  for (NetId n : bit_order) priority.push_back(ideal.net_var[n]);
+  for (const Word* w : output_words(netlist))
+    priority.push_back(ideal.word_var.at(w->name));
+  for (const Word* w : input_words(netlist))
+    priority.push_back(ideal.word_var.at(w->name));
+  return TermOrder(TermOrder::Type::kLex, std::move(priority));
+}
+
+}  // namespace
+
+TermOrder make_rato_order(const Netlist& netlist, const CircuitIdeal& ideal) {
+  return make_order(netlist, ideal, rato_net_order(netlist));
+}
+
+TermOrder make_abstraction_order(const Netlist& netlist,
+                                 const CircuitIdeal& ideal) {
+  std::vector<NetId> bit_order(netlist.num_nets());
+  for (NetId n = 0; n < bit_order.size(); ++n) bit_order[n] = n;
+  return make_order(netlist, ideal, bit_order);
+}
+
+}  // namespace gfa

@@ -1,0 +1,40 @@
+#pragma once
+// Abstraction term orders (paper Definitions 4.2 and 5.1).
+//
+// The abstraction term order > is lex with  circuit bit variables > Z > word
+// inputs;  the *refined* abstraction term order (RATO) additionally fixes the
+// relative order of the circuit variables by reverse topological level, so
+// that every gate polynomial x + tail(x) has leading term x and all leading
+// terms are pairwise relatively prime. By the product criterion the only
+// critical pair left is (f_w, f_g) — which the extractor exploits.
+
+#include <vector>
+
+#include "circuit/gate_poly.h"
+#include "circuit/netlist.h"
+#include "poly/monomial.h"
+
+namespace gfa {
+
+/// Input/output word classification: a word is an input word iff every bit is
+/// a primary input.
+std::vector<const Word*> input_words(const Netlist& netlist);
+std::vector<const Word*> output_words(const Netlist& netlist);
+/// The sole output word, or nullptr when there are zero or several.
+const Word* output_word(const Netlist& netlist);
+
+/// Nets sorted by decreasing RATO priority: ascending reverse-topological
+/// level (outputs first), ties by NetId. Substituting tails in this order
+/// guarantees each variable is eliminated after all its fanouts.
+std::vector<NetId> rato_net_order(const Netlist& netlist);
+
+/// The RATO as a TermOrder over a circuit ideal's variables: bit variables in
+/// rato_net_order, then the output word variable, then input word variables.
+TermOrder make_rato_order(const Netlist& netlist, const CircuitIdeal& ideal);
+
+/// The unrefined abstraction term order of Definition 4.2 (bit variables in
+/// arbitrary — here netlist — order, then Z, then inputs). Used by the
+/// full-Gröbner-basis baseline to show why the refinement matters.
+TermOrder make_abstraction_order(const Netlist& netlist, const CircuitIdeal& ideal);
+
+}  // namespace gfa

@@ -1,0 +1,48 @@
+#include "abstraction/rewriter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gfa {
+
+BitPoly gate_tail_bitpoly(const Gf2k& field, const Netlist::Gate& g) {
+  BitPoly one = BitPoly::constant(&field, field.one());
+  auto var = [&](NetId n) { return BitPoly::variable(&field, n); };
+  switch (g.type) {
+    case GateType::kConst0:
+      return BitPoly(&field);
+    case GateType::kConst1:
+      return one;
+    case GateType::kBuf:
+      return var(g.fanins[0]);
+    case GateType::kNot:
+      return var(g.fanins[0]) + one;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      BitMono m(g.fanins.begin(), g.fanins.end());
+      std::sort(m.begin(), m.end());
+      m.erase(std::unique(m.begin(), m.end()), m.end());
+      BitPoly p(&field);
+      p.add_term(std::move(m), field.one());
+      return g.type == GateType::kNand ? p + one : p;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      BitPoly p = one;
+      for (NetId f : g.fanins) p = p * (var(f) + one);
+      return g.type == GateType::kNor ? p : p + one;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      BitPoly p(&field);
+      for (NetId f : g.fanins) p += var(f);
+      return g.type == GateType::kXnor ? p + one : p;
+    }
+    case GateType::kInput:
+      break;
+  }
+  assert(false && "inputs have no tail");
+  return BitPoly(&field);
+}
+
+}  // namespace gfa

@@ -1,0 +1,91 @@
+#pragma once
+// Backward-rewriting engine over the multilinear BitPoly representation.
+//
+// Shared by the abstraction extractor and the ideal-membership baseline: a
+// polynomial over net-indexed bit variables plus an occurrence index, so that
+// substituting a gate-output variable by its tail touches only the terms that
+// actually contain it. Under RATO this sequence of substitutions *is* the
+// Gröbner-basis reduction chain (see extractor.h).
+
+#include <stdexcept>
+#include <vector>
+
+#include "abstraction/bitpoly.h"
+#include "circuit/netlist.h"
+
+namespace gfa {
+
+struct RewriteBudgetExceeded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class BackwardRewriter {
+ public:
+  /// `substitutable[v]` marks variables that may later be substituted (gate
+  /// outputs); only those are indexed. `max_terms` = 0 disables the budget.
+  BackwardRewriter(const Gf2k& field, std::vector<bool> substitutable,
+                   std::size_t max_terms = 0)
+      : field_(field),
+        substitutable_(std::move(substitutable)),
+        occurs_(substitutable_.size()),
+        max_terms_(max_terms) {}
+
+  void add(BitMono mono, const Gf2k::Elem& coeff) {
+    if (coeff.is_zero()) return;
+    // try_emplace leaves `mono` intact when the key already exists.
+    auto [it, inserted] = terms_.try_emplace(std::move(mono), coeff);
+    if (!inserted) {
+      it->second += coeff;
+      if (it->second.is_zero()) terms_.erase(it);
+      return;  // already indexed
+    }
+    for (VarId v : it->first) {
+      if (substitutable_[v]) occurs_[v].push_back(it->first);
+    }
+    if (max_terms_ && terms_.size() > max_terms_)
+      throw RewriteBudgetExceeded("rewriting term budget exceeded");
+  }
+
+  void add(const BitPoly& p) {
+    for (const auto& [m, c] : p.terms()) add(m, c);
+  }
+
+  /// Replaces every occurrence of variable v by `tail` (a polynomial over
+  /// variables that will be substituted after v, or never).
+  void substitute(VarId v, const BitPoly& tail) {
+    std::vector<BitMono> pending = std::move(occurs_[v]);
+    occurs_[v].clear();
+    for (BitMono& mono : pending) {
+      auto it = terms_.find(mono);
+      if (it == terms_.end()) continue;  // cancelled since registration
+      const Gf2k::Elem coeff = it->second;
+      terms_.erase(it);
+      BitMono rest;
+      rest.reserve(mono.size() - 1);
+      for (VarId x : mono)
+        if (x != v) rest.push_back(x);
+      for (const auto& [tmono, tcoeff] : tail.terms()) {
+        // Gate tails almost always carry coefficient 1 (AND/XOR/NOT terms);
+        // skip the field multiply on that fast path.
+        add(bitmono_mul(rest, tmono),
+            tcoeff.is_one() ? coeff : field_.mul(coeff, tcoeff));
+      }
+    }
+  }
+
+  std::size_t num_terms() const { return terms_.size(); }
+  const BitPoly::TermMap& terms() const { return terms_; }
+
+ private:
+  const Gf2k& field_;
+  std::vector<bool> substitutable_;
+  BitPoly::TermMap terms_;
+  std::vector<std::vector<BitMono>> occurs_;
+  std::size_t max_terms_;
+};
+
+/// The tail polynomial of a gate over net-id variables (multilinear form of
+/// gate_tail_poly).
+BitPoly gate_tail_bitpoly(const Gf2k& field, const Netlist::Gate& gate);
+
+}  // namespace gfa

@@ -1,0 +1,209 @@
+#include "abstraction/word_lift.h"
+
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gfa {
+
+namespace {
+
+/// Inverts a k×k matrix over F_{2^k} by Gauss–Jordan elimination.
+std::vector<std::vector<Gf2k::Elem>> invert(
+    const Gf2k& field, std::vector<std::vector<Gf2k::Elem>> m) {
+  const std::size_t k = m.size();
+  std::vector<std::vector<Gf2k::Elem>> inv(k, std::vector<Gf2k::Elem>(k));
+  for (std::size_t i = 0; i < k; ++i) inv[i][i] = field.one();
+
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k && m[pivot][col].is_zero()) ++pivot;
+    if (pivot == k) throw std::logic_error("basis-change matrix is singular");
+    std::swap(m[pivot], m[col]);
+    std::swap(inv[pivot], inv[col]);
+    const Gf2k::Elem s = field.inv(m[col][col]);
+    for (std::size_t j = 0; j < k; ++j) {
+      m[col][j] = field.mul(m[col][j], s);
+      inv[col][j] = field.mul(inv[col][j], s);
+    }
+    for (std::size_t row = 0; row < k; ++row) {
+      if (row == col || m[row][col].is_zero()) continue;
+      const Gf2k::Elem f = m[row][col];
+      for (std::size_t j = 0; j < k; ++j) {
+        m[row][j] += field.mul(f, m[col][j]);    // char 2: subtract == add
+        inv[row][j] += field.mul(f, inv[col][j]);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+WordLift::WordLift(const Gf2k* field, const std::vector<Elem>* basis)
+    : field_(field) {
+  const unsigned k = field_->k();
+  if (basis != nullptr) {
+    assert(basis->size() == k && "word basis must have k elements");
+    basis_ = *basis;
+  } else {
+    basis_.reserve(k);
+    for (unsigned i = 0; i < k; ++i)
+      basis_.push_back(field_->alpha_pow(std::uint64_t{i}));
+  }
+  // M[j][i] = basis[i]^{2^j}, built column-wise by iterated squaring —
+  // k² field squarings.
+  std::vector<std::vector<Elem>> m(k, std::vector<Elem>(k));
+  for (unsigned i = 0; i < k; ++i) {
+    Elem cur = field_->reduce(basis_[i]);
+    for (unsigned j = 0; j < k; ++j) {
+      m[j][i] = cur;
+      cur = field_->square(cur);
+    }
+  }
+  // a = C · (A^{2^j})_j needs C = M^{-1}, with rows indexed by bit position i.
+  c_ = invert(*field_, std::move(m));
+}
+
+MPoly WordLift::lift(const BitPoly& r, const std::vector<WordBinding>& words,
+                     const VarPool& pool) const {
+  for (const WordBinding& w : words)
+    assert(w.bit_vars.size() == field_->k() && "word width must equal k");
+  if (r.max_monomial_size() <= 2) return lift_bilinear(r, words, pool);
+  return lift_general(r, words, pool);
+}
+
+namespace {
+
+struct BitLocation {
+  std::size_t word_index;
+  unsigned bit_index;
+};
+
+std::unordered_map<VarId, BitLocation> index_bits(
+    const std::vector<WordLift::WordBinding>& words) {
+  std::unordered_map<VarId, BitLocation> loc;
+  for (std::size_t w = 0; w < words.size(); ++w)
+    for (unsigned i = 0; i < words[w].bit_vars.size(); ++i)
+      loc.emplace(words[w].bit_vars[i], BitLocation{w, i});
+  return loc;
+}
+
+}  // namespace
+
+MPoly WordLift::lift_bilinear(const BitPoly& r,
+                              const std::vector<WordBinding>& words,
+                              const VarPool& pool) const {
+  const unsigned k = field_->k();
+  const auto loc = index_bits(words);
+
+  Elem constant = field_->zero();
+  // Linear part per word; quadratic part per (word, word) pair with the
+  // convention word_index1 <= word_index2 (and bit order as in the monomial).
+  std::map<std::size_t, std::vector<Elem>> linear;
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::vector<Elem>>> quad;
+
+  for (const auto& [m, c] : r.terms()) {
+    if (m.empty()) {
+      constant += c;
+    } else if (m.size() == 1) {
+      const auto it = loc.find(m[0]);
+      if (it == loc.end()) throw std::logic_error("unbound bit variable in remainder");
+      auto& vec = linear.try_emplace(it->second.word_index,
+                                     std::vector<Elem>(k)).first->second;
+      vec[it->second.bit_index] += c;
+    } else {
+      const auto it0 = loc.find(m[0]);
+      const auto it1 = loc.find(m[1]);
+      if (it0 == loc.end() || it1 == loc.end())
+        throw std::logic_error("unbound bit variable in remainder");
+      BitLocation l0 = it0->second, l1 = it1->second;
+      if (l0.word_index > l1.word_index) std::swap(l0, l1);
+      auto& q = quad.try_emplace(std::make_pair(l0.word_index, l1.word_index),
+                                 std::vector<std::vector<Elem>>(
+                                     k, std::vector<Elem>(k)))
+                    .first->second;
+      q[l0.bit_index][l1.bit_index] += c;
+    }
+  }
+
+  MPoly out(field_);
+  out.add_term(Monomial(), constant);
+
+  // Linear: Σ_i L[i]·w_i = Σ_j (Σ_i L[i]·C[i][j]) · W^{2^j}.
+  for (const auto& [w, vec] : linear) {
+    const VarId wv = words[w].word_var;
+    for (unsigned j = 0; j < k; ++j) {
+      Elem s = field_->zero();
+      for (unsigned i = 0; i < k; ++i) {
+        if (!vec[i].is_zero() && !c_[i][j].is_zero())
+          s += field_->mul(vec[i], c_[i][j]);
+      }
+      out.add_term(Monomial(wv, BigUint::pow2(j)), s);
+    }
+  }
+
+  // Quadratic: Σ Q[i][l]·u_i·v_l = Σ_{s,t} (Cᵀ·Q·C)[s][t] · U^{2^s}·V^{2^t}.
+  for (const auto& [pair, q] : quad) {
+    const VarId uv = words[pair.first].word_var;
+    const VarId vv = words[pair.second].word_var;
+    // E = Q·C, then D = Cᵀ·E.
+    std::vector<std::vector<Elem>> e(k, std::vector<Elem>(k));
+    for (unsigned i = 0; i < k; ++i)
+      for (unsigned l = 0; l < k; ++l) {
+        if (q[i][l].is_zero()) continue;
+        for (unsigned t = 0; t < k; ++t)
+          if (!c_[l][t].is_zero()) e[i][t] += field_->mul(q[i][l], c_[l][t]);
+      }
+    for (unsigned s = 0; s < k; ++s)
+      for (unsigned t = 0; t < k; ++t) {
+        Elem d = field_->zero();
+        for (unsigned i = 0; i < k; ++i)
+          if (!c_[i][s].is_zero() && !e[i][t].is_zero())
+            d += field_->mul(c_[i][s], e[i][t]);
+        if (d.is_zero()) continue;
+        Monomial mono =
+            uv == vv
+                ? Monomial(uv, field_->reduce_exponent(BigUint::pow2(s) +
+                                                       BigUint::pow2(t)))
+                : Monomial::from_pairs({{uv, BigUint::pow2(s)},
+                                        {vv, BigUint::pow2(t)}});
+        out.add_term(mono, d);
+      }
+  }
+  return out.normalized_vanishing(pool);
+}
+
+MPoly WordLift::lift_general(const BitPoly& r,
+                             const std::vector<WordBinding>& words,
+                             const VarPool& pool) const {
+  const unsigned k = field_->k();
+  const auto loc = index_bits(words);
+
+  // Per-bit expansion polynomials w_i = Σ_j C[i][j]·W^{2^j}, built on demand.
+  std::unordered_map<VarId, MPoly> expansion;
+  auto expand_bit = [&](VarId bit) -> const MPoly& {
+    auto it = expansion.find(bit);
+    if (it != expansion.end()) return it->second;
+    const auto lit = loc.find(bit);
+    if (lit == loc.end()) throw std::logic_error("unbound bit variable in remainder");
+    MPoly p(field_);
+    const VarId wv = words[lit->second.word_index].word_var;
+    for (unsigned j = 0; j < k; ++j) {
+      const Elem& coeff = c_[lit->second.bit_index][j];
+      if (!coeff.is_zero()) p.add_term(Monomial(wv, BigUint::pow2(j)), coeff);
+    }
+    return expansion.emplace(bit, std::move(p)).first->second;
+  };
+
+  MPoly out(field_);
+  for (const auto& [m, c] : r.terms()) {
+    MPoly acc = MPoly::constant(field_, c);
+    for (VarId v : m) acc = (acc * expand_bit(v)).normalized_vanishing(pool);
+    out += acc;
+  }
+  return out.normalized_vanishing(pool);
+}
+
+}  // namespace gfa

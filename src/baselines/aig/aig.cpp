@@ -1,0 +1,344 @@
+#include "baselines/aig/aig.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "abstraction/rato.h"
+#include "baselines/sat/solver.h"
+
+namespace gfa::aig {
+
+Aig::Aig() {
+  fanin0_.push_back(kConst1);  // var 0: constant TRUE
+  fanin1_.push_back(kConst1);
+}
+
+std::uint32_t Aig::add_input() {
+  assert(fanin0_.size() == std::size_t{num_inputs_} + 1 &&
+         "inputs must be created before AND nodes");
+  fanin0_.push_back(kConst1);
+  fanin1_.push_back(kConst1);
+  return ++num_inputs_;
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  if (a == kConst0 || b == kConst0 || a == neg(b)) return kConst0;
+  if (a == kConst1) return b;
+  if (a == b) return a;
+  const std::uint64_t key = (std::uint64_t{a} << 32) | b;
+  if (auto it = strash_.find(key); it != strash_.end())
+    return make_lit(it->second, false);
+  const std::uint32_t v = static_cast<std::uint32_t>(fanin0_.size());
+  fanin0_.push_back(a);
+  fanin1_.push_back(b);
+  strash_.emplace(key, v);
+  return make_lit(v, false);
+}
+
+Lit Aig::lxor(Lit a, Lit b) {
+  return neg(land(neg(land(a, neg(b))), neg(land(neg(a), b))));
+}
+
+std::vector<Lit> Aig::import(const Netlist& netlist,
+                             const std::vector<Lit>& input_lits) {
+  assert(input_lits.size() == netlist.inputs().size());
+  std::vector<Lit> lit(netlist.num_nets(), kConst0);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i)
+    lit[netlist.inputs()[i]] = input_lits[i];
+
+  for (NetId n : netlist.topological_order()) {
+    const Netlist::Gate& g = netlist.gate(n);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        lit[n] = kConst0;
+        break;
+      case GateType::kConst1:
+        lit[n] = kConst1;
+        break;
+      case GateType::kBuf:
+        lit[n] = lit[g.fanins[0]];
+        break;
+      case GateType::kNot:
+        lit[n] = neg(lit[g.fanins[0]]);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        Lit acc = kConst1;
+        for (NetId f : g.fanins) acc = land(acc, lit[f]);
+        lit[n] = g.type == GateType::kNand ? neg(acc) : acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        Lit acc = kConst0;
+        for (NetId f : g.fanins) acc = lor(acc, lit[f]);
+        lit[n] = g.type == GateType::kNor ? neg(acc) : acc;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        Lit acc = kConst0;
+        for (NetId f : g.fanins) acc = lxor(acc, lit[f]);
+        lit[n] = g.type == GateType::kXnor ? neg(acc) : acc;
+        break;
+      }
+    }
+  }
+  return lit;
+}
+
+std::vector<std::uint64_t> Aig::simulate(
+    const std::vector<std::uint64_t>& input_words) const {
+  assert(input_words.size() == num_inputs_);
+  std::vector<std::uint64_t> value(num_vars());
+  value[0] = ~std::uint64_t{0};  // constant TRUE
+  for (std::uint32_t i = 0; i < num_inputs_; ++i) value[i + 1] = input_words[i];
+  auto lit_value = [&](Lit l) {
+    return phase_of(l) ? ~value[var_of(l)] : value[var_of(l)];
+  };
+  for (std::uint32_t v = num_inputs_ + 1; v < num_vars(); ++v)
+    value[v] = lit_value(fanin0_[v]) & lit_value(fanin1_[v]);
+  return value;
+}
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Union-find over AIG literals: proven-equivalent nodes point at an earlier
+/// representative literal.
+class LitUnion {
+ public:
+  explicit LitUnion(std::uint32_t num_vars) : repr_(num_vars) {
+    for (std::uint32_t v = 0; v < num_vars; ++v) repr_[v] = make_lit(v, false);
+  }
+  Lit resolve(Lit l) {
+    const std::uint32_t v = var_of(l);
+    if (var_of(repr_[v]) == v) return phase_of(l) ? neg(repr_[v]) : repr_[v];
+    const Lit root = resolve(repr_[v]);
+    repr_[v] = root;  // path compression
+    return phase_of(l) ? neg(root) : root;
+  }
+  /// Merges var v into literal `target` (already resolved, var < v).
+  void merge(std::uint32_t v, Lit target) { repr_[v] = target; }
+
+ private:
+  std::vector<Lit> repr_;
+};
+
+/// Tseitin-encodes the merged cones of the given root literals into a fresh
+/// solver; returns the DIMACS literal for each root.
+class ConeEncoder {
+ public:
+  ConeEncoder(const Aig& aig, LitUnion& uf, sat::Solver& solver)
+      : aig_(aig), uf_(uf), solver_(solver), dimacs_(aig.num_vars(), 0) {}
+
+  int encode(Lit root) {
+    const Lit r = uf_.resolve(root);
+    const int base = encode_var(var_of(r));
+    return phase_of(r) ? -base : base;
+  }
+
+ private:
+  int encode_var(std::uint32_t v) {
+    if (dimacs_[v] != 0) return dimacs_[v];
+    const int dv = ++next_var_;
+    dimacs_[v] = dv;
+    if (v == 0) {
+      solver_.add_clause({dv});  // constant TRUE
+    } else if (aig_.is_and(v)) {
+      const int a = encode(aig_.fanin0(v));
+      const int b = encode(aig_.fanin1(v));
+      solver_.add_clause({-dv, a});
+      solver_.add_clause({-dv, b});
+      solver_.add_clause({dv, -a, -b});
+    }
+    // Inputs are free variables.
+    return dv;
+  }
+
+ public:
+  /// Maps an input variable to its DIMACS variable (0 if not in the cone).
+  int input_dimacs(std::uint32_t input_var) const { return dimacs_[input_var]; }
+
+ private:
+  const Aig& aig_;
+  LitUnion& uf_;
+  sat::Solver& solver_;
+  std::vector<int> dimacs_;
+  int next_var_ = 0;
+};
+
+}  // namespace
+
+FraigResult fraig_equivalence_check(const Netlist& c1, const Netlist& c2,
+                                    const FraigOptions& options) {
+  FraigResult result;
+  Aig aig;
+
+  // Shared inputs, matched by input-word names (as in make_miter).
+  const std::vector<const Word*> in1 = input_words(c1);
+  std::vector<Lit> lits1(c1.inputs().size(), kConst0);
+  std::vector<Lit> lits2(c2.inputs().size(), kConst0);
+  auto input_pos = [](const Netlist& nl, NetId n) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+      if (nl.inputs()[i] == n) return i;
+    throw std::invalid_argument("word bit is not an input");
+  };
+  for (const Word* w : in1) {
+    const Word* w2 = c2.find_word(w->name);
+    if (w2 == nullptr || w2->bits.size() != w->bits.size())
+      throw std::invalid_argument("input word mismatch");
+    for (std::size_t i = 0; i < w->bits.size(); ++i) {
+      const Lit l = make_lit(aig.add_input(), false);
+      lits1[input_pos(c1, w->bits[i])] = l;
+      lits2[input_pos(c2, w2->bits[i])] = l;
+    }
+  }
+  const std::vector<Lit> net1 = aig.import(c1, lits1);
+  const std::vector<Lit> net2 = aig.import(c2, lits2);
+  const Word* z1 = output_word(c1);
+  const Word* z2 = output_word(c2);
+  if (z1 == nullptr || z2 == nullptr)
+    throw std::invalid_argument("both circuits need a single output word");
+  Lit miter = kConst0;
+  for (std::size_t i = 0; i < z1->bits.size(); ++i)
+    miter = aig.lor(miter, aig.lxor(net1[z1->bits[i]], net2[z2->bits[i]]));
+
+  if (miter == kConst0) {  // structural hashing already closed it
+    result.status = FraigResult::Status::kEquivalent;
+    return result;
+  }
+
+  LitUnion uf(aig.num_vars());
+
+  // Simulation state: `sims[w][v]` = word w of var v's signature.
+  std::uint64_t rng = options.seed;
+  std::vector<std::vector<std::uint64_t>> sims;
+  auto add_random_word = [&]() {
+    std::vector<std::uint64_t> inputs(aig.num_inputs());
+    for (auto& w : inputs) w = splitmix(rng);
+    sims.push_back(aig.simulate(inputs));
+  };
+  for (unsigned w = 0; w < options.sim_words; ++w) add_random_word();
+
+  auto signature_key = [&](std::uint32_t v, bool* phase) {
+    *phase = sims[0][v] & 1u;  // normalize so bit 0 is 0
+    std::uint64_t h = 14695981039346656037ull;
+    for (const auto& word : sims) {
+      h ^= *phase ? ~word[v] : word[v];
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+
+  // key -> (representative var, representative phase)
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, bool>> classes;
+  std::vector<std::uint32_t> reps;
+  auto rebuild_classes = [&]() {
+    classes.clear();
+    for (std::uint32_t r : reps) {
+      bool phase = false;
+      const std::uint64_t key = signature_key(r, &phase);
+      classes.emplace(key, std::make_pair(r, phase));
+    }
+  };
+
+  auto prove = [&](Lit a, Lit b, std::uint64_t budget) -> sat::Result {
+    sat::Solver solver;
+    ConeEncoder enc(aig, uf, solver);
+    const int da = enc.encode(a);
+    const int db = enc.encode(b);
+    // Assert a != b.
+    solver.add_clause({da, db});
+    solver.add_clause({-da, -db});
+    ++result.sat_calls;
+    const sat::Result res = solver.solve(budget);
+    if (res == sat::Result::kSat) {
+      // Fold the counterexample into the simulation: lane 0 carries the
+      // distinguishing pattern, the other 63 lanes are random variations.
+      std::vector<std::uint64_t> inputs(aig.num_inputs());
+      for (std::uint32_t i = 0; i < aig.num_inputs(); ++i) {
+        const int dv = enc.input_dimacs(i + 1);
+        const bool bit = dv != 0 && solver.model_value(dv);
+        inputs[i] = (splitmix(rng) & ~std::uint64_t{1}) | (bit ? 1 : 0);
+      }
+      sims.push_back(aig.simulate(inputs));
+      ++result.refinements;
+      rebuild_classes();
+    }
+    return res;
+  };
+
+  // Sweep AND nodes in topological (index) order.
+  for (std::uint32_t v = aig.num_inputs() + 1; v < aig.num_vars(); ++v) {
+    if (var_of(uf.resolve(make_lit(v, false))) != v) continue;  // already merged
+    bool phase_v = false;
+    const std::uint64_t key = signature_key(v, &phase_v);
+    auto it = classes.find(key);
+    if (it == classes.end()) {
+      classes.emplace(key, std::make_pair(v, phase_v));
+      reps.push_back(v);
+      continue;
+    }
+    const auto [r, phase_r] = it->second;
+    // Candidate: lit(v) == lit(r) ^ (phase_v ^ phase_r).
+    const Lit lv = make_lit(v, false);
+    const Lit lr = make_lit(r, phase_v ^ phase_r);
+    const sat::Result res = prove(lv, lr, options.per_query_conflicts);
+    if (res == sat::Result::kUnsat) {
+      uf.merge(v, uf.resolve(lr));
+      ++result.merges;
+    } else {
+      // Refuted or unknown: v anchors its own (possibly re-keyed) class.
+      bool phase2 = false;
+      const std::uint64_t key2 = signature_key(v, &phase2);
+      classes.emplace(key2, std::make_pair(v, phase2));
+      reps.push_back(v);
+    }
+  }
+
+  // Final query on the merged graph.
+  const Lit m = uf.resolve(miter);
+  if (m == kConst0) {
+    result.status = FraigResult::Status::kEquivalent;
+    return result;
+  }
+  if (m == kConst1) {
+    result.status = FraigResult::Status::kNotEquivalent;
+    result.counterexample.assign(aig.num_inputs(), false);
+    return result;
+  }
+  sat::Solver solver;
+  ConeEncoder enc(aig, uf, solver);
+  const int dm = enc.encode(m);
+  solver.add_clause({dm});
+  ++result.sat_calls;
+  const sat::Result res = solver.solve(options.final_conflicts);
+  result.final_conflicts = solver.stats().conflicts;
+  if (res == sat::Result::kUnsat) {
+    result.status = FraigResult::Status::kEquivalent;
+  } else if (res == sat::Result::kSat) {
+    result.status = FraigResult::Status::kNotEquivalent;
+    result.counterexample.resize(aig.num_inputs());
+    for (std::uint32_t i = 0; i < aig.num_inputs(); ++i) {
+      const int dv = enc.input_dimacs(i + 1);
+      result.counterexample[i] = dv != 0 && solver.model_value(dv);
+    }
+  } else {
+    result.status = FraigResult::Status::kUnknown;
+  }
+  return result;
+}
+
+}  // namespace gfa::aig

@@ -1,0 +1,133 @@
+#include "baselines/bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+namespace gfa::bdd {
+
+namespace {
+constexpr unsigned kTerminalVar = std::numeric_limits<unsigned>::max();
+}
+
+Manager::Manager(std::size_t node_limit) : node_limit_(node_limit) {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false terminal
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true terminal
+}
+
+NodeRef Manager::make(unsigned var, NodeRef lo, NodeRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const Key key{var, lo, hi};
+  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (node_limit_ && nodes_.size() >= node_limit_)
+    throw BddBudgetExceeded("BDD node budget exceeded");
+  const NodeRef ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+NodeRef Manager::var(unsigned index) { return make(index, kFalse, kTrue); }
+
+unsigned Manager::top_var(NodeRef f) const { return nodes_[f].var; }
+
+NodeRef Manager::cofactor(NodeRef f, unsigned v, bool positive) const {
+  if (nodes_[f].var != v) return f;
+  return positive ? nodes_[f].hi : nodes_[f].lo;
+}
+
+NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (auto it = computed_.find(key); it != computed_.end()) return it->second;
+
+  const unsigned v =
+      std::min({top_var(f), top_var(g), top_var(h)});
+  const NodeRef lo =
+      ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const NodeRef hi =
+      ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const NodeRef result = make(v, lo, hi);
+  computed_.emplace(key, result);
+  return result;
+}
+
+std::size_t Manager::count_nodes(NodeRef f) const {
+  std::unordered_set<NodeRef> seen;
+  std::vector<NodeRef> stack{f};
+  while (!stack.empty()) {
+    const NodeRef n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second || n <= kTrue) continue;
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  return seen.size();
+}
+
+bool Manager::eval(NodeRef f, const std::vector<bool>& assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    assert(n.var < assignment.size());
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::vector<NodeRef> build_netlist_bdds(Manager& manager, const Netlist& netlist,
+                                        const std::vector<unsigned>& input_vars) {
+  assert(input_vars.size() == netlist.inputs().size());
+  std::vector<NodeRef> value(netlist.num_nets(), kFalse);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i)
+    value[netlist.inputs()[i]] = manager.var(input_vars[i]);
+
+  for (NetId n : netlist.topological_order()) {
+    const Netlist::Gate& g = netlist.gate(n);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        value[n] = kFalse;
+        break;
+      case GateType::kConst1:
+        value[n] = kTrue;
+        break;
+      case GateType::kBuf:
+        value[n] = value[g.fanins[0]];
+        break;
+      case GateType::kNot:
+        value[n] = manager.bdd_not(value[g.fanins[0]]);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        NodeRef v = kTrue;
+        for (NetId f : g.fanins) v = manager.bdd_and(v, value[f]);
+        value[n] = g.type == GateType::kNand ? manager.bdd_not(v) : v;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        NodeRef v = kFalse;
+        for (NetId f : g.fanins) v = manager.bdd_or(v, value[f]);
+        value[n] = g.type == GateType::kNor ? manager.bdd_not(v) : v;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        NodeRef v = kFalse;
+        for (NetId f : g.fanins) v = manager.bdd_xor(v, value[f]);
+        value[n] = g.type == GateType::kXnor ? manager.bdd_not(v) : v;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace gfa::bdd

@@ -1,0 +1,97 @@
+#pragma once
+// A reduced ordered BDD package (the canonical-DAG baseline of paper §2).
+//
+// Classic Bryant architecture: strong canonical form through a unique table,
+// recursive ITE with a computed table, no complement edges (clarity over
+// constant factors — the baseline's point is the exponential node growth of
+// multiplier functions, which no constant factor fixes).
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace gfa::bdd {
+
+using NodeRef = std::uint32_t;
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+struct BddBudgetExceeded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Manager {
+ public:
+  /// `node_limit` = 0 means unlimited; otherwise operations throw
+  /// BddBudgetExceeded once the table grows past the limit (the benches'
+  /// memory-explosion stand-in).
+  explicit Manager(std::size_t node_limit = 0);
+
+  /// The projection function of variable `index` (lower index = nearer root).
+  NodeRef var(unsigned index);
+
+  NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+  NodeRef bdd_not(NodeRef f) { return ite(f, kFalse, kTrue); }
+  NodeRef bdd_and(NodeRef f, NodeRef g) { return ite(f, g, kFalse); }
+  NodeRef bdd_or(NodeRef f, NodeRef g) { return ite(f, kTrue, g); }
+  NodeRef bdd_xor(NodeRef f, NodeRef g) { return ite(f, bdd_not(g), g); }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Nodes in the DAG rooted at f (terminals included).
+  std::size_t count_nodes(NodeRef f) const;
+
+  /// Evaluates under a variable assignment (indexed by variable index).
+  bool eval(NodeRef f, const std::vector<bool>& assignment) const;
+
+ private:
+  struct Node {
+    unsigned var;
+    NodeRef lo, hi;
+  };
+  struct Key {
+    unsigned var;
+    NodeRef lo, hi;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = k.var;
+      h = h * 1000003u ^ k.lo;
+      h = h * 1000003u ^ k.hi;
+      return h;
+    }
+  };
+  struct IteKey {
+    NodeRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::size_t x = k.f;
+      x = x * 1000003u ^ k.g;
+      x = x * 1000003u ^ k.h;
+      return x;
+    }
+  };
+
+  NodeRef make(unsigned var, NodeRef lo, NodeRef hi);
+  unsigned top_var(NodeRef f) const;
+  NodeRef cofactor(NodeRef f, unsigned var, bool positive) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, NodeRef, KeyHash> unique_;
+  std::unordered_map<IteKey, NodeRef, IteKeyHash> computed_;
+  std::size_t node_limit_;
+};
+
+/// Builds the BDDs of every net (terminal-driven in topological order);
+/// `input_vars[i]` is the BDD variable index of the i-th primary input.
+/// Returns one NodeRef per net.
+std::vector<NodeRef> build_netlist_bdds(Manager& manager, const Netlist& netlist,
+                                        const std::vector<unsigned>& input_vars);
+
+}  // namespace gfa::bdd

@@ -1,0 +1,57 @@
+#include "baselines/full_gb.h"
+
+#include <algorithm>
+
+#include "abstraction/rato.h"
+#include "circuit/gate_poly.h"
+
+namespace gfa {
+
+FullGbResult abstract_by_full_groebner(const Netlist& netlist, const Gf2k& field,
+                                       const BuchbergerOptions& options,
+                                       bool use_rato) {
+  CircuitIdeal ideal = circuit_ideal(netlist, &field);
+  const TermOrder order = use_rato ? make_rato_order(netlist, ideal)
+                                   : make_abstraction_order(netlist, ideal);
+
+  // J + J_0: circuit generators plus a vanishing polynomial per variable.
+  std::vector<MPoly> gens = ideal.all_generators();
+  std::vector<VarId> all_vars;
+  for (std::size_t v = 0; v < ideal.pool.size(); ++v)
+    all_vars.push_back(static_cast<VarId>(v));
+  for (MPoly& p : vanishing_polynomials(&field, ideal.pool, all_vars))
+    gens.push_back(std::move(p));
+
+  BuchbergerResult br = buchberger(std::move(gens), order, options);
+
+  FullGbResult res(&field);
+  res.pool = ideal.pool;
+  res.completed = br.completed;
+  res.reductions = br.reductions;
+  res.max_terms_seen = br.max_terms_seen;
+  res.basis_size = br.basis.size();
+  if (!br.completed) return res;
+
+  const std::vector<MPoly> reduced = reduce_basis(std::move(br.basis), order);
+  res.basis_size = reduced.size();
+
+  // Find the unique polynomial with leading term Z (Corollary 4.1).
+  const Word* out = output_word(netlist);
+  if (out == nullptr) return res;
+  const VarId z = ideal.word_var.at(out->name);
+  const Monomial z_mono(z, BigUint(1));
+  for (const MPoly& p : reduced) {
+    if (p.is_zero()) continue;
+    if (p.leading_term(order).mono == z_mono) {
+      // p = Z + G  =>  G = p + Z (char 2).
+      MPoly g = p;
+      g.add_term(z_mono, field.one());
+      res.g = std::move(g);
+      res.found = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace gfa

@@ -1,0 +1,37 @@
+#pragma once
+// Unguided full-Gröbner-basis abstraction baseline (paper §6).
+//
+// The direct realization of Theorem 4.2: generate the whole ideal J + J_0
+// (gate polynomials, word definitions, and a vanishing polynomial for every
+// variable) and run Buchberger's algorithm under an elimination order, then
+// pick the polynomial Z + G(A, …) out of the reduced basis. This is what the
+// paper tried first with SINGULAR's slimgb: it explodes beyond 32-bit
+// circuits, which motivates the RATO-guided extractor. Budgets report the
+// explosion instead of hanging.
+
+#include "circuit/netlist.h"
+#include "poly/groebner.h"
+
+namespace gfa {
+
+struct FullGbResult {
+  bool completed = false;   // Buchberger ran to fixpoint within budget
+  bool found = false;       // a Z + G(A,…) polynomial was isolated
+  MPoly g;                  // G over the input word variables (valid if found)
+  VarPool pool;             // the circuit ideal's variables
+  std::size_t basis_size = 0;
+  std::size_t reductions = 0;
+  std::size_t max_terms_seen = 0;
+
+  explicit FullGbResult(const Gf2k* field) : g(field) {}
+};
+
+/// Runs Buchberger on J + J_0 with the given refinement of the abstraction
+/// order (`use_rato` = false gives the arbitrary circuit-variable order of
+/// Definition 4.2) and extracts the word-level polynomial from the reduced
+/// basis.
+FullGbResult abstract_by_full_groebner(const Netlist& netlist, const Gf2k& field,
+                                       const BuchbergerOptions& options = {},
+                                       bool use_rato = true);
+
+}  // namespace gfa

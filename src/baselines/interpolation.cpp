@@ -1,0 +1,92 @@
+#include "baselines/interpolation.h"
+
+#include <cassert>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+using Dense = std::vector<Gf2k::Elem>;  // coefficient of X^i at index i
+
+/// The indicator polynomial 1 + (X + a)^{q-1}, dense of degree q-1.
+Dense indicator(const Gf2k& field, const Gf2k::Elem& a, std::size_t q) {
+  Dense p{field.one()};  // running (X + a)^t
+  p.reserve(q);
+  for (std::size_t t = 1; t < q; ++t) {
+    // p *= (X + a)
+    Dense next(p.size() + 1);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      next[i + 1] += p[i];
+      if (!a.is_zero()) next[i] += field.mul(p[i], a);
+    }
+    p = std::move(next);
+  }
+  p.resize(q);
+  p[0] += field.one();  // 1 + (X+a)^{q-1}
+  return p;
+}
+
+}  // namespace
+
+std::vector<Gf2k::Elem> all_field_elements(const Gf2k& field) {
+  assert(field.k() <= 20 && "field too large to enumerate");
+  const std::size_t q = std::size_t{1} << field.k();
+  std::vector<Gf2k::Elem> out;
+  out.reserve(q);
+  for (std::size_t bits = 0; bits < q; ++bits)
+    out.push_back(field.from_bits(bits));
+  return out;
+}
+
+MPoly interpolate_univariate(
+    const Gf2k& field, VarId x,
+    const std::function<Gf2k::Elem(const Gf2k::Elem&)>& f) {
+  const std::vector<Gf2k::Elem> elems = all_field_elements(field);
+  const std::size_t q = elems.size();
+  Dense acc(q);
+  for (const Gf2k::Elem& a : elems) {
+    const Gf2k::Elem fa = f(a);
+    if (fa.is_zero()) continue;
+    const Dense ind = indicator(field, a, q);
+    for (std::size_t i = 0; i < q; ++i)
+      if (!ind[i].is_zero()) acc[i] += field.mul(fa, ind[i]);
+  }
+  MPoly out(&field);
+  for (std::size_t i = 0; i < q; ++i)
+    out.add_term(Monomial(x, BigUint(i)), acc[i]);
+  return out;
+}
+
+MPoly interpolate_bivariate(
+    const Gf2k& field, VarId x, VarId y,
+    const std::function<Gf2k::Elem(const Gf2k::Elem&, const Gf2k::Elem&)>& f) {
+  const std::vector<Gf2k::Elem> elems = all_field_elements(field);
+  const std::size_t q = elems.size();
+  std::vector<Dense> ind;
+  ind.reserve(q);
+  for (const Gf2k::Elem& a : elems) ind.push_back(indicator(field, a, q));
+
+  // acc[i][j] = coefficient of X^i·Y^j.
+  std::vector<Dense> acc(q, Dense(q));
+  for (std::size_t ai = 0; ai < q; ++ai) {
+    for (std::size_t bi = 0; bi < q; ++bi) {
+      const Gf2k::Elem v = f(elems[ai], elems[bi]);
+      if (v.is_zero()) continue;
+      for (std::size_t i = 0; i < q; ++i) {
+        if (ind[ai][i].is_zero()) continue;
+        const Gf2k::Elem vi = field.mul(v, ind[ai][i]);
+        for (std::size_t j = 0; j < q; ++j)
+          if (!ind[bi][j].is_zero()) acc[i][j] += field.mul(vi, ind[bi][j]);
+      }
+    }
+  }
+  MPoly out(&field);
+  for (std::size_t i = 0; i < q; ++i)
+    for (std::size_t j = 0; j < q; ++j)
+      out.add_term(Monomial::from_pairs({{x, BigUint(i)}, {y, BigUint(j)}}),
+                   acc[i][j]);
+  return out;
+}
+
+}  // namespace gfa

@@ -1,0 +1,30 @@
+#pragma once
+// Lagrange interpolation over F_q (paper §1 and §2 "Polynomial
+// Interpolation").
+//
+// The canonical polynomial of any function f : F_q → F_q can be computed
+// exhaustively with the point-indicator identity  1_{X=a} = 1 + (X + a)^{q-1}
+// (char 2), so  F(X) = Σ_a f(a)·(1 + (X+a)^{q-1}).  This is Θ(q³) field work
+// for one variable and Θ(q⁴)-ish for two — the infeasible-beyond-tiny-fields
+// baseline the paper contrasts against, and our *oracle*: on small fields the
+// abstraction engine's output must match the interpolated polynomial exactly.
+
+#include <functional>
+
+#include "poly/mpoly.h"
+
+namespace gfa {
+
+/// Every element of F_{2^k}, in counting order of coordinate bits (k <= 20).
+std::vector<Gf2k::Elem> all_field_elements(const Gf2k& field);
+
+/// Canonical univariate polynomial of f (degree <= q-1) in variable x.
+MPoly interpolate_univariate(const Gf2k& field, VarId x,
+                             const std::function<Gf2k::Elem(const Gf2k::Elem&)>& f);
+
+/// Canonical bivariate polynomial of f in variables x, y.
+MPoly interpolate_bivariate(
+    const Gf2k& field, VarId x, VarId y,
+    const std::function<Gf2k::Elem(const Gf2k::Elem&, const Gf2k::Elem&)>& f);
+
+}  // namespace gfa

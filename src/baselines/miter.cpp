@@ -1,0 +1,147 @@
+#include "baselines/miter.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "abstraction/rato.h"
+#include "circuit/montgomery.h"
+
+namespace gfa {
+
+Netlist make_miter(const Netlist& c1, const Netlist& c2) {
+  const std::vector<const Word*> in1 = input_words(c1);
+  const Word* out1 = output_word(c1);
+  const Word* out2 = output_word(c2);
+  if (out1 == nullptr || out2 == nullptr)
+    throw std::invalid_argument("both circuits need an output word");
+  if (out1->bits.size() != out2->bits.size())
+    throw std::invalid_argument("output widths differ");
+
+  Netlist miter("miter_" + c1.name() + "_" + c2.name());
+  std::vector<std::pair<std::string, std::vector<NetId>>> bindings;
+  for (const Word* w : in1) {
+    const Word* w2 = c2.find_word(w->name);
+    if (w2 == nullptr || w2->bits.size() != w->bits.size())
+      throw std::invalid_argument("input word '" + w->name + "' mismatch");
+    std::vector<NetId> bits;
+    bits.reserve(w->bits.size());
+    for (std::size_t i = 0; i < w->bits.size(); ++i)
+      bits.push_back(miter.add_input(w->name + "_" + std::to_string(i)));
+    miter.declare_word(w->name, bits);
+    bindings.emplace_back(w->name, std::move(bits));
+  }
+
+  const std::vector<NetId> z1 =
+      instantiate_block(miter, c1, "s_", bindings, out1->name);
+  const std::vector<NetId> z2 =
+      instantiate_block(miter, c2, "i_", bindings, out2->name);
+
+  std::vector<NetId> diffs;
+  diffs.reserve(z1.size());
+  for (std::size_t i = 0; i < z1.size(); ++i)
+    diffs.push_back(miter.add_gate(GateType::kXor, {z1[i], z2[i]},
+                                   "diff" + std::to_string(i)));
+  while (diffs.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((diffs.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < diffs.size(); i += 2)
+      next.push_back(miter.add_gate(GateType::kOr, {diffs[i], diffs[i + 1]}));
+    if (diffs.size() % 2) next.push_back(diffs.back());
+    diffs = std::move(next);
+  }
+  const NetId out = diffs.size() == 1
+                        ? miter.add_gate(GateType::kBuf, {diffs[0]}, "miter")
+                        : miter.add_const(false, "miter");
+  miter.mark_output(out);
+  return miter;
+}
+
+Cnf tseitin_encode(const Netlist& netlist, NetId assert_net) {
+  Cnf cnf;
+  cnf.num_vars = static_cast<int>(netlist.num_nets());
+  auto var = [](NetId n) { return static_cast<int>(n) + 1; };
+
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Netlist::Gate& g = netlist.gate(n);
+    const int z = var(n);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        cnf.clauses.push_back({-z});
+        break;
+      case GateType::kConst1:
+        cnf.clauses.push_back({z});
+        break;
+      case GateType::kBuf:
+      case GateType::kNot: {
+        const int y = g.type == GateType::kBuf ? var(g.fanins[0])
+                                               : -var(g.fanins[0]);
+        cnf.clauses.push_back({-z, y});
+        cnf.clauses.push_back({z, -y});
+        break;
+      }
+      case GateType::kAnd:
+      case GateType::kNand: {
+        const int t = g.type == GateType::kAnd ? z : -z;
+        std::vector<int> big{t};
+        for (NetId f : g.fanins) {
+          cnf.clauses.push_back({-t, var(f)});
+          big.push_back(-var(f));
+        }
+        cnf.clauses.push_back(std::move(big));
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const int t = g.type == GateType::kOr ? z : -z;
+        std::vector<int> big{-t};
+        for (NetId f : g.fanins) {
+          cnf.clauses.push_back({t, -var(f)});
+          big.push_back(var(f));
+        }
+        cnf.clauses.push_back(std::move(big));
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // z = y1 ⊕ y2 ⊕ … encoded pairwise through helper variables.
+        int acc = 0;  // 0 = "constant false so far"
+        bool invert = g.type == GateType::kXnor;
+        for (std::size_t fi = 0; fi < g.fanins.size(); ++fi) {
+          const int y = var(g.fanins[fi]);
+          if (acc == 0) {
+            acc = y;
+            continue;
+          }
+          int fresh;
+          const bool last = fi + 1 == g.fanins.size();
+          if (last) {
+            fresh = invert ? -z : z;
+          } else {
+            fresh = ++cnf.num_vars;
+          }
+          // fresh = acc ⊕ y
+          cnf.clauses.push_back({-fresh, acc, y});
+          cnf.clauses.push_back({-fresh, -acc, -y});
+          cnf.clauses.push_back({fresh, -acc, y});
+          cnf.clauses.push_back({fresh, acc, -y});
+          acc = fresh;
+        }
+        if (acc == 0) {
+          cnf.clauses.push_back({invert ? z : -z});  // empty XOR = 0
+        } else if (g.fanins.size() == 1) {
+          const int t = invert ? -z : z;
+          cnf.clauses.push_back({-t, acc});
+          cnf.clauses.push_back({t, -acc});
+        }
+        break;
+      }
+    }
+  }
+  if (assert_net != kNoNet) cnf.clauses.push_back({var(assert_net)});
+  return cnf;
+}
+
+}  // namespace gfa

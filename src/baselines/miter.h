@@ -1,0 +1,30 @@
+#pragma once
+// Miter construction and Tseitin CNF encoding — the front end of the
+// "contemporary equivalence checking" baseline (paper §6: AIG/SAT methods
+// cannot prove Mastrovito ≡ Montgomery beyond 16-bit within 24 h).
+//
+// The miter drives both circuits from shared primary inputs (matched by
+// input-word names), XORs corresponding output-word bits and ORs the
+// disagreement bits into the single output net "miter": the circuits are
+// equivalent iff "miter" is unsatisfiable (never 1).
+
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace gfa {
+
+/// Builds the miter of two circuits with identical input/output word shapes.
+Netlist make_miter(const Netlist& c1, const Netlist& c2);
+
+/// CNF in DIMACS conventions: variables 1..num_vars, literals ±var.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// Tseitin-encodes the netlist; net n gets variable n+1. When `assert_net` is
+/// not kNoNet, a unit clause asserts that net to 1 (e.g. the miter output).
+Cnf tseitin_encode(const Netlist& netlist, NetId assert_net = kNoNet);
+
+}  // namespace gfa

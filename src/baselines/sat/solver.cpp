@@ -1,0 +1,337 @@
+#include "baselines/sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gfa::sat {
+
+void Solver::ensure_var(std::uint32_t v) {
+  if (v < assign_.size()) return;
+  const std::uint32_t n = v + 1;
+  assign_.resize(n, 0);
+  level_.resize(n, 0);
+  reason_.resize(n, -1);
+  activity_.resize(n, 0.0);
+  phase_.resize(n, -1);  // default polarity: false
+  seen_.resize(n, 0);
+  heap_pos_.resize(n, -1);
+  watches_.resize(2 * n);
+  for (std::uint32_t w = static_cast<std::uint32_t>(heap_.size()); w < n; ++w)
+    heap_insert(w);
+}
+
+bool Solver::value_is_true(L l) const {
+  const std::int8_t a = assign_[var_of(l)];
+  return a != 0 && (a > 0) == ((l & 1u) == 0);
+}
+
+bool Solver::value_is_false(L l) const {
+  const std::int8_t a = assign_[var_of(l)];
+  return a != 0 && (a > 0) == ((l & 1u) != 0);
+}
+
+bool Solver::is_unassigned(L l) const { return assign_[var_of(l)] == 0; }
+
+void Solver::add_clause(std::vector<int> lits) {
+  if (unsat_) return;
+  std::sort(lits.begin(), lits.end(), [](int a, int b) {
+    return std::abs(a) != std::abs(b) ? std::abs(a) < std::abs(b) : a < b;
+  });
+  std::vector<L> c;
+  c.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i > 0 && lits[i] == lits[i - 1]) continue;            // duplicate
+    if (i > 0 && lits[i] == -lits[i - 1]) return;             // tautology
+    ensure_var(static_cast<std::uint32_t>(std::abs(lits[i])) - 1);
+    c.push_back(encode(lits[i]));
+  }
+  if (c.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (c.size() == 1) {
+    // Root-level unit; enqueue immediately (conflicts surface in solve()).
+    if (value_is_false(c[0])) {
+      unsat_ = true;
+    } else if (is_unassigned(c[0])) {
+      enqueue(c[0], -1);
+    }
+    return;
+  }
+  const std::uint32_t ci = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(Clause{std::move(c), false});
+  attach(ci);
+}
+
+void Solver::attach(std::uint32_t ci) {
+  const Clause& c = clauses_[ci];
+  watches_[neg(c.lits[0])].push_back({ci, c.lits[1]});
+  watches_[neg(c.lits[1])].push_back({ci, c.lits[0]});
+}
+
+void Solver::enqueue(L l, std::int32_t reason) {
+  const std::uint32_t v = var_of(l);
+  assert(assign_[v] == 0);
+  assign_[v] = (l & 1u) ? -1 : 1;
+  level_[v] = static_cast<std::uint32_t>(trail_lim_.size());
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+std::int32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const L l = trail_[qhead_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[l];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      const Watcher w = ws[wi];
+      if (value_is_true(w.blocker)) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Normalize so lits[0] is the other watched literal.
+      const L falsified = neg(l);
+      if (c.lits[0] == falsified) std::swap(c.lits[0], c.lits[1]);
+      if (value_is_true(c.lits[0])) {
+        ws[keep++] = {w.clause, c.lits[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t i = 2; i < c.lits.size(); ++i) {
+        if (!value_is_false(c.lits[i])) {
+          std::swap(c.lits[1], c.lits[i]);
+          watches_[neg(c.lits[1])].push_back({w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = w;
+      if (value_is_false(c.lits[0])) {
+        // Conflict: keep the remaining watchers, then report.
+        for (std::size_t rest = wi + 1; rest < ws.size(); ++rest)
+          ws[keep++] = ws[rest];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return static_cast<std::int32_t>(w.clause);
+      }
+      enqueue(c.lits[0], static_cast<std::int32_t>(w.clause));
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(std::uint32_t v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) rescale();
+  if (heap_pos_[v] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
+}
+
+void Solver::rescale() {
+  for (double& a : activity_) a *= 1e-100;
+  var_inc_ *= 1e-100;
+}
+
+void Solver::analyze(std::int32_t conflict, std::vector<L>* learned_out,
+                     std::uint32_t* backtrack_level) {
+  learned_out->clear();
+  learned_out->push_back(0);  // slot for the asserting literal
+  const std::uint32_t current_level =
+      static_cast<std::uint32_t>(trail_lim_.size());
+  std::size_t index = trail_.size();
+  std::uint32_t counter = 0;
+  L p = UINT32_MAX;
+  std::int32_t reason = conflict;
+
+  for (;;) {
+    assert(reason >= 0);
+    const Clause& c = clauses_[static_cast<std::uint32_t>(reason)];
+    for (const L q : c.lits) {
+      if (p != UINT32_MAX && q == p) continue;
+      const std::uint32_t v = var_of(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump(v);
+      if (level_[v] == current_level) {
+        ++counter;
+      } else {
+        learned_out->push_back(q);
+      }
+    }
+    // Walk back the trail to the next marked literal.
+    while (!seen_[var_of(trail_[index - 1])]) --index;
+    --index;
+    p = trail_[index];
+    seen_[var_of(p)] = 0;
+    if (--counter == 0) break;
+    reason = reason_[var_of(p)];
+  }
+  (*learned_out)[0] = neg(p);
+
+  // Cheap clause minimization: drop literals whose reason clause is fully
+  // subsumed by the learned clause's marked set.
+  std::vector<L>& out = *learned_out;
+  std::vector<std::uint32_t> to_clear;
+  to_clear.reserve(out.size());
+  for (std::size_t i = 1; i < out.size(); ++i) to_clear.push_back(var_of(out[i]));
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    const std::uint32_t v = var_of(out[i]);
+    const std::int32_t r = reason_[v];
+    bool redundant = r >= 0;
+    if (redundant) {
+      for (const L q : clauses_[static_cast<std::uint32_t>(r)].lits) {
+        const std::uint32_t qv = var_of(q);
+        if (qv == v) continue;
+        if (!seen_[qv] && level_[qv] != 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) out[kept++] = out[i];
+  }
+  out.resize(kept);
+
+  // Backtrack level = second-highest level in the clause.
+  *backtrack_level = 0;
+  if (out.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out.size(); ++i)
+      if (level_[var_of(out[i])] > level_[var_of(out[max_i])]) max_i = i;
+    std::swap(out[1], out[max_i]);
+    *backtrack_level = level_[var_of(out[1])];
+  }
+  for (std::uint32_t v : to_clear) seen_[v] = 0;
+}
+
+void Solver::backtrack(std::uint32_t target) {
+  if (trail_lim_.size() <= target) return;
+  const std::size_t bound = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const std::uint32_t v = var_of(trail_[i]);
+    phase_[v] = assign_[v];
+    assign_[v] = 0;
+    reason_[v] = -1;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target);
+  qhead_ = bound;
+}
+
+void Solver::heap_insert(std::uint32_t v) {
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const std::uint32_t v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const std::uint32_t v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]])
+      ++child;
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+std::uint32_t Solver::heap_pop() {
+  const std::uint32_t top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+Solver::L Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const std::uint32_t v = heap_pop();
+    if (assign_[v] == 0)
+      return (v << 1) | (phase_[v] < 0 ? 1u : 0u);
+  }
+  return UINT32_MAX;
+}
+
+Result Solver::solve(std::uint64_t conflict_limit) {
+  if (unsat_) return Result::kUnsat;
+  std::uint64_t restart_threshold = 100;
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<L> learned;
+
+  for (;;) {
+    const std::int32_t conflict = propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) return Result::kUnsat;
+      std::uint32_t bt = 0;
+      analyze(conflict, &learned, &bt);
+      backtrack(bt);
+      if (learned.size() == 1) {
+        if (value_is_false(learned[0])) return Result::kUnsat;
+        if (is_unassigned(learned[0])) enqueue(learned[0], -1);
+      } else {
+        const std::uint32_t ci = static_cast<std::uint32_t>(clauses_.size());
+        clauses_.push_back(Clause{learned, true});
+        attach(ci);
+        ++stats_.learned;
+        enqueue(learned[0], static_cast<std::int32_t>(ci));
+      }
+      decay();
+      if (conflict_limit && stats_.conflicts >= conflict_limit)
+        return Result::kUnknown;
+      continue;
+    }
+    if (conflicts_since_restart >= restart_threshold) {
+      conflicts_since_restart = 0;
+      restart_threshold = restart_threshold + restart_threshold / 2;
+      ++stats_.restarts;
+      backtrack(0);
+      continue;
+    }
+    const L decision = pick_branch();
+    if (decision == UINT32_MAX) return Result::kSat;
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue(decision, -1);
+  }
+}
+
+bool Solver::model_value(int var) const {
+  const std::uint32_t v = static_cast<std::uint32_t>(var) - 1;
+  if (v >= assign_.size()) return false;
+  return assign_[v] > 0;
+}
+
+}  // namespace gfa::sat

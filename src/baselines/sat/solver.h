@@ -1,0 +1,99 @@
+#pragma once
+// A compact CDCL SAT solver (the circuit-SAT equivalence baseline).
+//
+// Standard architecture: two-watched-literal propagation, first-UIP conflict
+// analysis with clause learning and recursive-free minimization, VSIDS
+// activity with a decision heap, phase saving, geometric restarts. The point
+// of this baseline is behavioural, not competitive: resolution-based solvers
+// hit an exponential wall on structurally dissimilar multiplier miters, which
+// is the paper's motivation for word-level abstraction.
+
+#include <cstdint>
+#include <vector>
+
+namespace gfa::sat {
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+};
+
+class Solver {
+ public:
+  /// Adds a clause of DIMACS literals (±var, vars >= 1). Empty clause makes
+  /// the instance trivially unsat. Duplicate and tautological literals are
+  /// normalized away.
+  void add_clause(std::vector<int> lits);
+
+  /// Solves; `conflict_limit` = 0 means no limit, otherwise returns kUnknown
+  /// once exceeded (the benches' 24-hour-timeout stand-in).
+  Result solve(std::uint64_t conflict_limit = 0);
+
+  /// Value of a variable in the model (valid after kSat).
+  bool model_value(int var) const;
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // Literal encoding: lit = 2*var + (negative ? 1 : 0), vars 0-based inside.
+  using L = std::uint32_t;
+  static L encode(int dimacs) {
+    const std::uint32_t v = static_cast<std::uint32_t>(dimacs > 0 ? dimacs : -dimacs) - 1;
+    return (v << 1) | (dimacs < 0 ? 1u : 0u);
+  }
+  static L neg(L l) { return l ^ 1u; }
+  static std::uint32_t var_of(L l) { return l >> 1; }
+
+  struct Clause {
+    std::vector<L> lits;
+    bool learned = false;
+  };
+  struct Watcher {
+    std::uint32_t clause;
+    L blocker;
+  };
+
+  void ensure_var(std::uint32_t v);
+  bool value_is_true(L l) const;
+  bool value_is_false(L l) const;
+  bool is_unassigned(L l) const;
+  void enqueue(L l, std::int32_t reason);
+  std::int32_t propagate();  // returns conflicting clause index or -1
+  void analyze(std::int32_t conflict, std::vector<L>* learned_out,
+               std::uint32_t* backtrack_level);
+  void backtrack(std::uint32_t level);
+  void attach(std::uint32_t ci);
+  L pick_branch();
+  void bump(std::uint32_t v);
+  void decay() { var_inc_ /= 0.95; }
+  void rescale();
+  // Decision heap (max-heap on activity).
+  void heap_insert(std::uint32_t v);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  std::uint32_t heap_pop();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<std::int8_t> assign_;            // per var: 0 unset, 1 true, -1 false
+  std::vector<std::uint32_t> level_;           // per var
+  std::vector<std::int32_t> reason_;           // per var: clause index or -1
+  std::vector<L> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::uint32_t> heap_;      // binary max-heap of vars
+  std::vector<std::int32_t> heap_pos_;   // var -> heap index, -1 if absent
+  std::vector<std::int8_t> phase_;       // saved phase per var
+  std::vector<std::uint8_t> seen_;       // scratch for analyze
+  bool unsat_ = false;
+  SolverStats stats_;
+};
+
+}  // namespace gfa::sat

@@ -1,0 +1,140 @@
+#include "circuit/arith_extras.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+NetId xor_tree(Netlist& nl, std::vector<NetId> terms, const std::string& name) {
+  if (terms.empty()) return nl.add_const(false, name);
+  if (terms.size() == 1) return nl.add_gate(GateType::kBuf, {terms[0]}, name);
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      const bool last = terms.size() == 2;
+      next.push_back(nl.add_gate(GateType::kXor, {terms[i], terms[i + 1]},
+                                 last ? name : std::string{}));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+/// The F_2-linear map a -> a·α^{shift} composed with squaring exponents:
+/// emits XOR networks z_j = Σ_i m_{ij} a_i given column expansions.
+std::vector<NetId> linear_network(Netlist& nl, const Gf2k& field,
+                                  const std::vector<NetId>& in,
+                                  const std::vector<Gf2k::Elem>& image_of_basis,
+                                  const std::string& out_prefix) {
+  const unsigned k = field.k();
+  std::vector<std::vector<NetId>> zin(k);
+  for (unsigned i = 0; i < in.size(); ++i) {
+    for (unsigned j = 0; j < k; ++j)
+      if (image_of_basis[i].coeff(j)) zin[j].push_back(in[i]);
+  }
+  std::vector<NetId> out(k);
+  for (unsigned j = 0; j < k; ++j)
+    out[j] = xor_tree(nl, zin[j], out_prefix + std::to_string(j));
+  return out;
+}
+
+}  // namespace
+
+Netlist make_squarer(const Gf2k& field) {
+  const unsigned k = field.k();
+  Netlist nl("squarer_" + std::to_string(k));
+  std::vector<NetId> a(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  std::vector<Gf2k::Elem> image(k);
+  for (unsigned i = 0; i < k; ++i)
+    image[i] = field.alpha_pow(std::uint64_t{2} * i);  // (α^i)² = α^{2i}
+  const std::vector<NetId> z = linear_network(nl, field, a, image, "z");
+  for (NetId n : z) nl.mark_output(n);
+  nl.declare_word("A", a);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+Netlist make_adder(const Gf2k& field) {
+  const unsigned k = field.k();
+  Netlist nl("adder_" + std::to_string(k));
+  std::vector<NetId> a(k), b(k), z(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) {
+    z[i] = nl.add_gate(GateType::kXor, {a[i], b[i]}, "z" + std::to_string(i));
+    nl.mark_output(z[i]);
+  }
+  nl.declare_word("A", a);
+  nl.declare_word("B", b);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+Netlist make_multiply_accumulate(const Gf2k& field) {
+  const unsigned k = field.k();
+  Netlist nl("mac_" + std::to_string(k));
+  std::vector<NetId> a(k), b(k), c(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) c[i] = nl.add_input("c" + std::to_string(i));
+
+  // S = A × B (carry-free), with C folded into the low coordinates before
+  // reduction: Z = (S + C) mod P = A·B + C since deg C < k.
+  std::vector<std::vector<NetId>> diag(2 * k - 1);
+  for (unsigned i = 0; i < k; ++i)
+    for (unsigned j = 0; j < k; ++j)
+      diag[i + j].push_back(nl.add_gate(
+          GateType::kAnd, {a[i], b[j]},
+          "p" + std::to_string(i) + "_" + std::to_string(j)));
+  for (unsigned j = 0; j < k; ++j) diag[j].push_back(c[j]);
+
+  std::vector<NetId> s(2 * k - 1);
+  for (unsigned t = 0; t < 2 * k - 1; ++t)
+    s[t] = xor_tree(nl, diag[t], "s" + std::to_string(t));
+
+  std::vector<std::vector<NetId>> zin(k);
+  for (unsigned j = 0; j < k; ++j) zin[j].push_back(s[j]);
+  for (unsigned i = 0; i + k < 2 * k - 1; ++i) {
+    const Gf2k::Elem red = field.alpha_pow(std::uint64_t{k} + i);
+    for (unsigned j = 0; j < k; ++j)
+      if (red.coeff(j)) zin[j].push_back(s[k + i]);
+  }
+  std::vector<NetId> z(k);
+  for (unsigned j = 0; j < k; ++j) {
+    z[j] = xor_tree(nl, zin[j], "z" + std::to_string(j));
+    nl.mark_output(z[j]);
+  }
+  nl.declare_word("A", a);
+  nl.declare_word("B", b);
+  nl.declare_word("C", c);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+Netlist make_frobenius_power(const Gf2k& field, unsigned e) {
+  assert(e >= 1);
+  const unsigned k = field.k();
+  Netlist nl("frob" + std::to_string(e) + "_" + std::to_string(k));
+  std::vector<NetId> cur(k);
+  for (unsigned i = 0; i < k; ++i) cur[i] = nl.add_input("a" + std::to_string(i));
+  nl.declare_word("A", cur);
+  std::vector<Gf2k::Elem> image(k);
+  for (unsigned i = 0; i < k; ++i)
+    image[i] = field.alpha_pow(std::uint64_t{2} * i);
+  for (unsigned stage = 0; stage < e; ++stage) {
+    const std::string prefix =
+        stage + 1 == e ? "z" : "q" + std::to_string(stage) + "_";
+    cur = linear_network(nl, field, cur, image, prefix);
+  }
+  for (NetId n : cur) nl.mark_output(n);
+  nl.declare_word("Z", cur);
+  return nl;
+}
+
+}  // namespace gfa

@@ -1,0 +1,28 @@
+#pragma once
+// Additional Galois-field datapath generators beyond the two multiplier
+// architectures: squarer, adder, and multiply-accumulate. These exercise the
+// parts of the theory the multiplier benchmarks do not — linear (Frobenius)
+// functions, multi-operand word signatures Z = F(A, B, C), and compositions
+// used by the ECC point-operation style workloads the paper's introduction
+// motivates.
+
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+/// Z = A² mod P: the squaring map is F_2-linear, so the circuit is a pure
+/// XOR network over the precomputed α^{2i} expansions. Words A, Z.
+Netlist make_squarer(const Gf2k& field);
+
+/// Z = A + B: bitwise XOR. Words A, B, Z.
+Netlist make_adder(const Gf2k& field);
+
+/// Z = A·B + C mod P: Mastrovito product folded with a third operand before
+/// the reduction network. Words A, B, C, Z.
+Netlist make_multiply_accumulate(const Gf2k& field);
+
+/// Z = A^{2^e} mod P by cascading e squarers (e >= 1). Words A, Z.
+Netlist make_frobenius_power(const Gf2k& field, unsigned e);
+
+}  // namespace gfa

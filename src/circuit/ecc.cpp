@@ -1,0 +1,79 @@
+#include "circuit/ecc.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "circuit/arith_extras.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+
+namespace gfa {
+
+Netlist make_const_multiplier(const Gf2k& field, const Gf2k::Elem& c) {
+  const unsigned k = field.k();
+  Netlist nl("constmul_" + std::to_string(k));
+  std::vector<NetId> a(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  // Column j of the linear map: c·α^i expanded over the basis.
+  std::vector<std::vector<NetId>> zin(k);
+  for (unsigned i = 0; i < k; ++i) {
+    const Gf2k::Elem img = field.mul(c, field.alpha_pow(std::uint64_t{i}));
+    for (unsigned j = 0; j < k; ++j)
+      if (img.coeff(j)) zin[j].push_back(a[i]);
+  }
+  std::vector<NetId> z(k);
+  for (unsigned j = 0; j < k; ++j) {
+    const std::string name = "z" + std::to_string(j);
+    if (zin[j].empty()) {
+      z[j] = nl.add_const(false, name);
+    } else if (zin[j].size() == 1) {
+      z[j] = nl.add_gate(GateType::kBuf, {zin[j][0]}, name);
+    } else {
+      NetId acc = zin[j][0];
+      for (std::size_t t = 1; t < zin[j].size(); ++t)
+        acc = nl.add_gate(GateType::kXor, {acc, zin[j][t]},
+                          t + 1 == zin[j].size() ? name : std::string{});
+      z[j] = acc;
+    }
+    nl.mark_output(z[j]);
+  }
+  nl.declare_word("A", a);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+Netlist make_ld_point_double(const Gf2k& field, const Gf2k::Elem& b) {
+  const unsigned k = field.k();
+  Netlist nl("ld_double_" + std::to_string(k));
+  std::vector<NetId> x(k), z(k);
+  for (unsigned i = 0; i < k; ++i) x[i] = nl.add_input("x" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) z[i] = nl.add_input("z" + std::to_string(i));
+
+  const Netlist squarer = make_squarer(field);
+  const Netlist multiplier = make_mastrovito_multiplier(field);
+  const Netlist bmul = make_const_multiplier(field, b);
+
+  const std::vector<NetId> x2 = instantiate_block(nl, squarer, "sx_", {{"A", x}}, "Z");
+  const std::vector<NetId> z2 = instantiate_block(nl, squarer, "sz_", {{"A", z}}, "Z");
+  const std::vector<NetId> x4 = instantiate_block(nl, squarer, "sx2_", {{"A", x2}}, "Z");
+  const std::vector<NetId> z4 = instantiate_block(nl, squarer, "sz2_", {{"A", z2}}, "Z");
+  const std::vector<NetId> bz4 = instantiate_block(nl, bmul, "bz4_", {{"A", z4}}, "Z");
+  const std::vector<NetId> z3 =
+      instantiate_block(nl, multiplier, "m_", {{"A", x2}, {"B", z2}}, "Z");
+
+  std::vector<NetId> x3(k);
+  for (unsigned i = 0; i < k; ++i) {
+    x3[i] = nl.add_gate(GateType::kXor, {x4[i], bz4[i]}, "x3_" + std::to_string(i));
+    nl.mark_output(x3[i]);
+  }
+  for (NetId n : z3) nl.mark_output(n);
+
+  nl.declare_word("X", x);
+  nl.declare_word("Z", z);
+  nl.declare_word("X3", x3);
+  nl.declare_word("Z3", z3);
+  return nl;
+}
+
+}  // namespace gfa

@@ -1,0 +1,29 @@
+#pragma once
+// Elliptic-curve point-operation datapaths over F_{2^k} — the workload the
+// paper's introduction motivates (NIST binary curves for ECC).
+//
+// López–Dahab projective doubling on the curve y² + xy = x³ + ax² + b uses
+// only the field primitives built in this repository:
+//
+//     Z3 = X1² · Z1²
+//     X3 = X1⁴ + b · Z1⁴
+//
+// The generated circuit is a *flat* netlist with two input words (X, Z) and
+// two output words (X3, Z3) — exercising the multi-output word abstraction:
+// each output word is independently abstracted to its canonical polynomial,
+// so the datapath is verified against the curve equations symbolically.
+
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+/// Z = c·A for a field constant c: a pure XOR network (F_2-linear map).
+/// Words A, Z.
+Netlist make_const_multiplier(const Gf2k& field, const Gf2k::Elem& c);
+
+/// The López–Dahab doubling datapath above, with curve parameter b.
+/// Input words X, Z; output words X3, Z3.
+Netlist make_ld_point_double(const Gf2k& field, const Gf2k::Elem& b);
+
+}  // namespace gfa

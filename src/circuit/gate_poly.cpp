@@ -1,0 +1,81 @@
+#include "circuit/gate_poly.h"
+
+#include <cassert>
+
+namespace gfa {
+
+MPoly gate_tail_poly(const Gf2k* field, GateType type,
+                     const std::vector<VarId>& fanins) {
+  const MPoly one = MPoly::constant(field, field->one());
+  auto var = [&](VarId v) { return MPoly::variable(field, v); };
+  switch (type) {
+    case GateType::kConst0:
+      return MPoly(field);
+    case GateType::kConst1:
+      return one;
+    case GateType::kBuf:
+      return var(fanins[0]);
+    case GateType::kNot:
+      return var(fanins[0]) + one;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      MPoly p = one;
+      for (VarId f : fanins) p = p * var(f);
+      return type == GateType::kNand ? p + one : p;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      MPoly p = one;
+      for (VarId f : fanins) p = p * (var(f) + one);
+      return type == GateType::kNor ? p : p + one;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      MPoly p(field);
+      for (VarId f : fanins) p += var(f);
+      return type == GateType::kXnor ? p + one : p;
+    }
+    case GateType::kInput:
+      break;
+  }
+  assert(false && "inputs have no tail polynomial");
+  return MPoly(field);
+}
+
+CircuitIdeal circuit_ideal(const Netlist& netlist, const Gf2k* field) {
+  CircuitIdeal ci;
+  ci.net_var.resize(netlist.num_nets());
+  for (NetId n = 0; n < netlist.num_nets(); ++n)
+    ci.net_var[n] = ci.pool.intern(netlist.gate(n).name, VarKind::kBit);
+  for (const Word& w : netlist.words())
+    ci.word_var.emplace(w.name, ci.pool.intern(w.name, VarKind::kWord));
+
+  for (NetId n : netlist.topological_order()) {
+    const Netlist::Gate& g = netlist.gate(n);
+    if (g.type == GateType::kInput) continue;
+    std::vector<VarId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (NetId f : g.fanins) fanins.push_back(ci.net_var[f]);
+    MPoly f = MPoly::variable(field, ci.net_var[n]) +
+              gate_tail_poly(field, g.type, fanins);
+    ci.gate_polys.push_back(std::move(f));
+  }
+
+  for (const Word& w : netlist.words()) {
+    MPoly f = MPoly::variable(field, ci.word_var.at(w.name));
+    for (std::size_t i = 0; i < w.bits.size(); ++i) {
+      f.add_term(Monomial(ci.net_var[w.bits[i]], BigUint(1)),
+                 field->alpha_pow(static_cast<std::uint64_t>(i)));
+    }
+    ci.word_polys.push_back(std::move(f));
+  }
+  return ci;
+}
+
+std::vector<MPoly> CircuitIdeal::all_generators() const {
+  std::vector<MPoly> out = gate_polys;
+  out.insert(out.end(), word_polys.begin(), word_polys.end());
+  return out;
+}
+
+}  // namespace gfa

@@ -1,0 +1,48 @@
+#pragma once
+// Polynomial modeling of gate-level circuits (paper §4).
+//
+// Every logic gate with output x and inputs y_i becomes a generator
+// f : x + tail(f) of the circuit ideal J, where tail(f) is the Boolean
+// function expressed over F_2 ⊂ F_{2^k}:
+//
+//     z = NOT y   ->  z + y + 1
+//     z = AND(y…) ->  z + ∏ y_i
+//     z = OR(y…)  ->  z + 1 + ∏ (1 + y_i)
+//     z = XOR(y…) ->  z + Σ y_i          (and the N-variants add 1)
+//
+// Each declared word W over bits w_0…w_{k-1} adds the word-definition
+// polynomial  w_0 + w_1·α + … + w_{k-1}·α^{k-1} + W  (paper Eqn. 1).
+//
+// This is the MPoly (general-engine) modeling used by the worked examples and
+// the baselines; the abstraction hot path builds the same tails directly in
+// the specialized BitPoly representation (src/abstraction/extractor.h).
+
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "poly/mpoly.h"
+#include "poly/varpool.h"
+
+namespace gfa {
+
+struct CircuitIdeal {
+  VarPool pool;
+  std::vector<VarId> net_var;  // bit variable per NetId
+  std::unordered_map<std::string, VarId> word_var;  // word name -> variable
+  std::vector<MPoly> gate_polys;  // one per logic gate, in netlist order
+  std::vector<MPoly> word_polys;  // one per declared word
+
+  /// gate_polys ++ word_polys — the generators of J.
+  std::vector<MPoly> all_generators() const;
+};
+
+/// Builds the ideal generators of a circuit over the given field.
+CircuitIdeal circuit_ideal(const Netlist& netlist, const Gf2k* field);
+
+/// The tail polynomial of a single gate (the Boolean function of its inputs),
+/// given the fanin bit variables.
+MPoly gate_tail_poly(const Gf2k* field, GateType type,
+                     const std::vector<VarId>& fanins);
+
+}  // namespace gfa

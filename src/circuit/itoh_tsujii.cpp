@@ -1,0 +1,86 @@
+#include "circuit/itoh_tsujii.h"
+
+#include <cassert>
+#include <string>
+
+#include "circuit/arith_extras.h"
+#include "circuit/mastrovito.h"
+
+namespace gfa {
+
+ItohTsujiiHierarchy make_itoh_tsujii(const Gf2k& field) {
+  const unsigned k = field.k();
+  assert(k >= 2);
+  ItohTsujiiHierarchy h;
+  h.graph.primary_inputs = {"A"};
+
+  // One shared Mastrovito block for every multiplication step.
+  h.blocks.push_back(
+      std::make_unique<Netlist>(make_mastrovito_multiplier(field)));
+  const Netlist* mul = h.blocks.back().get();
+
+  auto frob_block = [&](unsigned e) {
+    h.blocks.push_back(
+        std::make_unique<Netlist>(make_frobenius_power(field, e)));
+    return h.blocks.back().get();
+  };
+  auto signal = [](unsigned e) { return "S" + std::to_string(e); };
+
+  int step = 0;
+  auto add_mul = [&](const std::string& x, const std::string& y,
+                     const std::string& out) {
+    h.graph.instances.push_back(
+        {mul, "mul" + std::to_string(step++), {{"A", x}, {"B", y}}, out});
+  };
+  auto add_frob = [&](unsigned e, const std::string& in, const std::string& out) {
+    h.graph.instances.push_back({frob_block(e),
+                                 "frob" + std::to_string(e) + "_" +
+                                     std::to_string(step++),
+                                 {{"A", in}},
+                                 out});
+  };
+
+  // Addition chain on exponents e with S_e = A^{2^e - 1}; S_1 = A.
+  const unsigned m = k - 1;
+  // Binary expansion of m, most significant bit first.
+  int top = 31;
+  while (top > 0 && !((m >> top) & 1u)) --top;
+  unsigned e = 1;
+  // S_1 is the primary input itself: alias via the chain below. We track the
+  // signal carrying S_e; initially the input "A".
+  std::string cur = "A";
+  for (int i = top - 1; i >= 0; --i) {
+    // Double: S_{2e} = Frob_e(S_e) * S_e.
+    const std::string shifted = signal(e) + "f";
+    add_frob(e, cur, shifted);
+    const std::string doubled = signal(2 * e);
+    add_mul(shifted, cur, doubled);
+    cur = doubled;
+    e *= 2;
+    if ((m >> i) & 1u) {
+      // Increment: S_{e+1} = Frob_1(S_e) * A.
+      const std::string sq = signal(e) + "s";
+      add_frob(1, cur, sq);
+      const std::string inc = signal(e + 1);
+      add_mul(sq, "A", inc);
+      cur = inc;
+      e += 1;
+    }
+  }
+  assert(e == m);
+
+  // INV = (S_{k-1})².
+  add_frob(1, cur, "INV");
+  h.graph.output_signal = "INV";
+
+  for (const auto& blk : h.blocks) h.total_gates += blk->num_logic_gates();
+  return h;
+}
+
+MPoly inversion_spec(const Gf2k& field, VarId word_var) {
+  MPoly p(&field);
+  p.add_term(Monomial(word_var, field.order() - BigUint(2)), field.one());
+  return p;
+}
+
+}  // namespace gfa

@@ -1,0 +1,43 @@
+#pragma once
+// Itoh–Tsujii inversion over F_{2^k}, as a hierarchy of multiplier and
+// Frobenius-power blocks.
+//
+// A^{-1} = (A^{2^{k-1}-1})², with A^{2^{k-1}-1} computed by the classic
+// addition chain on exponents of the form 2^e - 1:
+//
+//     A^{2^{2e}-1}   = (A^{2^e-1})^{2^e} · A^{2^e-1}
+//     A^{2^{e+1}-1}  = (A^{2^e-1})^{2}   · A
+//
+// following the binary expansion of k-1. Every step is a Frobenius-power
+// block (pure XOR network) or a Mastrovito multiplier block.
+//
+// This is the showcase for the paper's hierarchy argument taken further than
+// multipliers: the *flat* gate-level inverter cannot be abstracted — its
+// canonical bit-level remainder is exponentially dense (inversion is
+// maximally nonlinear) — but per-block abstraction plus word-level
+// composition proves the whole circuit implements exactly Z = A^{q-2}, the
+// canonical polynomial of inversion (0 ↦ 0 included).
+
+#include <memory>
+#include <vector>
+
+#include "abstraction/hierarchy.h"
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+struct ItohTsujiiHierarchy {
+  /// Owned blocks; the graph's instances point into these.
+  std::vector<std::unique_ptr<Netlist>> blocks;
+  WordSignalGraph graph;  // primary input "A", output "INV"
+  std::size_t total_gates = 0;
+};
+
+/// Builds the block hierarchy computing INV = A^{-1} (and 0 -> 0).
+ItohTsujiiHierarchy make_itoh_tsujii(const Gf2k& field);
+
+/// The canonical polynomial of field inversion: X^{q-2}.
+MPoly inversion_spec(const Gf2k& field, VarId word_var);
+
+}  // namespace gfa

@@ -1,0 +1,115 @@
+#include "circuit/karatsuba.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+/// Coefficient nets may be structurally absent (known-zero): kNoNet.
+using Coeffs = std::vector<NetId>;
+
+NetId xor2(Netlist& nl, NetId a, NetId b) {
+  if (a == kNoNet) return b;
+  if (b == kNoNet) return a;
+  return nl.add_gate(GateType::kXor, {a, b});
+}
+
+NetId and2(Netlist& nl, NetId a, NetId b) {
+  if (a == kNoNet || b == kNoNet) return kNoNet;
+  return nl.add_gate(GateType::kAnd, {a, b});
+}
+
+/// out[off + i] ^= src[i].
+void xor_into(Netlist& nl, Coeffs& out, const Coeffs& src, std::size_t off) {
+  if (out.size() < off + src.size()) out.resize(off + src.size(), kNoNet);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    out[off + i] = xor2(nl, out[off + i], src[i]);
+}
+
+Coeffs schoolbook(Netlist& nl, const Coeffs& a, const Coeffs& b) {
+  if (a.empty() || b.empty()) return {};
+  Coeffs out(a.size() + b.size() - 1, kNoNet);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      out[i + j] = xor2(nl, out[i + j], and2(nl, a[i], b[j]));
+  return out;
+}
+
+Coeffs karatsuba(Netlist& nl, const Coeffs& a, const Coeffs& b,
+                 unsigned threshold) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (n <= threshold) return schoolbook(nl, a, b);
+  const std::size_t m = n / 2;
+
+  auto low = [&](const Coeffs& v) {
+    return Coeffs(v.begin(), v.begin() + std::min(m, v.size()));
+  };
+  auto high = [&](const Coeffs& v) {
+    return v.size() > m ? Coeffs(v.begin() + m, v.end()) : Coeffs{};
+  };
+  auto padded_sum = [&](const Coeffs& lo, const Coeffs& hi) {
+    Coeffs out = lo;
+    if (out.size() < hi.size()) out.resize(hi.size(), kNoNet);
+    for (std::size_t i = 0; i < hi.size(); ++i)
+      out[i] = xor2(nl, out[i], hi[i]);
+    return out;
+  };
+
+  const Coeffs a0 = low(a), a1 = high(a), b0 = low(b), b1 = high(b);
+  const Coeffs p0 = karatsuba(nl, a0, b0, threshold);
+  const Coeffs p2 = karatsuba(nl, a1, b1, threshold);
+  const Coeffs p01 = karatsuba(nl, padded_sum(a0, a1), padded_sum(b0, b1),
+                               threshold);
+
+  // middle = p01 + p0 + p2.
+  Coeffs middle = p01;
+  xor_into(nl, middle, p0, 0);
+  xor_into(nl, middle, p2, 0);
+
+  Coeffs out;
+  xor_into(nl, out, p0, 0);
+  xor_into(nl, out, middle, m);
+  xor_into(nl, out, p2, 2 * m);
+  return out;
+}
+
+}  // namespace
+
+Netlist make_karatsuba_multiplier(const Gf2k& field, unsigned threshold) {
+  assert(threshold >= 1);
+  const unsigned k = field.k();
+  Netlist nl("karatsuba_" + std::to_string(k));
+  Coeffs a(k), b(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+  Coeffs s = karatsuba(nl, a, b, threshold);
+  s.resize(2 * k - 1, kNoNet);
+
+  // Reduction: fold s_{k+i} through α^{k+i} mod P (as in the Mastrovito
+  // generator), skipping structurally absent coefficients.
+  std::vector<NetId> acc(k, kNoNet);
+  for (unsigned j = 0; j < k; ++j) acc[j] = s[j];
+  for (unsigned i = 0; i + k < 2 * k - 1; ++i) {
+    if (s[k + i] == kNoNet) continue;
+    const Gf2k::Elem red = field.alpha_pow(std::uint64_t{k} + i);
+    for (unsigned j = 0; j < k; ++j)
+      if (red.coeff(j)) acc[j] = xor2(nl, acc[j], s[k + i]);
+  }
+  std::vector<NetId> z(k);
+  for (unsigned j = 0; j < k; ++j) {
+    const std::string name = "z" + std::to_string(j);
+    z[j] = acc[j] == kNoNet ? nl.add_const(false, name)
+                            : nl.add_gate(GateType::kBuf, {acc[j]}, name);
+    nl.mark_output(z[j]);
+  }
+  nl.declare_word("A", a);
+  nl.declare_word("B", b);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+}  // namespace gfa

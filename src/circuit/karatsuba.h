@@ -1,0 +1,23 @@
+#pragma once
+// Karatsuba multiplier over F_{2^k} — a third, recursively structured
+// architecture for the equivalence benchmarks.
+//
+// The carry-free product S = A × B is computed by Karatsuba splitting
+// (A0 + x^m·A1)(B0 + x^m·B1) = P0 + x^m·(P01 + P0 + P2) + x^{2m}·P2 with
+// P01 = (A0+A1)(B0+B1), recursing until a schoolbook threshold; S is then
+// reduced mod P(x) through the same folding network as the Mastrovito
+// generator. The resulting netlist shares *no* structure with either the
+// Mastrovito array or the Montgomery block design — the hardest kind of
+// instance for structural equivalence checking (paper §2), and routine for
+// canonical-form abstraction.
+
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+/// Flattened Karatsuba multiplier: words A, B, Z; Z = A·B mod P(x).
+/// `threshold` is the sub-size at which recursion falls back to schoolbook.
+Netlist make_karatsuba_multiplier(const Gf2k& field, unsigned threshold = 4);
+
+}  // namespace gfa

@@ -1,0 +1,76 @@
+#include "circuit/massey_omura.h"
+
+#include <string>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+NetId xor_tree(Netlist& nl, std::vector<NetId> terms, const std::string& name) {
+  if (terms.empty()) return nl.add_const(false, name);
+  if (terms.size() == 1) return nl.add_gate(GateType::kBuf, {terms[0]}, name);
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      const bool last = terms.size() == 2;
+      next.push_back(nl.add_gate(GateType::kXor, {terms[i], terms[i + 1]},
+                                 last ? name : std::string{}));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+}  // namespace
+
+Netlist make_massey_omura_multiplier(const Gf2k& field, const NormalBasis& nb) {
+  const unsigned k = field.k();
+  Netlist nl("massey_omura_" + std::to_string(k));
+  std::vector<NetId> a(k), b(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+  // Shared partial products, created lazily (λ is often sparse).
+  std::vector<std::vector<NetId>> pp(k, std::vector<NetId>(k, kNoNet));
+  auto product = [&](unsigned i, unsigned j) {
+    if (pp[i][j] == kNoNet)
+      pp[i][j] = nl.add_gate(GateType::kAnd, {a[i], b[j]},
+                             "p" + std::to_string(i) + "_" + std::to_string(j));
+    return pp[i][j];
+  };
+
+  std::vector<NetId> z(k);
+  for (unsigned l = 0; l < k; ++l) {
+    std::vector<NetId> terms;
+    for (unsigned i = 0; i < k; ++i)
+      for (unsigned j = 0; j < k; ++j)
+        if (nb.lambda()[i][j].coeff(l)) terms.push_back(product(i, j));
+    z[l] = xor_tree(nl, std::move(terms), "z" + std::to_string(l));
+    nl.mark_output(z[l]);
+  }
+  nl.declare_word("A", a);
+  nl.declare_word("B", b);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+Netlist make_normal_basis_squarer(const Gf2k& field) {
+  const unsigned k = field.k();
+  Netlist nl("nb_squarer_" + std::to_string(k));
+  std::vector<NetId> a(k), z(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  // Squaring permutes the orbit: coordinate i moves to position i+1 (mod k).
+  for (unsigned i = 0; i < k; ++i) {
+    z[(i + 1) % k] = nl.add_gate(GateType::kBuf, {a[i]},
+                                 "z" + std::to_string((i + 1) % k));
+  }
+  for (unsigned i = 0; i < k; ++i) nl.mark_output(z[i]);
+  nl.declare_word("A", a);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+}  // namespace gfa

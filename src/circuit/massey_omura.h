@@ -1,0 +1,27 @@
+#pragma once
+// Massey–Omura multiplier over a normal basis of F_{2^k}.
+//
+// With words interpreted over a normal basis {β^{2^i}}, the product's
+// coordinates are the bilinear forms  z_l = Σ_{i,j} λ_l[i][j]·a_i·b_j  with
+// the cyclic-shift symmetry λ_l[i][j] = λ_0[i-l][j-l] (indices mod k) — the
+// classic Massey–Omura structure. The generator shares the k² partial
+// products and emits one XOR tree per output bit.
+//
+// Together with the basis-parameterized abstraction this enables the
+// cross-representation experiment: prove a polynomial-basis Mastrovito
+// multiplier equivalent to a normal-basis Massey–Omura multiplier, two
+// circuits that agree on *no* bit encoding, only on the field function.
+
+#include "circuit/netlist.h"
+#include "gf/normal_basis.h"
+
+namespace gfa {
+
+/// Flat gate-level Massey–Omura multiplier; words A, B, Z are coordinates
+/// over `nb` (LSB-first: bit i multiplies β^{2^i}).
+Netlist make_massey_omura_multiplier(const Gf2k& field, const NormalBasis& nb);
+
+/// A normal-basis squarer: the cyclic coordinate shift, as buffers.
+Netlist make_normal_basis_squarer(const Gf2k& field);
+
+}  // namespace gfa

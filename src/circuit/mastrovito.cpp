@@ -1,0 +1,71 @@
+#include "circuit/mastrovito.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+/// Balanced 2-input XOR tree over `terms`; returns kNoNet for an empty list.
+NetId xor_tree(Netlist& nl, std::vector<NetId> terms, const std::string& name) {
+  if (terms.empty()) return kNoNet;
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      const bool last = terms.size() == 2;
+      next.push_back(nl.add_gate(GateType::kXor, {terms[i], terms[i + 1]},
+                                 last ? name : std::string{}));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+}  // namespace
+
+Netlist make_mastrovito_multiplier(const Gf2k& field) {
+  const unsigned k = field.k();
+  Netlist nl("mastrovito_" + std::to_string(k));
+
+  std::vector<NetId> a(k), b(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+  // Stage 1: S = A × B as a 2k-1 coordinate carry-free product.
+  std::vector<std::vector<NetId>> diag(2 * k - 1);
+  for (unsigned i = 0; i < k; ++i)
+    for (unsigned j = 0; j < k; ++j)
+      diag[i + j].push_back(nl.add_gate(
+          GateType::kAnd, {a[i], b[j]},
+          "p" + std::to_string(i) + "_" + std::to_string(j)));
+  std::vector<NetId> s(2 * k - 1);
+  for (unsigned t = 0; t < 2 * k - 1; ++t)
+    s[t] = xor_tree(nl, diag[t], "s" + std::to_string(t));
+
+  // Stage 2: fold s_{k+i} through α^{k+i} mod P into the low coordinates.
+  std::vector<std::vector<NetId>> zin(k);
+  for (unsigned j = 0; j < k; ++j) zin[j].push_back(s[j]);
+  for (unsigned i = 0; i + k < 2 * k - 1; ++i) {
+    const Gf2k::Elem red = field.alpha_pow(std::uint64_t{k} + i);
+    for (unsigned j = 0; j < k; ++j) {
+      if (red.coeff(j)) zin[j].push_back(s[k + i]);
+    }
+  }
+  std::vector<NetId> z(k);
+  for (unsigned j = 0; j < k; ++j) {
+    z[j] = xor_tree(nl, zin[j], "z" + std::to_string(j));
+    assert(z[j] != kNoNet);
+    nl.mark_output(z[j]);
+  }
+
+  nl.declare_word("A", a);
+  nl.declare_word("B", b);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+}  // namespace gfa

@@ -1,0 +1,23 @@
+#pragma once
+// Mastrovito multiplier generator (the paper's Spec / golden model).
+//
+// Computes Z = A·B (mod P(x)) over F_{2^k} in two stages:
+//   1. polynomial multiplication S = A × B: an array of k² AND partial
+//      products p_{ij} = a_i·b_j summed by balanced 2-input XOR trees into
+//      s_t = Σ_{i+j=t} p_{ij} for t = 0 … 2k-2;
+//   2. modular reduction Z = S mod P(x): each overflow coordinate s_{k+i}
+//      folds into the low coordinates through the precomputed expansion
+//      α^{k+i} = Σ_j m_{ij}·α^j, realized as XOR trees.
+//
+// The emitted netlist has primary inputs a0…a{k-1}, b0…b{k-1}, outputs
+// z0…z{k-1}, and declared words A, B, Z (LSB-first).
+
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+/// Flattened gate-level Mastrovito multiplier for the given field.
+Netlist make_mastrovito_multiplier(const Gf2k& field);
+
+}  // namespace gfa

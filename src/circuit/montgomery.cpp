@@ -1,0 +1,149 @@
+#include "circuit/montgomery.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/simplify.h"
+
+namespace gfa {
+
+Netlist make_montmul_block(const Gf2k& field, std::string_view module_name,
+                           std::optional<Gf2Poly> y_constant) {
+  const unsigned k = field.k();
+  const Gf2Poly& p = field.modulus();
+  Netlist nl{std::string(module_name)};
+
+  std::vector<NetId> x(k), y(k);
+  for (unsigned i = 0; i < k; ++i) x[i] = nl.add_input("x" + std::to_string(i));
+  if (y_constant) {
+    assert(y_constant->degree() < static_cast<int>(k));
+    for (unsigned i = 0; i < k; ++i)
+      y[i] = nl.add_const(y_constant->coeff(i), "y" + std::to_string(i));
+  } else {
+    for (unsigned i = 0; i < k; ++i) y[i] = nl.add_input("y" + std::to_string(i));
+  }
+
+  // C starts at 0; represent the initial accumulator with constant nets which
+  // the round logic consumes uniformly (simplify() folds them away later for
+  // constant-Y blocks; for the generic block the first round's XORs with 0
+  // are kept, matching a real unrolled implementation).
+  std::vector<NetId> c(k);
+  const NetId zero = nl.add_const(false, "c_init");
+  for (unsigned j = 0; j < k; ++j) c[j] = zero;
+
+  for (unsigned i = 0; i < k; ++i) {
+    const std::string it = std::to_string(i);
+    // T = C + x_i · Y
+    std::vector<NetId> t(k);
+    for (unsigned j = 0; j < k; ++j) {
+      const NetId pp = nl.add_gate(GateType::kAnd, {x[i], y[j]},
+                                   "m" + it + "_" + std::to_string(j));
+      t[j] = nl.add_gate(GateType::kXor, {c[j], pp},
+                         "t" + it + "_" + std::to_string(j));
+    }
+    // U = T + T[0]·P ; U[0] = 0 by construction, U[k] = T[0] (P is monic and
+    // has constant term 1). C' = U / x.
+    std::vector<NetId> next(k);
+    for (unsigned j = 0; j + 1 < k; ++j) {
+      if (p.coeff(j + 1)) {
+        next[j] = nl.add_gate(GateType::kXor, {t[j + 1], t[0]},
+                              "u" + it + "_" + std::to_string(j));
+      } else {
+        next[j] = t[j + 1];
+      }
+    }
+    next[k - 1] = t[0];  // U[k] = T[0]
+    c = std::move(next);
+  }
+
+  std::vector<NetId> z(k);
+  for (unsigned j = 0; j < k; ++j) {
+    // Publish the accumulator under stable output names.
+    z[j] = nl.add_gate(GateType::kBuf, {c[j]}, "z" + std::to_string(j));
+    nl.mark_output(z[j]);
+  }
+  nl.declare_word("X", x);
+  if (!y_constant) nl.declare_word("Y", y);
+  nl.declare_word("Z", z);
+
+  if (y_constant) {
+    SimplifyStats stats;
+    Netlist simplified = simplify(nl, &stats);
+    simplified.set_name(std::string(module_name));
+    return simplified;
+  }
+  return nl;
+}
+
+MontgomeryHierarchy make_montgomery_hierarchy(const Gf2k& field) {
+  const unsigned k = field.k();
+  // R = α^k, so R² = α^{2k} mod P; the "1" input of Blk Out is the field one.
+  const Gf2Poly r2 = field.alpha_pow(std::uint64_t{2} * k);
+  MontgomeryHierarchy h{
+      make_montmul_block(field, "blk_a_" + std::to_string(k), r2),
+      make_montmul_block(field, "blk_b_" + std::to_string(k), r2),
+      make_montmul_block(field, "blk_mid_" + std::to_string(k)),
+      make_montmul_block(field, "blk_out_" + std::to_string(k), field.one()),
+  };
+  return h;
+}
+
+std::vector<NetId> instantiate_block(
+    Netlist& target, const Netlist& block, std::string_view prefix,
+    const std::vector<std::pair<std::string, std::vector<NetId>>>& word_bindings,
+    std::string_view out_word) {
+  // Map block input nets to the bound driver nets.
+  std::unordered_map<NetId, NetId> remap;
+  for (const auto& [word_name, drivers] : word_bindings) {
+    const Word* w = block.find_word(word_name);
+    assert(w != nullptr && "unknown block word");
+    assert(w->bits.size() == drivers.size());
+    for (std::size_t i = 0; i < w->bits.size(); ++i) {
+      assert(block.gate(w->bits[i]).type == GateType::kInput);
+      remap.emplace(w->bits[i], drivers[i]);
+    }
+  }
+  for (NetId n : block.topological_order()) {
+    const Netlist::Gate& g = block.gate(n);
+    if (g.type == GateType::kInput) {
+      assert(remap.count(n) && "unbound block input");
+      continue;
+    }
+    std::vector<NetId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (NetId f : g.fanins) fanins.push_back(remap.at(f));
+    remap.emplace(n, target.add_gate(g.type, fanins,
+                                     std::string(prefix) + g.name));
+  }
+  const Word* out = block.find_word(out_word);
+  assert(out != nullptr);
+  std::vector<NetId> bits;
+  bits.reserve(out->bits.size());
+  for (NetId b : out->bits) bits.push_back(remap.at(b));
+  return bits;
+}
+
+Netlist make_montgomery_multiplier_flat(const Gf2k& field) {
+  const unsigned k = field.k();
+  const MontgomeryHierarchy h = make_montgomery_hierarchy(field);
+  Netlist nl("montgomery_" + std::to_string(k));
+  std::vector<NetId> a(k), b(k);
+  for (unsigned i = 0; i < k; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < k; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+  const std::vector<NetId> ar = instantiate_block(nl, h.blk_a, "ba_", {{"X", a}}, "Z");
+  const std::vector<NetId> br = instantiate_block(nl, h.blk_b, "bb_", {{"X", b}}, "Z");
+  const std::vector<NetId> t =
+      instantiate_block(nl, h.blk_mid, "bm_", {{"X", ar}, {"Y", br}}, "Z");
+  const std::vector<NetId> z = instantiate_block(nl, h.blk_out, "bo_", {{"X", t}}, "Z");
+
+  for (NetId zn : z) nl.mark_output(zn);
+  nl.declare_word("A", a);
+  nl.declare_word("B", b);
+  nl.declare_word("Z", z);
+  return nl;
+}
+
+}  // namespace gfa

@@ -1,0 +1,62 @@
+#pragma once
+// Montgomery multiplier generator (the paper's Impl, Fig. 1).
+//
+// The primitive block is the bit-serial Montgomery product of Koc–Acar:
+// MontMul(X, Y) = X·Y·R^{-1} (mod P(x)) with R = α^k. Combinationally
+// unrolled, iteration i computes
+//
+//     T = C + x_i·Y          (k AND, k XOR)
+//     U = T + T[0]·P(x)      (one XOR per middle 1-bit of P)
+//     C = U / x              (wiring)
+//
+// so the block costs O(k·(2k + weight(P))) gates. Because MontMul cannot form
+// A·B directly, the full multiplier is the paper's Fig. 1 four-block network:
+//
+//     AR  = MontMul(A, R²)       "Blk A"   (R² constant, folded by simplify)
+//     BR  = MontMul(B, R²)       "Blk B"
+//     T   = MontMul(AR, BR)      "Blk Mid"
+//     G   = MontMul(T, 1)        "Blk Out" ( = A·B mod P )
+//
+// The hierarchy is exposed both as four per-block netlists (what the paper's
+// hierarchical verification consumes) and flattened into one netlist with
+// words A, B, Z (what the miter-based baselines consume).
+
+#include <optional>
+#include <string_view>
+
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+/// One MontMul block: inputs X and (unless `y_constant` is given) Y, output
+/// word Z = X·Y·R^{-1} mod P. With `y_constant`, Y is folded in as constants
+/// and the netlist is constant-propagated, which is how Blk A/B/Out get their
+/// reduced sizes in the paper's Table 2.
+Netlist make_montmul_block(const Gf2k& field, std::string_view module_name,
+                           std::optional<Gf2Poly> y_constant = std::nullopt);
+
+/// The Fig. 1 hierarchy. Block input words are "X"/"Y" and outputs "Z"; the
+/// interconnection is fixed: blk_a/blk_b feed blk_mid, blk_mid feeds blk_out.
+struct MontgomeryHierarchy {
+  Netlist blk_a;
+  Netlist blk_b;
+  Netlist blk_mid;
+  Netlist blk_out;
+};
+
+MontgomeryHierarchy make_montgomery_hierarchy(const Gf2k& field);
+
+/// The four blocks interconnected into a single flat netlist computing
+/// Z = A·B mod P, with declared words A, B, Z.
+Netlist make_montgomery_multiplier_flat(const Gf2k& field);
+
+/// Copies `block` into `target`, prefixing internal net names, driving the
+/// block's input words from the given nets, and returning the nets of the
+/// block's output word `out_word`.
+std::vector<NetId> instantiate_block(
+    Netlist& target, const Netlist& block, std::string_view prefix,
+    const std::vector<std::pair<std::string, std::vector<NetId>>>& word_bindings,
+    std::string_view out_word);
+
+}  // namespace gfa

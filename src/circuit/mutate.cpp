@@ -1,0 +1,118 @@
+#include "circuit/mutate.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gfa {
+
+namespace {
+
+bool is_binary_class(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kXor:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_unary_class(GateType t) {
+  return t == GateType::kBuf || t == GateType::kNot;
+}
+
+// Deterministic 64-bit mix (splitmix64) for seed-keyed choices.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Netlist inject_gate_type_bug(const Netlist& netlist, NetId target,
+                             GateType new_type, BugDescription* desc) {
+  const GateType old_type = netlist.gate(target).type;
+  const bool compatible =
+      (is_binary_class(old_type) && is_binary_class(new_type)) ||
+      (is_unary_class(old_type) && is_unary_class(new_type));
+  if (!compatible || old_type == new_type)
+    throw std::invalid_argument("incompatible gate-type mutation");
+  Netlist out = netlist;
+  out.mutable_gate(target).type = new_type;
+  if (desc)
+    desc->text = "net " + netlist.gate(target).name + ": " +
+                 gate_type_name(old_type) + " -> " + gate_type_name(new_type);
+  return out;
+}
+
+Netlist inject_wire_bug(const Netlist& netlist, NetId target,
+                        std::size_t fanin_index, NetId new_fanin,
+                        BugDescription* desc) {
+  assert(fanin_index < netlist.gate(target).fanins.size());
+  Netlist out = netlist;
+  const NetId old_fanin = out.gate(target).fanins[fanin_index];
+  if (old_fanin == new_fanin)
+    throw std::invalid_argument("wire mutation is an identity");
+  out.mutable_gate(target).fanins[fanin_index] = new_fanin;
+  (void)out.topological_order();  // throws if the reroute created a cycle
+  if (desc)
+    desc->text = "net " + netlist.gate(target).name + ": fanin " +
+                 netlist.gate(old_fanin).name + " -> " +
+                 netlist.gate(new_fanin).name;
+  return out;
+}
+
+Netlist inject_random_bug(const Netlist& netlist, std::uint64_t seed,
+                          BugDescription* desc) {
+  // Candidate targets: logic gates only.
+  std::vector<NetId> gates;
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const GateType t = netlist.gate(n).type;
+    if (is_binary_class(t) || is_unary_class(t)) gates.push_back(n);
+  }
+  if (gates.empty()) throw std::invalid_argument("no logic gate to mutate");
+
+  // Topological position of each net, for legal fanin reroutes.
+  std::vector<std::size_t> pos(netlist.num_nets());
+  {
+    const auto topo = netlist.topological_order();
+    for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  }
+
+  std::uint64_t state = seed;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const NetId target = gates[mix(state) % gates.size()];
+    const GateType old_type = netlist.gate(target).type;
+    if (mix(state) % 2 == 0) {
+      // Flip the gate function within its class.
+      static constexpr GateType kBinary[] = {GateType::kAnd,  GateType::kOr,
+                                             GateType::kXor,  GateType::kNand,
+                                             GateType::kNor,  GateType::kXnor};
+      GateType new_type;
+      if (is_unary_class(old_type)) {
+        new_type = old_type == GateType::kBuf ? GateType::kNot : GateType::kBuf;
+      } else {
+        new_type = kBinary[mix(state) % 6];
+        if (new_type == old_type) continue;
+      }
+      return inject_gate_type_bug(netlist, target, new_type, desc);
+    }
+    // Reroute one fanin to an earlier net.
+    const auto& fanins = netlist.gate(target).fanins;
+    const std::size_t idx = mix(state) % fanins.size();
+    const NetId new_fanin =
+        static_cast<NetId>(mix(state) % netlist.num_nets());
+    if (new_fanin == fanins[idx] || pos[new_fanin] >= pos[target]) continue;
+    return inject_wire_bug(netlist, target, idx, new_fanin, desc);
+  }
+  throw std::runtime_error("failed to draw a legal mutation");
+}
+
+}  // namespace gfa

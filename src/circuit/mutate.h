@@ -1,0 +1,39 @@
+#pragma once
+// Bug injection for negative testing and debugging experiments.
+//
+// The paper's Example 5.1 demonstrates the abstraction on a buggy circuit
+// (an XOR fed the wrong operand): the extracted canonical polynomial then
+// differs from the spec and *is* the polynomial of the buggy function. These
+// helpers create such defective variants: flip a gate's function, or reroute
+// one fanin to a different (topologically legal) net.
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace gfa {
+
+struct BugDescription {
+  std::string text;  // human-readable, e.g. "net s2: and -> or"
+};
+
+/// Replaces the function of net `target` with `new_type` (arity-compatible:
+/// swapping among {and,or,xor,nand,nor,xnor} or {buf,not}).
+Netlist inject_gate_type_bug(const Netlist& netlist, NetId target,
+                             GateType new_type, BugDescription* desc = nullptr);
+
+/// Reroutes fanin `fanin_index` of `target` to `new_fanin`. The caller must
+/// pick `new_fanin` topologically before `target` (checked; aborts on cycles).
+Netlist inject_wire_bug(const Netlist& netlist, NetId target,
+                        std::size_t fanin_index, NetId new_fanin,
+                        BugDescription* desc = nullptr);
+
+/// Deterministic pseudo-random single-gate bug: picks a logic gate and either
+/// flips its type or reroutes one fanin, keyed by `seed`. The result always
+/// differs structurally from the input netlist (the mutation is re-drawn if it
+/// would be an identity, e.g. rerouting a fanin to itself).
+Netlist inject_random_bug(const Netlist& netlist, std::uint64_t seed,
+                          BugDescription* desc = nullptr);
+
+}  // namespace gfa

@@ -1,0 +1,178 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gfa {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "input";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kOr: return "or";
+    case GateType::kXor: return "xor";
+    case GateType::kNand: return "nand";
+    case GateType::kNor: return "nor";
+    case GateType::kXnor: return "xnor";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_name(std::string_view name) {
+  static constexpr std::pair<std::string_view, GateType> kTable[] = {
+      {"input", GateType::kInput}, {"const0", GateType::kConst0},
+      {"const1", GateType::kConst1}, {"buf", GateType::kBuf},
+      {"not", GateType::kNot},     {"and", GateType::kAnd},
+      {"or", GateType::kOr},       {"xor", GateType::kXor},
+      {"nand", GateType::kNand},   {"nor", GateType::kNor},
+      {"xnor", GateType::kXnor},
+  };
+  for (const auto& [n, t] : kTable)
+    if (n == name) return t;
+  return std::nullopt;
+}
+
+NetId Netlist::new_net(GateType type, std::vector<NetId> fanins,
+                       std::string_view name) {
+  const NetId id = static_cast<NetId>(gates_.size());
+  std::string net_name =
+      name.empty() ? "n" + std::to_string(id) : std::string(name);
+  assert(by_name_.find(net_name) == by_name_.end() && "duplicate net name");
+  by_name_.emplace(net_name, id);
+  gates_.push_back(Gate{type, std::move(fanins), std::move(net_name)});
+  return id;
+}
+
+NetId Netlist::add_input(std::string_view name) {
+  const NetId id = new_net(GateType::kInput, {}, name);
+  inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_gate(GateType type, const std::vector<NetId>& fanins,
+                        std::string_view name) {
+  assert(type != GateType::kInput && "use add_input");
+  for (NetId f : fanins) assert(f < gates_.size() && "fanin does not exist");
+  return new_net(type, fanins, name);
+}
+
+NetId Netlist::add_const(bool value, std::string_view name) {
+  return new_net(value ? GateType::kConst1 : GateType::kConst0, {}, name);
+}
+
+void Netlist::mark_output(NetId net) {
+  assert(net < gates_.size());
+  outputs_.push_back(net);
+}
+
+std::size_t Netlist::num_logic_gates() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.type != GateType::kInput && g.type != GateType::kConst0 &&
+        g.type != GateType::kConst1)
+      ++n;
+  }
+  return n;
+}
+
+NetId Netlist::find_net(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoNet : it->second;
+}
+
+void Netlist::declare_word(std::string_view name, std::vector<NetId> bits) {
+  for (NetId b : bits) assert(b < gates_.size());
+  words_.push_back(Word{std::string(name), std::move(bits)});
+}
+
+const Word* Netlist::find_word(std::string_view name) const {
+  for (const Word& w : words_)
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+std::vector<NetId> Netlist::topological_order() const {
+  // Kahn's algorithm over the fanin relation.
+  std::vector<unsigned> pending(gates_.size(), 0);
+  std::vector<std::vector<NetId>> fanouts(gates_.size());
+  for (NetId n = 0; n < gates_.size(); ++n) {
+    pending[n] = static_cast<unsigned>(gates_[n].fanins.size());
+    for (NetId f : gates_[n].fanins) fanouts[f].push_back(n);
+  }
+  std::vector<NetId> order;
+  order.reserve(gates_.size());
+  std::vector<NetId> ready;  // processed FIFO for deterministic, stable order
+  for (NetId n = 0; n < gates_.size(); ++n)
+    if (pending[n] == 0) ready.push_back(n);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NetId n = ready[head];
+    order.push_back(n);
+    for (NetId fo : fanouts[n]) {
+      if (--pending[fo] == 0) ready.push_back(fo);
+    }
+  }
+  if (order.size() != gates_.size())
+    throw std::logic_error("netlist contains a combinational cycle");
+  return order;
+}
+
+std::vector<unsigned> Netlist::reverse_topological_levels() const {
+  const std::vector<NetId> topo = topological_order();
+  std::vector<unsigned> level(gates_.size(), 0);
+  // Walk anti-topologically: a net's reverse level is 1 + max over fanouts.
+  // Outputs anchor at 0; nets feeding nothing also get 0 and then dominate
+  // nothing, which keeps them below their fanins as required.
+  std::vector<std::vector<NetId>> fanouts(gates_.size());
+  for (NetId n = 0; n < gates_.size(); ++n)
+    for (NetId f : gates_[n].fanins) fanouts[f].push_back(n);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NetId n = *it;
+    unsigned lv = 0;
+    for (NetId fo : fanouts[n]) lv = std::max(lv, level[fo] + 1);
+    level[n] = lv;
+  }
+  return level;
+}
+
+std::string Netlist::validate() const {
+  for (NetId n = 0; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    const std::size_t arity = g.fanins.size();
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+        if (arity != 0) return "net " + g.name + ": source gate with fanins";
+        break;
+      case GateType::kBuf:
+      case GateType::kNot:
+        if (arity != 1) return "net " + g.name + ": unary gate needs 1 fanin";
+        break;
+      default:
+        if (arity < 2) return "net " + g.name + ": gate needs >= 2 fanins";
+        break;
+    }
+    for (NetId f : g.fanins) {
+      if (f >= gates_.size()) return "net " + g.name + ": dangling fanin";
+    }
+  }
+  try {
+    (void)topological_order();
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+  for (const Word& w : words_) {
+    if (w.bits.empty()) return "word " + w.name + ": empty";
+    for (NetId b : w.bits) {
+      if (b >= gates_.size()) return "word " + w.name + ": dangling bit";
+    }
+  }
+  return {};
+}
+
+}  // namespace gfa

@@ -1,0 +1,187 @@
+#include "circuit/parser.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) toks.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) toks.push_back(std::move(cur));
+  return toks;
+}
+
+struct GateDecl {
+  GateType type;
+  std::vector<std::string> fanins;
+  std::size_t line;
+};
+
+}  // namespace
+
+Netlist parse_netlist(std::string_view text) {
+  std::unordered_map<std::string, GateDecl> decls;  // net name -> definition
+  std::vector<std::string> decl_order;
+  std::vector<std::pair<std::string, std::size_t>> output_names;
+  std::vector<std::pair<std::string, std::vector<std::string>>> word_decls;
+  std::string module_name = "top";
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+
+    auto declare = [&](const std::string& name, GateDecl decl) {
+      if (decls.count(name))
+        throw ParseError(line_no, "net '" + name + "' defined twice");
+      decls.emplace(name, std::move(decl));
+      decl_order.push_back(name);
+    };
+
+    if (kw == "module") {
+      if (toks.size() != 2) throw ParseError(line_no, "module expects a name");
+      module_name = toks[1];
+    } else if (kw == "endmodule") {
+      // no-op; single-module format
+    } else if (kw == "input") {
+      for (std::size_t i = 1; i < toks.size(); ++i)
+        declare(toks[i], GateDecl{GateType::kInput, {}, line_no});
+    } else if (kw == "output") {
+      if (toks.size() < 2) throw ParseError(line_no, "output expects net names");
+      for (std::size_t i = 1; i < toks.size(); ++i)
+        output_names.emplace_back(toks[i], line_no);
+    } else if (kw == "word") {
+      if (toks.size() < 3)
+        throw ParseError(line_no, "word expects a name and at least one bit");
+      word_decls.emplace_back(
+          toks[1], std::vector<std::string>(toks.begin() + 2, toks.end()));
+    } else if (auto type = gate_type_from_name(kw)) {
+      if (*type == GateType::kInput)
+        throw ParseError(line_no, "use the 'input' directive for inputs");
+      if (toks.size() < 2) throw ParseError(line_no, "gate expects an output net");
+      const std::size_t arity = toks.size() - 2;
+      const bool unary = *type == GateType::kBuf || *type == GateType::kNot;
+      const bool source = *type == GateType::kConst0 || *type == GateType::kConst1;
+      if (source && arity != 0)
+        throw ParseError(line_no, "constant gate takes no fanins");
+      if (unary && arity != 1)
+        throw ParseError(line_no, std::string(kw) + " takes exactly one fanin");
+      if (!source && !unary && arity < 2)
+        throw ParseError(line_no, std::string(kw) + " takes at least two fanins");
+      declare(toks[1], GateDecl{*type,
+                                std::vector<std::string>(toks.begin() + 2, toks.end()),
+                                line_no});
+    } else {
+      throw ParseError(line_no, "unknown directive '" + kw + "'");
+    }
+  }
+
+  // Emit nets in dependency order (gate lines may be out of order).
+  Netlist netlist(module_name);
+  std::unordered_map<std::string, NetId> emitted;
+  std::unordered_map<std::string, int> visiting;  // 1 = on stack
+  std::function<NetId(const std::string&)> emit = [&](const std::string& name) {
+    if (auto it = emitted.find(name); it != emitted.end()) return it->second;
+    auto dit = decls.find(name);
+    if (dit == decls.end())
+      throw ParseError(0, "net '" + name + "' used but never defined");
+    if (visiting[name])
+      throw ParseError(dit->second.line, "combinational cycle through '" + name + "'");
+    visiting[name] = 1;
+    std::vector<NetId> fanins;
+    fanins.reserve(dit->second.fanins.size());
+    for (const std::string& f : dit->second.fanins) fanins.push_back(emit(f));
+    visiting[name] = 0;
+    NetId id;
+    if (dit->second.type == GateType::kInput)
+      id = netlist.add_input(name);
+    else
+      id = netlist.add_gate(dit->second.type, fanins, name);
+    emitted.emplace(name, id);
+    return id;
+  };
+  for (const std::string& name : decl_order) emit(name);
+
+  for (const auto& [name, line] : output_names) {
+    const NetId n = netlist.find_net(name);
+    if (n == kNoNet) throw ParseError(line, "output net '" + name + "' undefined");
+    netlist.mark_output(n);
+  }
+  for (const auto& [name, bit_names] : word_decls) {
+    std::vector<NetId> bits;
+    bits.reserve(bit_names.size());
+    for (const std::string& b : bit_names) {
+      const NetId n = netlist.find_net(b);
+      if (n == kNoNet) throw ParseError(0, "word bit '" + b + "' undefined");
+      bits.push_back(n);
+    }
+    netlist.declare_word(name, std::move(bits));
+  }
+  return netlist;
+}
+
+Netlist read_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open netlist file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_netlist(buf.str());
+}
+
+std::string write_netlist(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "module " << netlist.name() << "\n";
+  if (!netlist.inputs().empty()) {
+    out << "input";
+    for (NetId n : netlist.inputs()) out << " " << netlist.gate(n).name;
+    out << "\n";
+  }
+  for (NetId n : netlist.topological_order()) {
+    const Netlist::Gate& g = netlist.gate(n);
+    if (g.type == GateType::kInput) continue;
+    out << gate_type_name(g.type) << " " << g.name;
+    for (NetId f : g.fanins) out << " " << netlist.gate(f).name;
+    out << "\n";
+  }
+  if (!netlist.outputs().empty()) {
+    out << "output";
+    for (NetId n : netlist.outputs()) out << " " << netlist.gate(n).name;
+    out << "\n";
+  }
+  for (const Word& w : netlist.words()) {
+    out << "word " << w.name;
+    for (NetId b : w.bits) out << " " << netlist.gate(b).name;
+    out << "\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+void write_netlist_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write netlist file: " + path);
+  out << write_netlist(netlist);
+}
+
+}  // namespace gfa

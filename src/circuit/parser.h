@@ -1,0 +1,47 @@
+#pragma once
+// Text format for netlists: parser and writer.
+//
+// Line-oriented, whitespace-separated, '#' comments:
+//
+//     module mul2
+//     input a0 a1 b0 b1
+//     and s0 a0 b0
+//     xor z0 s0 s3
+//     output z0 z1
+//     word A a0 a1          # words list their bit nets LSB-first
+//     word B b0 b1
+//     word Z z0 z1
+//     endmodule
+//
+// Gate lines are "<type> <output-net> <fanin...>" with types from
+// gate_type_name (buf/not take one fanin, const0/const1 none, the rest two or
+// more). Gates may appear in any order; the netlist is re-topologized on use.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "circuit/netlist.h"
+
+namespace gfa {
+
+struct ParseError : std::runtime_error {
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+/// Parses the text format; throws ParseError on malformed input.
+Netlist parse_netlist(std::string_view text);
+
+/// Reads and parses a netlist file; throws on I/O or parse failure.
+Netlist read_netlist_file(const std::string& path);
+
+/// Serializes to the text format (round-trips through parse_netlist).
+std::string write_netlist(const Netlist& netlist);
+
+/// Writes the text format to a file; throws on I/O failure.
+void write_netlist_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace gfa

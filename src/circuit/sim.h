@@ -1,0 +1,32 @@
+#pragma once
+// Bit-parallel netlist simulation.
+//
+// Each net carries 64 independent Boolean lanes packed in a uint64_t, so one
+// pass evaluates 64 test vectors. A word-level wrapper maps F_{2^k} elements
+// onto the bit lanes of a declared word (coordinate i of element -> bit net
+// bits[i]) and reads word outputs back as field elements; it is used to
+// cross-validate the circuit generators against direct field arithmetic and
+// to produce counterexamples for buggy circuits.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "gf2/gf2_poly.h"
+
+namespace gfa {
+
+/// Evaluates all nets. `input_lanes[i]` holds the 64 lanes for the i-th net in
+/// netlist.inputs(). Returns the lanes of every net, indexed by NetId.
+std::vector<std::uint64_t> simulate(const Netlist& netlist,
+                                    const std::vector<std::uint64_t>& input_lanes);
+
+/// Word-level simulation: drives each (word, elements) pair — all element
+/// vectors must share one length L <= 64 — evaluates the circuit, and returns
+/// the L values of `out_word` as field representatives (degree < bit width).
+/// Input bits not covered by any driven word must not exist.
+std::vector<Gf2Poly> simulate_words(
+    const Netlist& netlist, const Word& out_word,
+    const std::vector<std::pair<const Word*, std::vector<Gf2Poly>>>& in_words);
+
+}  // namespace gfa

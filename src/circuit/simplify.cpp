@@ -1,0 +1,251 @@
+#include "circuit/simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+// A literal over the *new* netlist: a constant, or a possibly-negated net.
+struct Lit {
+  enum class Kind : std::uint8_t { kConst0, kConst1, kNet } kind = Kind::kConst0;
+  NetId net = kNoNet;
+  bool negated = false;
+
+  static Lit c0() { return {Kind::kConst0, kNoNet, false}; }
+  static Lit c1() { return {Kind::kConst1, kNoNet, false}; }
+  static Lit of(NetId n, bool neg = false) { return {Kind::kNet, n, neg}; }
+
+  bool is_const() const { return kind != Kind::kNet; }
+  bool value() const { return kind == Kind::kConst1; }
+  Lit inverted() const {
+    if (kind == Kind::kConst0) return c1();
+    if (kind == Kind::kConst1) return c0();
+    return of(net, !negated);
+  }
+};
+
+class Rewriter {
+ public:
+  explicit Rewriter(const Netlist& old) : old_(old), out_(old.name()) {}
+
+  Netlist run(SimplifyStats* stats) {
+    lits_.resize(old_.num_nets());
+    for (NetId n : old_.topological_order()) lits_[n] = rewrite(n);
+
+    // Materialize outputs and word bits (constants / negations need a real
+    // net), then re-declare the interface structure.
+    std::unordered_map<NetId, NetId> materialized;
+    auto materialize = [&](NetId old_net) -> NetId {
+      if (auto it = materialized.find(old_net); it != materialized.end())
+        return it->second;
+      const Lit l = lits_[old_net];
+      NetId n;
+      if (l.kind == Lit::Kind::kNet && !l.negated) {
+        n = l.net;
+      } else {
+        const std::string name = fresh_name(old_.gate(old_net).name);
+        if (l.is_const())
+          n = out_.add_const(l.value(), name);
+        else
+          n = out_.add_gate(GateType::kNot, {l.net}, name);
+      }
+      materialized.emplace(old_net, n);
+      return n;
+    };
+
+    for (NetId o : old_.outputs()) out_.mark_output(materialize(o));
+    for (const Word& w : old_.words()) {
+      std::vector<NetId> bits;
+      bits.reserve(w.bits.size());
+      for (NetId b : w.bits) bits.push_back(materialize(b));
+      out_.declare_word(w.name, std::move(bits));
+    }
+
+    Netlist pruned = prune(out_);
+    if (stats) {
+      stats->gates_before = old_.num_logic_gates();
+      stats->gates_after = pruned.num_logic_gates();
+    }
+    return pruned;
+  }
+
+ private:
+  const Netlist& old_;
+  Netlist out_;
+  std::vector<Lit> lits_;                               // indexed by old NetId
+  std::unordered_map<NetId, NetId> not_cache_;          // new net -> inverter
+  std::map<std::pair<int, std::vector<NetId>>, NetId> gate_cache_;  // CSE
+  std::unordered_map<std::string, int> name_uses_;
+
+  std::string fresh_name(const std::string& base) {
+    std::string name = base;
+    while (out_.find_net(name) != kNoNet)
+      name = base + "_s" + std::to_string(++name_uses_[base]);
+    return name;
+  }
+
+  NetId materialize_lit(const Lit& l) {
+    assert(l.kind == Lit::Kind::kNet);
+    if (!l.negated) return l.net;
+    if (auto it = not_cache_.find(l.net); it != not_cache_.end()) return it->second;
+    const NetId n = out_.add_gate(GateType::kNot, {l.net},
+                                  fresh_name(out_.gate(l.net).name + "_n"));
+    not_cache_.emplace(l.net, n);
+    return n;
+  }
+
+  NetId cached_gate(GateType type, std::vector<NetId> fanins) {
+    std::sort(fanins.begin(), fanins.end());
+    const auto key = std::make_pair(static_cast<int>(type), fanins);
+    if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
+    const NetId n = out_.add_gate(type, fanins);
+    gate_cache_.emplace(key, n);
+    return n;
+  }
+
+  Lit rewrite(NetId n) {
+    const Netlist::Gate& g = old_.gate(n);
+    switch (g.type) {
+      case GateType::kInput: {
+        NetId in = out_.find_net(g.name);
+        if (in == kNoNet) in = out_.add_input(g.name);
+        return Lit::of(in);
+      }
+      case GateType::kConst0:
+        return Lit::c0();
+      case GateType::kConst1:
+        return Lit::c1();
+      case GateType::kBuf:
+        return lits_[g.fanins[0]];
+      case GateType::kNot:
+        return lits_[g.fanins[0]].inverted();
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        // Normalize OR/NOR to AND via De Morgan: or(x…) = ¬and(¬x…).
+        const bool is_or = g.type == GateType::kOr || g.type == GateType::kNor;
+        const bool invert_core =
+            g.type == GateType::kNand || g.type == GateType::kOr;
+        std::vector<Lit> ins;
+        for (NetId f : g.fanins) {
+          Lit l = lits_[f];
+          if (is_or) l = l.inverted();
+          if (l.kind == Lit::Kind::kConst0)
+            return invert_core ? Lit::c1() : Lit::c0();
+          if (l.kind == Lit::Kind::kConst1) continue;  // neutral for AND
+          ins.push_back(l);
+        }
+        // Dedup: x·x = x ; x·¬x = 0.
+        std::sort(ins.begin(), ins.end(), [](const Lit& a, const Lit& b) {
+          return a.net != b.net ? a.net < b.net : a.negated < b.negated;
+        });
+        std::vector<Lit> uniq;
+        for (const Lit& l : ins) {
+          if (!uniq.empty() && uniq.back().net == l.net) {
+            if (uniq.back().negated != l.negated)
+              return invert_core ? Lit::c1() : Lit::c0();
+            continue;
+          }
+          uniq.push_back(l);
+        }
+        Lit result;
+        if (uniq.empty()) {
+          result = Lit::c1();
+        } else if (uniq.size() == 1) {
+          result = uniq[0];
+        } else {
+          std::vector<NetId> fanins;
+          fanins.reserve(uniq.size());
+          for (const Lit& l : uniq) fanins.push_back(materialize_lit(l));
+          result = Lit::of(cached_gate(GateType::kAnd, std::move(fanins)));
+        }
+        return invert_core ? result.inverted() : result;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool parity = g.type == GateType::kXnor;
+        std::map<NetId, unsigned> counts;
+        for (NetId f : g.fanins) {
+          const Lit l = lits_[f];
+          if (l.is_const()) {
+            parity ^= l.value();
+          } else {
+            parity ^= l.negated;
+            counts[l.net] += 1;
+          }
+        }
+        std::vector<NetId> fanins;
+        for (const auto& [net, c] : counts)
+          if (c % 2) fanins.push_back(net);  // x ⊕ x = 0
+        Lit result;
+        if (fanins.empty())
+          result = Lit::c0();
+        else if (fanins.size() == 1)
+          result = Lit::of(fanins[0]);
+        else
+          result = Lit::of(cached_gate(GateType::kXor, std::move(fanins)));
+        return parity ? result.inverted() : result;
+      }
+    }
+    return Lit::c0();  // unreachable
+  }
+
+  static Netlist prune(const Netlist& nl) {
+    // Keep only the cone of outputs and word bits, plus all primary inputs
+    // (preserving the module interface).
+    std::vector<bool> keep(nl.num_nets(), false);
+    std::vector<NetId> stack;
+    auto mark = [&](NetId n) {
+      if (!keep[n]) {
+        keep[n] = true;
+        stack.push_back(n);
+      }
+    };
+    for (NetId o : nl.outputs()) mark(o);
+    for (const Word& w : nl.words())
+      for (NetId b : w.bits) mark(b);
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      for (NetId f : nl.gate(n).fanins) mark(f);
+    }
+    for (NetId i : nl.inputs()) keep[i] = true;
+
+    Netlist out(nl.name());
+    std::vector<NetId> remap(nl.num_nets(), kNoNet);
+    for (NetId n : nl.topological_order()) {
+      if (!keep[n]) continue;
+      const Netlist::Gate& g = nl.gate(n);
+      if (g.type == GateType::kInput) {
+        remap[n] = out.add_input(g.name);
+      } else {
+        std::vector<NetId> fanins;
+        fanins.reserve(g.fanins.size());
+        for (NetId f : g.fanins) fanins.push_back(remap[f]);
+        remap[n] = out.add_gate(g.type, fanins, g.name);
+      }
+    }
+    for (NetId o : nl.outputs()) out.mark_output(remap[o]);
+    for (const Word& w : nl.words()) {
+      std::vector<NetId> bits;
+      bits.reserve(w.bits.size());
+      for (NetId b : w.bits) bits.push_back(remap[b]);
+      out.declare_word(w.name, std::move(bits));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Netlist simplify(const Netlist& netlist, SimplifyStats* stats) {
+  return Rewriter(netlist).run(stats);
+}
+
+}  // namespace gfa

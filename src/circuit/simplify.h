@@ -1,0 +1,27 @@
+#pragma once
+// Constant propagation and netlist cleanup.
+//
+// Rewrites a netlist by propagating constants, collapsing buffers and double
+// negations, deduplicating fanins (x·x = x, x⊕x = 0, x·¬x = 0, x⊕¬x = 1) and
+// dropping logic outside the cone of the outputs and declared words. This is
+// how the four Montgomery blocks of Fig. 1 get their different sizes in the
+// paper's Table 2: Blk A/B absorb the constant R², Blk Out absorbs the
+// constant "1", so the shared MontMul core specializes differently per block.
+//
+// Output and word structure is preserved: every primary output and word bit
+// of the original netlist exists in the result (materialized as a constant,
+// buffer, or inverter when simplification reduced it to a literal).
+
+#include "circuit/netlist.h"
+
+namespace gfa {
+
+struct SimplifyStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+};
+
+/// Returns the simplified netlist; `stats`, when non-null, receives counts.
+Netlist simplify(const Netlist& netlist, SimplifyStats* stats = nullptr);
+
+}  // namespace gfa

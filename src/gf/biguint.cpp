@@ -1,0 +1,186 @@
+#include "gf/biguint.h"
+
+#include <bit>
+#include <cassert>
+
+namespace gfa {
+
+namespace {
+constexpr unsigned kWordBits = 64;
+}
+
+void BigUint::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) words_.push_back(v);
+}
+
+BigUint BigUint::pow2(unsigned e) {
+  BigUint out;
+  out.words_.assign(e / kWordBits + 1, 0);
+  out.words_.back() = std::uint64_t{1} << (e % kWordBits);
+  return out;
+}
+
+int BigUint::bit_length() const {
+  if (words_.empty()) return -1;
+  return static_cast<int>((words_.size() - 1) * kWordBits +
+                          (kWordBits - 1 - std::countl_zero(words_.back())));
+}
+
+bool BigUint::bit(unsigned i) const {
+  const std::size_t w = i / kWordBits;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (i % kWordBits)) & 1u;
+}
+
+BigUint BigUint::operator+(const BigUint& rhs) const {
+  BigUint out = *this;
+  out += rhs;
+  return out;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  if (rhs.words_.size() > words_.size()) words_.resize(rhs.words_.size(), 0);
+  unsigned char carry = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t r = i < rhs.words_.size() ? rhs.words_[i] : 0;
+    std::uint64_t sum = words_[i] + r;
+    const unsigned char c1 = sum < words_[i] ? 1 : 0;
+    sum += carry;
+    const unsigned char c2 = (carry != 0 && sum == 0) ? 1 : 0;
+    words_[i] = sum;
+    carry = static_cast<unsigned char>(c1 | c2);
+  }
+  if (carry) words_.push_back(1);
+  return *this;
+}
+
+BigUint BigUint::operator-(const BigUint& rhs) const {
+  assert(*this >= rhs && "BigUint subtraction underflow");
+  BigUint out = *this;
+  unsigned char borrow = 0;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    const std::uint64_t r = i < rhs.words_.size() ? rhs.words_[i] : 0;
+    const std::uint64_t before = out.words_[i];
+    std::uint64_t diff = before - r;
+    const unsigned char b1 = before < r ? 1 : 0;
+    const std::uint64_t before2 = diff;
+    diff -= borrow;
+    const unsigned char b2 = before2 < static_cast<std::uint64_t>(borrow) ? 1 : 0;
+    out.words_[i] = diff;
+    borrow = static_cast<unsigned char>(b1 | b2);
+  }
+  assert(borrow == 0);
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& rhs) const {
+  if (is_zero() || rhs.is_zero()) return {};
+  BigUint out;
+  out.words_.assign(words_.size() + rhs.words_.size(), 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.words_.size(); ++j) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(words_[i]) * rhs.words_[j] +
+          out.words_[i + j] + carry;
+      out.words_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.words_[i + rhs.words_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::operator<<(unsigned n) const {
+  if (is_zero() || n == 0) return *this;
+  const unsigned ws = n / kWordBits, bs = n % kWordBits;
+  BigUint out;
+  out.words_.assign(words_.size() + ws + 1, 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i + ws] |= bs ? (words_[i] << bs) : words_[i];
+    if (bs != 0) out.words_[i + ws + 1] |= words_[i] >> (kWordBits - bs);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint::DivMod BigUint::divmod(const BigUint& divisor) const {
+  assert(!divisor.is_zero() && "BigUint division by zero");
+  DivMod dm;
+  if (*this < divisor) {
+    dm.remainder = *this;
+    return dm;
+  }
+  // Binary shift-subtract long division; operand sizes here are tiny
+  // (exponents of a handful of 64-bit words), so simplicity wins.
+  const int shift = bit_length() - divisor.bit_length();
+  BigUint cur = divisor << static_cast<unsigned>(shift);
+  dm.remainder = *this;
+  for (int s = shift; s >= 0; --s) {
+    if (dm.remainder >= cur) {
+      dm.remainder = dm.remainder - cur;
+      dm.quotient += BigUint::pow2(static_cast<unsigned>(s));
+    }
+    if (s > 0) {
+      // cur >>= 1
+      BigUint next;
+      next.words_.assign(cur.words_.size(), 0);
+      for (std::size_t i = 0; i < cur.words_.size(); ++i) {
+        next.words_[i] = cur.words_[i] >> 1;
+        if (i + 1 < cur.words_.size())
+          next.words_[i] |= cur.words_[i + 1] << (kWordBits - 1);
+      }
+      next.trim();
+      cur = std::move(next);
+    }
+  }
+  return dm;
+}
+
+BigUint BigUint::operator%(const BigUint& divisor) const {
+  return divmod(divisor).remainder;
+}
+
+std::strong_ordering BigUint::operator<=>(const BigUint& rhs) const {
+  if (words_.size() != rhs.words_.size())
+    return words_.size() <=> rhs.words_.size();
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != rhs.words_[i]) return words_[i] <=> rhs.words_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string BigUint::to_string() const {
+  if (is_zero()) return "0";
+  if (fits_u64()) return std::to_string(words_[0]);
+  // Repeated division by 10^19 (largest power of ten in a word).
+  constexpr std::uint64_t kChunk = 10000000000000000000ull;
+  std::string out;
+  BigUint v = *this;
+  while (!v.is_zero()) {
+    DivMod dm = v.divmod(BigUint(kChunk));
+    std::string part = std::to_string(dm.remainder.low_u64());
+    if (!dm.quotient.is_zero())
+      part.insert(0, 19 - part.size(), '0');
+    out.insert(0, part);
+    v = std::move(dm.quotient);
+  }
+  return out;
+}
+
+std::size_t BigUint::hash() const {
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace gfa

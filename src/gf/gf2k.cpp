@@ -1,0 +1,77 @@
+#include "gf/gf2k.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "gf2/irreducible.h"
+
+namespace gfa {
+
+Gf2k::Gf2k(Gf2Poly modulus, bool check_irreducible) : modulus_(std::move(modulus)) {
+  const int deg = modulus_.degree();
+  assert(deg >= 1 && "field modulus must have degree >= 1");
+  if (check_irreducible && !is_irreducible(modulus_)) {
+    std::abort();  // constructing a "field" with a reducible modulus is unrecoverable
+  }
+  k_ = static_cast<unsigned>(deg);
+}
+
+Gf2k Gf2k::make(unsigned k) { return Gf2k(default_irreducible(k)); }
+
+Gf2k::Elem Gf2k::from_bits(std::uint64_t bits) const {
+  return Gf2Poly::from_bits(bits).mod(modulus_);
+}
+
+Gf2k::Elem Gf2k::inv(const Elem& a) const {
+  assert(!a.is_zero() && "zero has no multiplicative inverse");
+  Gf2Poly::ExtGcd eg = Gf2Poly::ext_gcd(a, modulus_);
+  assert(eg.g.is_one() && "modulus not irreducible or element not reduced");
+  return eg.s.mod(modulus_);
+}
+
+Gf2k::Elem Gf2k::pow(const Elem& a, const BigUint& e) const {
+  if (e.is_zero()) return one();
+  Elem base = reduce(a);
+  Elem result = one();
+  const int bits = e.bit_length();
+  for (int i = bits; i >= 0; --i) {
+    result = square(result);
+    if (e.bit(static_cast<unsigned>(i))) result = mul(result, base);
+  }
+  return result;
+}
+
+Gf2k::Elem Gf2k::alpha_pow(std::uint64_t e) const { return alpha_pow(BigUint(e)); }
+
+Gf2k::Elem Gf2k::alpha_pow(const BigUint& e) const { return pow(alpha(), e); }
+
+Gf2k::Elem Gf2k::frobenius(const Elem& a, unsigned j) const {
+  Elem out = reduce(a);
+  for (unsigned i = 0; i < j; ++i) out = square(out);
+  return out;
+}
+
+BigUint Gf2k::reduce_exponent(const BigUint& e) const {
+  if (e.is_zero()) return e;
+  const BigUint qm1 = order() - BigUint(1);
+  if (e <= qm1) return e;  // already in [1, q-1]
+  return ((e - BigUint(1)) % qm1) + BigUint(1);
+}
+
+std::string Gf2k::to_string(const Elem& a) const {
+  if (a.is_zero()) return "0";
+  std::string out;
+  for (int i = a.degree(); i >= 0; --i) {
+    if (!a.coeff(static_cast<unsigned>(i))) continue;
+    if (!out.empty()) out += " + ";
+    if (i == 0)
+      out += "1";
+    else if (i == 1)
+      out += "α";
+    else
+      out += "α^" + std::to_string(i);
+  }
+  return out;
+}
+
+}  // namespace gfa

@@ -1,0 +1,61 @@
+#pragma once
+// Normal bases of F_{2^k}.
+//
+// A normal basis is {β, β², β⁴, …, β^{2^{k-1}}} for a *normal element* β:
+// the Frobenius orbit of β spans the field as an F_2 vector space. Hardware
+// loves normal bases because squaring is a cyclic shift of the coordinate
+// word. NIST standardizes both polynomial- and normal-basis representations
+// for the ECC fields, and real designs mix them — which is why the word-level
+// abstraction is parameterized by the basis (see extractor.h): a circuit's
+// bits are interpreted as coordinates over *its* basis, and the canonical
+// polynomial that comes out is basis-independent, so a polynomial-basis
+// Mastrovito multiplier can be checked against a normal-basis Massey–Omura
+// multiplier directly.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf/gf2k.h"
+
+namespace gfa {
+
+class NormalBasis {
+ public:
+  /// Builds the basis of the Frobenius orbit of `beta`; returns nullopt if
+  /// beta is not normal (orbit not linearly independent).
+  static std::optional<NormalBasis> from_element(const Gf2k& field,
+                                                 const Gf2k::Elem& beta);
+
+  /// Finds a normal element deterministically (seeded search; every F_{2^k}
+  /// has one by the normal basis theorem).
+  static NormalBasis find(const Gf2k& field, std::uint64_t seed = 1);
+
+  const Gf2k::Elem& beta() const { return basis_[0]; }
+
+  /// basis()[i] = β^{2^i}; the word interpretation is A = Σ a_i·basis()[i].
+  const std::vector<Gf2k::Elem>& basis() const { return basis_; }
+
+  /// Coordinates of an element over this basis (bit i of the result is a_i).
+  Gf2Poly to_coords(const Gf2k::Elem& a) const;
+
+  /// Element from coordinate bits.
+  Gf2k::Elem from_coords(const Gf2Poly& coords) const;
+
+  /// The multiplication (λ) matrix of the basis: λ[i][j] bit l set iff the
+  /// normal coordinates of basis[i]·basis[j] have bit l — the bilinear form
+  /// realized by a Massey–Omura multiplier.
+  const std::vector<std::vector<Gf2Poly>>& lambda() const { return lambda_; }
+
+ private:
+  NormalBasis(const Gf2k* field, std::vector<Gf2k::Elem> basis,
+              std::vector<Gf2Poly> inverse_rows);
+  const Gf2k* field_;
+  std::vector<Gf2k::Elem> basis_;
+  // Row i of the GF(2) inverse coordinate matrix, packed as bit rows: the
+  // normal coordinate a_i of x is <inverse_rows_[i], polycoords(x)>.
+  std::vector<Gf2Poly> inverse_rows_;
+  std::vector<std::vector<Gf2Poly>> lambda_;
+};
+
+}  // namespace gfa

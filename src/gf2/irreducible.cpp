@@ -1,0 +1,84 @@
+#include "gf2/irreducible.h"
+
+#include <cassert>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+std::vector<unsigned> prime_factors(unsigned n) {
+  std::vector<unsigned> out;
+  for (unsigned p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      out.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  return out;
+}
+
+}  // namespace
+
+bool is_irreducible(const Gf2Poly& f) {
+  const int deg = f.degree();
+  if (deg < 1) return false;
+  if (deg == 1) return true;
+  // A polynomial with zero constant term is divisible by x.
+  if (!f.coeff(0)) return false;
+  const unsigned n = static_cast<unsigned>(deg);
+  const Gf2Poly x = Gf2Poly::monomial(1);
+
+  // Rabin: f irreducible <=> x^(2^n) == x (mod f), and for every prime p | n,
+  // gcd(x^(2^(n/p)) - x, f) == 1. Subtraction is XOR over GF(2).
+  for (unsigned p : prime_factors(n)) {
+    const Gf2Poly xp = Gf2Poly::frobenius_pow(x, n / p, f);
+    if (!Gf2Poly::gcd(xp + x, f).is_one()) return false;
+  }
+  return Gf2Poly::frobenius_pow(x, n, f) == x.mod(f);
+}
+
+std::optional<Gf2Poly> nist_polynomial(unsigned k) {
+  switch (k) {
+    case 163:
+      return Gf2Poly::from_exponents({163, 7, 6, 3, 0});
+    case 233:
+      return Gf2Poly::from_exponents({233, 74, 0});
+    case 283:
+      return Gf2Poly::from_exponents({283, 12, 7, 5, 0});
+    case 409:
+      return Gf2Poly::from_exponents({409, 87, 0});
+    case 571:
+      return Gf2Poly::from_exponents({571, 10, 5, 2, 0});
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Gf2Poly> find_low_weight_irreducible(unsigned k) {
+  assert(k >= 2);
+  // Trinomials x^k + x^a + 1.
+  for (unsigned a = 1; a < k; ++a) {
+    Gf2Poly f = Gf2Poly::from_exponents({k, a, 0});
+    if (is_irreducible(f)) return f;
+  }
+  // Pentanomials x^k + x^a + x^b + x^c + 1.
+  for (unsigned a = 3; a < k; ++a)
+    for (unsigned b = 2; b < a; ++b)
+      for (unsigned c = 1; c < b; ++c) {
+        Gf2Poly f = Gf2Poly::from_exponents({k, a, b, c, 0});
+        if (is_irreducible(f)) return f;
+      }
+  return std::nullopt;
+}
+
+Gf2Poly default_irreducible(unsigned k) {
+  assert(k >= 2);
+  if (auto nist = nist_polynomial(k)) return *nist;
+  auto found = find_low_weight_irreducible(k);
+  assert(found.has_value() && "no low-weight irreducible found");
+  return *found;
+}
+
+}  // namespace gfa

@@ -1,0 +1,114 @@
+#include "poly/groebner.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+namespace gfa {
+
+BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& order,
+                            const BuchbergerOptions& options) {
+  BuchbergerResult res;
+  res.basis.reserve(generators.size());
+  for (MPoly& g : generators) {
+    if (!g.is_zero()) res.basis.push_back(std::move(g));
+  }
+  std::deque<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < res.basis.size(); ++i)
+    for (std::size_t j = i + 1; j < res.basis.size(); ++j) pairs.emplace_back(i, j);
+
+  while (!pairs.empty()) {
+    auto [i, j] = pairs.front();
+    pairs.pop_front();
+    const MPoly& f = res.basis[i];
+    const MPoly& g = res.basis[j];
+    if (options.use_product_criterion &&
+        Monomial::relatively_prime(f.leading_term(order).mono,
+                                   g.leading_term(order).mono)) {
+      ++res.pairs_skipped;
+      continue;
+    }
+    MPoly r = normal_form(spoly(f, g, order), res.basis, order);
+    ++res.reductions;
+    res.max_terms_seen = std::max(res.max_terms_seen, r.num_terms());
+    if (!r.is_zero()) {
+      const std::size_t n = res.basis.size();
+      for (std::size_t t = 0; t < n; ++t) pairs.emplace_back(t, n);
+      res.basis.push_back(std::move(r));
+    }
+    if ((options.max_basis_size && res.basis.size() > options.max_basis_size) ||
+        (options.max_poly_terms && res.max_terms_seen > options.max_poly_terms) ||
+        (options.max_reductions && res.reductions >= options.max_reductions)) {
+      return res;  // budget tripped; completed stays false
+    }
+  }
+  res.completed = true;
+  return res;
+}
+
+std::vector<MPoly> reduce_basis(std::vector<MPoly> basis, const TermOrder& order) {
+  // Drop polynomials whose leading monomial is divisible by another's.
+  std::vector<MPoly> minimal;
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    if (basis[i].is_zero()) continue;
+    const Monomial lm_i = basis[i].leading_term(order).mono;
+    bool redundant = false;
+    for (std::size_t j = 0; j < basis.size(); ++j) {
+      if (i == j || basis[j].is_zero()) continue;
+      const Monomial lm_j = basis[j].leading_term(order).mono;
+      if (lm_j.divides(lm_i) && !(lm_i == lm_j && j > i)) {
+        if (!(lm_i == lm_j) || j < i) {
+          redundant = true;
+          break;
+        }
+      }
+    }
+    if (!redundant) minimal.push_back(basis[i].monic(order));
+  }
+  // Fully reduce each polynomial against the others.
+  std::vector<MPoly> reduced;
+  for (std::size_t i = 0; i < minimal.size(); ++i) {
+    std::vector<MPoly> others;
+    others.reserve(minimal.size() - 1);
+    for (std::size_t j = 0; j < minimal.size(); ++j)
+      if (j != i) others.push_back(minimal[j]);
+    MPoly r = normal_form(minimal[i], others, order);
+    if (!r.is_zero()) reduced.push_back(r.monic(order));
+  }
+  std::sort(reduced.begin(), reduced.end(), [&](const MPoly& a, const MPoly& b) {
+    return order.greater(a.leading_term(order).mono, b.leading_term(order).mono);
+  });
+  return reduced;
+}
+
+std::vector<MPoly> elimination_subset(const std::vector<MPoly>& basis,
+                                      const std::vector<VarId>& allowed) {
+  std::vector<MPoly> out;
+  for (const MPoly& g : basis) {
+    bool ok = true;
+    for (VarId v : g.variables()) {
+      if (std::find(allowed.begin(), allowed.end(), v) == allowed.end()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !g.is_zero()) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<MPoly> vanishing_polynomials(const Gf2k* field, const VarPool& pool,
+                                         const std::vector<VarId>& vars) {
+  std::vector<MPoly> out;
+  out.reserve(vars.size());
+  for (VarId v : vars) {
+    MPoly p(field);
+    const BigUint q = pool.kind(v) == VarKind::kBit ? BigUint(2) : field->order();
+    p.add_term(Monomial(v, q), field->one());
+    p.add_term(Monomial(v, BigUint(1)), field->one());
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace gfa

@@ -1,0 +1,57 @@
+#pragma once
+// Buchberger's algorithm (paper Algorithm 1), reduced Gröbner bases, and
+// elimination-ideal helpers.
+//
+// Used for the worked examples, small-field cross-validation of the
+// abstraction engine, and the "full Gröbner basis with an elimination order"
+// baseline whose blow-up (paper §6: SINGULAR slimgb infeasible beyond 32-bit
+// circuits) motivates the RATO-guided approach.
+
+#include <cstddef>
+#include <vector>
+
+#include "poly/mpoly.h"
+
+namespace gfa {
+
+struct BuchbergerOptions {
+  /// Apply the product criterion (Lemma 5.1): skip pairs whose leading
+  /// monomials are relatively prime.
+  bool use_product_criterion = true;
+  /// Abort when the basis grows past this many polynomials (0 = unlimited).
+  std::size_t max_basis_size = 0;
+  /// Abort when any single polynomial exceeds this many terms (0 = unlimited).
+  std::size_t max_poly_terms = 0;
+  /// Abort after this many S-polynomial reductions (0 = unlimited).
+  std::size_t max_reductions = 0;
+};
+
+struct BuchbergerResult {
+  std::vector<MPoly> basis;
+  bool completed = false;          // false when a budget tripped
+  std::size_t reductions = 0;      // S-poly reductions performed
+  std::size_t pairs_skipped = 0;   // pairs discarded by the product criterion
+  std::size_t max_terms_seen = 0;  // largest intermediate polynomial
+};
+
+/// Computes a Gröbner basis of <generators> under `order`.
+BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& order,
+                            const BuchbergerOptions& options = {});
+
+/// Interreduces a Gröbner basis into the reduced Gröbner basis: every
+/// polynomial is monic and no term of any polynomial is divisible by the
+/// leading monomial of another.
+std::vector<MPoly> reduce_basis(std::vector<MPoly> basis, const TermOrder& order);
+
+/// The subset of G lying in F_q[allowed] — with G a Gröbner basis under an
+/// elimination order this is a Gröbner basis of the elimination ideal
+/// (Theorem 4.1 of the paper).
+std::vector<MPoly> elimination_subset(const std::vector<MPoly>& basis,
+                                      const std::vector<VarId>& allowed);
+
+/// The vanishing polynomials of J_0 for the given variables: x^2 + x for bit
+/// variables and X^q + X for word variables (char 2: minus = plus).
+std::vector<MPoly> vanishing_polynomials(const Gf2k* field, const VarPool& pool,
+                                         const std::vector<VarId>& vars);
+
+}  // namespace gfa

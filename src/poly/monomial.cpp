@@ -1,0 +1,207 @@
+#include "poly/monomial.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gfa {
+
+namespace {
+const BigUint kZero{};
+}
+
+Monomial::Monomial(VarId v, BigUint e) {
+  if (!e.is_zero()) factors_.emplace_back(v, std::move(e));
+}
+
+Monomial Monomial::from_pairs(std::vector<std::pair<VarId, BigUint>> pairs) {
+  Monomial m;
+  m.factors_ = std::move(pairs);
+  m.canonicalize();
+  return m;
+}
+
+void Monomial::canonicalize() {
+  std::sort(factors_.begin(), factors_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<VarId, BigUint>> out;
+  out.reserve(factors_.size());
+  for (auto& f : factors_) {
+    if (!out.empty() && out.back().first == f.first)
+      out.back().second += f.second;
+    else
+      out.push_back(std::move(f));
+  }
+  std::erase_if(out, [](const auto& f) { return f.second.is_zero(); });
+  factors_ = std::move(out);
+}
+
+const BigUint& Monomial::exponent(VarId v) const {
+  auto it = std::lower_bound(
+      factors_.begin(), factors_.end(), v,
+      [](const auto& f, VarId x) { return f.first < x; });
+  if (it != factors_.end() && it->first == v) return it->second;
+  return kZero;
+}
+
+BigUint Monomial::total_degree() const {
+  BigUint d;
+  for (const auto& [v, e] : factors_) d += e;
+  return d;
+}
+
+Monomial Monomial::operator*(const Monomial& rhs) const {
+  Monomial out;
+  out.factors_.reserve(factors_.size() + rhs.factors_.size());
+  auto i = factors_.begin();
+  auto j = rhs.factors_.begin();
+  while (i != factors_.end() || j != rhs.factors_.end()) {
+    if (j == rhs.factors_.end() || (i != factors_.end() && i->first < j->first)) {
+      out.factors_.push_back(*i++);
+    } else if (i == factors_.end() || j->first < i->first) {
+      out.factors_.push_back(*j++);
+    } else {
+      out.factors_.emplace_back(i->first, i->second + j->second);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool Monomial::divides(const Monomial& rhs) const {
+  for (const auto& [v, e] : factors_) {
+    if (rhs.exponent(v) < e) return false;
+  }
+  return true;
+}
+
+Monomial Monomial::divide_into(const Monomial& rhs) const {
+  assert(divides(rhs));
+  Monomial out;
+  auto i = factors_.begin();
+  for (const auto& [v, e] : rhs.factors_) {
+    while (i != factors_.end() && i->first < v) ++i;  // cannot happen if divides
+    if (i != factors_.end() && i->first == v) {
+      BigUint diff = e - i->second;
+      if (!diff.is_zero()) out.factors_.emplace_back(v, std::move(diff));
+      ++i;
+    } else {
+      out.factors_.emplace_back(v, e);
+    }
+  }
+  return out;
+}
+
+Monomial Monomial::lcm(const Monomial& a, const Monomial& b) {
+  Monomial out;
+  auto i = a.factors_.begin();
+  auto j = b.factors_.begin();
+  while (i != a.factors_.end() || j != b.factors_.end()) {
+    if (j == b.factors_.end() || (i != a.factors_.end() && i->first < j->first)) {
+      out.factors_.push_back(*i++);
+    } else if (i == a.factors_.end() || j->first < i->first) {
+      out.factors_.push_back(*j++);
+    } else {
+      out.factors_.emplace_back(i->first, std::max(i->second, j->second));
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool Monomial::relatively_prime(const Monomial& a, const Monomial& b) {
+  auto i = a.factors_.begin();
+  auto j = b.factors_.begin();
+  while (i != a.factors_.end() && j != b.factors_.end()) {
+    if (i->first == j->first) return false;
+    if (i->first < j->first)
+      ++i;
+    else
+      ++j;
+  }
+  return true;
+}
+
+std::strong_ordering Monomial::operator<=>(const Monomial& rhs) const {
+  const std::size_t n = std::min(factors_.size(), rhs.factors_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto c = factors_[i].first <=> rhs.factors_[i].first; c != 0) return c;
+    if (auto c = factors_[i].second <=> rhs.factors_[i].second; c != 0) return c;
+  }
+  return factors_.size() <=> rhs.factors_.size();
+}
+
+std::size_t Monomial::hash() const {
+  std::size_t h = 14695981039346656037ull;
+  for (const auto& [v, e] : factors_) {
+    h ^= v;
+    h *= 1099511628211ull;
+    h ^= e.hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Monomial::to_string(const VarPool& pool) const {
+  if (is_one()) return "1";
+  std::string out;
+  for (const auto& [v, e] : factors_) {
+    if (!out.empty()) out += "*";
+    out += pool.name(v);
+    if (!e.is_one()) out += "^" + e.to_string();
+  }
+  return out;
+}
+
+TermOrder::TermOrder(Type type, std::vector<VarId> priority_high_to_low)
+    : type_(type) {
+  for (std::size_t i = 0; i < priority_high_to_low.size(); ++i) {
+    const VarId v = priority_high_to_low[i];
+    if (v >= rank_.size()) rank_.resize(v + 1, SIZE_MAX);
+    rank_[v] = i;
+  }
+}
+
+TermOrder TermOrder::lex_by_id(std::size_t num_vars) {
+  std::vector<VarId> prio(num_vars);
+  for (std::size_t i = 0; i < num_vars; ++i) prio[i] = static_cast<VarId>(i);
+  return TermOrder(Type::kLex, std::move(prio));
+}
+
+std::size_t TermOrder::rank(VarId v) const {
+  if (v < rank_.size() && rank_[v] != SIZE_MAX) return rank_[v];
+  // Unranked variables come after all ranked ones, ordered by id.
+  return rank_.size() + v;
+}
+
+int TermOrder::compare(const Monomial& a, const Monomial& b) const {
+  if (type_ == Type::kGrLex) {
+    const BigUint da = a.total_degree();
+    const BigUint db = b.total_degree();
+    if (auto c = da <=> db; c != 0) return c > 0 ? 1 : -1;
+  }
+  // Lex under priority: walk both factor lists in increasing rank.
+  std::vector<std::pair<std::size_t, const BigUint*>> fa, fb;
+  fa.reserve(a.factors().size());
+  fb.reserve(b.factors().size());
+  for (const auto& [v, e] : a.factors()) fa.emplace_back(rank(v), &e);
+  for (const auto& [v, e] : b.factors()) fb.emplace_back(rank(v), &e);
+  auto by_rank = [](const auto& x, const auto& y) { return x.first < y.first; };
+  std::sort(fa.begin(), fa.end(), by_rank);
+  std::sort(fb.begin(), fb.end(), by_rank);
+  auto i = fa.begin();
+  auto j = fb.begin();
+  while (i != fa.end() || j != fb.end()) {
+    // The variable of smaller rank that one side has and the other lacks makes
+    // that side larger (it has a positive exponent on a higher variable).
+    if (j == fb.end() || (i != fa.end() && i->first < j->first)) return 1;
+    if (i == fa.end() || j->first < i->first) return -1;
+    if (auto c = *i->second <=> *j->second; c != 0) return c > 0 ? 1 : -1;
+    ++i;
+    ++j;
+  }
+  return 0;
+}
+
+}  // namespace gfa

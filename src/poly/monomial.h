@@ -1,0 +1,102 @@
+#pragma once
+// Sparse monomials with arbitrary-precision exponents, and term orders.
+//
+// A Monomial is a power product x_{v1}^{e1} · … · x_{vt}^{et}, stored as
+// (VarId, BigUint) pairs sorted by VarId. Exponents are BigUint because
+// canonical word-level monomials over F_{2^k} carry degrees up to 2^k - 1.
+//
+// Term orders compare monomials under a *variable priority*: a permutation of
+// the variables where earlier (lower rank) means "larger" variable. The
+// paper's abstraction term order (Definition 4.2) and its RATO refinement
+// (Definition 5.1) are both lex orders with specific priorities: circuit
+// variables (reverse-topologically ranked for RATO) > Z > word inputs.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gf/biguint.h"
+#include "poly/varpool.h"
+
+namespace gfa {
+
+class Monomial {
+ public:
+  /// The monomial 1.
+  Monomial() = default;
+
+  /// Single-variable monomial v^e (e may be zero, yielding 1).
+  Monomial(VarId v, BigUint e);
+
+  /// From (var, exp) pairs in any order; exponents of repeated vars add.
+  static Monomial from_pairs(std::vector<std::pair<VarId, BigUint>> pairs);
+
+  bool is_one() const { return factors_.empty(); }
+
+  /// Exponent of variable v (zero if absent).
+  const BigUint& exponent(VarId v) const;
+
+  /// Total degree (sum of exponents).
+  BigUint total_degree() const;
+
+  std::size_t num_vars() const { return factors_.size(); }
+  const std::vector<std::pair<VarId, BigUint>>& factors() const { return factors_; }
+
+  Monomial operator*(const Monomial& rhs) const;
+
+  /// True iff this monomial divides rhs.
+  bool divides(const Monomial& rhs) const;
+
+  /// rhs / *this; requires divides(rhs).
+  Monomial divide_into(const Monomial& rhs) const;
+
+  static Monomial lcm(const Monomial& a, const Monomial& b);
+
+  /// gcd(a, b) == 1, i.e. disjoint variable support — Buchberger's product
+  /// criterion test (Lemma 5.1 of the paper).
+  static bool relatively_prime(const Monomial& a, const Monomial& b);
+
+  /// Canonical (order-independent) comparison for use as container keys.
+  std::strong_ordering operator<=>(const Monomial& rhs) const;
+  bool operator==(const Monomial& rhs) const = default;
+
+  std::size_t hash() const;
+
+  std::string to_string(const VarPool& pool) const;
+
+ private:
+  void canonicalize();
+  std::vector<std::pair<VarId, BigUint>> factors_;  // sorted by VarId, exps > 0
+};
+
+struct MonomialHash {
+  std::size_t operator()(const Monomial& m) const { return m.hash(); }
+};
+
+/// A term order over monomials. Rank is a permutation value per variable:
+/// rank 0 is the *largest* variable. Variables absent from the rank table are
+/// ranked after all ranked ones, by ascending VarId.
+class TermOrder {
+ public:
+  enum class Type { kLex, kGrLex };
+
+  TermOrder(Type type, std::vector<VarId> priority_high_to_low);
+
+  /// Lex order with variables prioritized by ascending VarId (x0 > x1 > ...).
+  static TermOrder lex_by_id(std::size_t num_vars);
+
+  Type type() const { return type_; }
+
+  /// Three-way compare: positive if a > b under this order.
+  int compare(const Monomial& a, const Monomial& b) const;
+
+  bool greater(const Monomial& a, const Monomial& b) const { return compare(a, b) > 0; }
+
+  std::size_t rank(VarId v) const;
+
+ private:
+  Type type_;
+  std::vector<std::size_t> rank_;  // indexed by VarId; SIZE_MAX = unranked
+};
+
+}  // namespace gfa

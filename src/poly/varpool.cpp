@@ -1,0 +1,30 @@
+#include "poly/varpool.h"
+
+#include <cassert>
+
+namespace gfa {
+
+VarId VarPool::intern(std::string_view name, VarKind kind) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    assert(kinds_[it->second] == kind && "variable re-interned with different kind");
+    return it->second;
+  }
+  const VarId v = static_cast<VarId>(names_.size());
+  names_.emplace_back(name);
+  kinds_.push_back(kind);
+  index_.emplace(names_.back(), v);
+  return v;
+}
+
+VarId VarPool::id(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  assert(it != index_.end() && "unknown variable");
+  return it->second;
+}
+
+bool VarPool::contains(std::string_view name) const {
+  return index_.find(std::string(name)) != index_.end();
+}
+
+}  // namespace gfa

@@ -1,0 +1,47 @@
+#pragma once
+// Variable registry for the multivariate polynomial ring.
+//
+// The abstraction works in the mixed ring F_{2^k}[x_1, …, x_d, Z, A, …]: the
+// x_i are *bit-level* circuit signals (subject to the vanishing polynomial
+// x² - x), the Z/A/… are *word-level* variables (subject to X^q - X). The pool
+// interns names, assigns dense ids, and records which kind each variable is so
+// polynomial normalization can apply the right vanishing rule.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gfa {
+
+using VarId = std::uint32_t;
+
+enum class VarKind : std::uint8_t {
+  kBit,   // Boolean circuit signal; vanishing polynomial x^2 - x
+  kWord,  // word-level F_{2^k} variable; vanishing polynomial X^q - X
+};
+
+class VarPool {
+ public:
+  /// Interns `name` with the given kind; returns the existing id if already
+  /// present (the kind must then match).
+  VarId intern(std::string_view name, VarKind kind);
+
+  /// Id of an existing variable; aborts if absent.
+  VarId id(std::string_view name) const;
+
+  bool contains(std::string_view name) const;
+
+  const std::string& name(VarId v) const { return names_.at(v); }
+  VarKind kind(VarId v) const { return kinds_.at(v); }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<VarKind> kinds_;
+  std::unordered_map<std::string, VarId> index_;
+};
+
+}  // namespace gfa

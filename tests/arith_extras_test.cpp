@@ -1,0 +1,119 @@
+#include "circuit/arith_extras.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/extractor.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+class ArithExtras : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ArithExtras, SquarerComputesSquare) {
+  const Gf2k field = Gf2k::make(GetParam());
+  const Netlist nl = make_squarer(field);
+  EXPECT_TRUE(nl.validate().empty());
+  test::Rng rng(GetParam() + 50);
+  std::vector<Gf2Poly> as, expect;
+  for (int i = 0; i < 32; ++i) {
+    as.push_back(rng.elem(field));
+    expect.push_back(field.square(as.back()));
+  }
+  EXPECT_EQ(simulate_words(nl, *nl.find_word("Z"), {{nl.find_word("A"), as}}),
+            expect);
+}
+
+TEST_P(ArithExtras, MacComputesABplusC) {
+  const Gf2k field = Gf2k::make(GetParam());
+  const Netlist nl = make_multiply_accumulate(field);
+  EXPECT_TRUE(nl.validate().empty());
+  test::Rng rng(GetParam() + 60);
+  std::vector<Gf2Poly> as, bs, cs, expect;
+  for (int i = 0; i < 32; ++i) {
+    as.push_back(rng.elem(field));
+    bs.push_back(rng.elem(field));
+    cs.push_back(rng.elem(field));
+    expect.push_back(field.add(field.mul(as.back(), bs.back()), cs.back()));
+  }
+  EXPECT_EQ(simulate_words(nl, *nl.find_word("Z"),
+                           {{nl.find_word("A"), as},
+                            {nl.find_word("B"), bs},
+                            {nl.find_word("C"), cs}}),
+            expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArithExtras,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+TEST(ArithExtras, SquarerAbstractsToFrobenius) {
+  for (unsigned k : {3u, 8u, 16u}) {
+    const Gf2k field = Gf2k::make(k);
+    const WordFunction fn = extract_word_function(make_squarer(field), field);
+    MPoly expect(&field);
+    expect.add_term(Monomial(fn.pool.id("A"), BigUint(2)), field.one());
+    EXPECT_EQ(fn.g, expect) << "k=" << k;
+  }
+}
+
+TEST(ArithExtras, AdderAbstractsToSum) {
+  const Gf2k field = Gf2k::make(16);
+  const WordFunction fn = extract_word_function(make_adder(field), field);
+  const MPoly expect = MPoly::variable(&field, fn.pool.id("A")) +
+                       MPoly::variable(&field, fn.pool.id("B"));
+  EXPECT_EQ(fn.g, expect);
+}
+
+TEST(ArithExtras, MacAbstractsToThreeOperandPolynomial) {
+  // The paper's "trivially extends to multiple word-level inputs" claim:
+  // Z = F(A, B, C) = A·B + C extracted from gates.
+  for (unsigned k : {3u, 8u, 16u}) {
+    const Gf2k field = Gf2k::make(k);
+    const WordFunction fn =
+        extract_word_function(make_multiply_accumulate(field), field);
+    MPoly expect = MPoly::variable(&field, fn.pool.id("A")) *
+                       MPoly::variable(&field, fn.pool.id("B")) +
+                   MPoly::variable(&field, fn.pool.id("C"));
+    EXPECT_EQ(fn.g, expect) << "k=" << k << ": " << fn.g.to_string(fn.pool);
+    EXPECT_EQ(fn.input_words.size(), 3u);
+  }
+}
+
+TEST(ArithExtras, FrobeniusPowerAbstracts) {
+  const Gf2k field = Gf2k::make(8);
+  for (unsigned e : {1u, 2u, 3u}) {
+    const Netlist nl = make_frobenius_power(field, e);
+    const WordFunction fn = extract_word_function(nl, field);
+    MPoly expect(&field);
+    expect.add_term(Monomial(fn.pool.id("A"), BigUint::pow2(e)), field.one());
+    EXPECT_EQ(fn.g, expect) << "e=" << e;
+  }
+}
+
+TEST(ArithExtras, FrobeniusFullOrbitIsIdentity) {
+  // A^{2^k} = A: the cascade of k squarers abstracts to the identity — the
+  // vanishing-ideal exponent reduction in action.
+  const Gf2k field = Gf2k::make(4);
+  const Netlist nl = make_frobenius_power(field, 4);
+  const WordFunction fn = extract_word_function(nl, field);
+  EXPECT_EQ(fn.g, MPoly::variable(&field, fn.pool.id("A")))
+      << fn.g.to_string(fn.pool);
+}
+
+TEST(ArithExtras, BuggyMacDetected) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist good = make_multiply_accumulate(field);
+  const WordFunction ref = extract_word_function(good, field);
+  // Flip the s0 accumulation XOR (p0_0 ⊕ c0) into an OR: polynomial changes.
+  Netlist bad = good;
+  const NetId s0 = good.find_net("s0");
+  ASSERT_NE(s0, kNoNet);
+  ASSERT_EQ(good.gate(s0).type, GateType::kXor);
+  bad.mutable_gate(s0).type = GateType::kOr;
+  const WordFunction fn = extract_word_function(bad, field);
+  EXPECT_NE(fn.g, ref.g);
+}
+
+}  // namespace
+}  // namespace gfa

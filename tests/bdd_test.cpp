@@ -1,0 +1,148 @@
+#include "baselines/bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/mutate.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+using bdd::kFalse;
+using bdd::kTrue;
+using bdd::Manager;
+using bdd::NodeRef;
+
+TEST(Bdd, TerminalRules) {
+  Manager m;
+  const NodeRef x = m.var(0);
+  EXPECT_EQ(m.ite(kTrue, x, kFalse), x);
+  EXPECT_EQ(m.ite(kFalse, x, kTrue), kTrue);
+  EXPECT_EQ(m.ite(x, kTrue, kFalse), x);
+  EXPECT_EQ(m.ite(x, x, x), x);
+}
+
+TEST(Bdd, CanonicityAndHashConsing) {
+  Manager m;
+  const NodeRef x = m.var(0), y = m.var(1);
+  // x ∧ y built two ways yields the identical node.
+  EXPECT_EQ(m.bdd_and(x, y), m.bdd_and(y, x));
+  EXPECT_EQ(m.bdd_not(m.bdd_not(x)), x);
+  EXPECT_EQ(m.bdd_or(x, y), m.bdd_not(m.bdd_and(m.bdd_not(x), m.bdd_not(y))));
+  EXPECT_EQ(m.bdd_xor(x, x), kFalse);
+  EXPECT_EQ(m.bdd_xor(x, kFalse), x);
+}
+
+TEST(Bdd, EvalTruthTables) {
+  Manager m;
+  const NodeRef x = m.var(0), y = m.var(1);
+  const NodeRef f = m.bdd_xor(x, y);
+  EXPECT_FALSE(m.eval(f, {false, false}));
+  EXPECT_TRUE(m.eval(f, {true, false}));
+  EXPECT_TRUE(m.eval(f, {false, true}));
+  EXPECT_FALSE(m.eval(f, {true, true}));
+  const NodeRef g = m.bdd_and(x, m.bdd_not(y));
+  EXPECT_TRUE(m.eval(g, {true, false}));
+  EXPECT_FALSE(m.eval(g, {true, true}));
+}
+
+TEST(Bdd, CountNodes) {
+  Manager m;
+  const NodeRef x = m.var(0), y = m.var(1);
+  EXPECT_EQ(m.count_nodes(kTrue), 1u);
+  EXPECT_EQ(m.count_nodes(x), 3u);  // node + two terminals
+  const NodeRef f = m.bdd_and(x, y);
+  EXPECT_EQ(m.count_nodes(f), 4u);
+}
+
+TEST(Bdd, NodeBudgetTrips) {
+  Manager m(/*node_limit=*/16);
+  std::vector<NodeRef> vars;
+  for (unsigned i = 0; i < 16; ++i) vars.push_back(m.var(i % 8));
+  EXPECT_THROW(
+      {
+        NodeRef acc = kFalse;
+        for (unsigned i = 0; i < 8; ++i) acc = m.bdd_xor(acc, m.var(i));
+        // Force growth with products of sums.
+        NodeRef p = kTrue;
+        for (unsigned i = 0; i < 8; ++i)
+          p = m.bdd_and(p, m.bdd_or(m.var(i), m.var((i + 3) % 8)));
+      },
+      bdd::BddBudgetExceeded);
+}
+
+TEST(Bdd, NetlistBddsMatchSimulation) {
+  const Netlist nl = test::make_random_word_circuit(3, 4, 30);
+  Manager m;
+  std::vector<unsigned> input_vars(nl.inputs().size());
+  for (unsigned i = 0; i < input_vars.size(); ++i) input_vars[i] = i;
+  const auto refs = build_netlist_bdds(m, nl, input_vars);
+  // Exhaust all input assignments and compare with the simulator.
+  const unsigned n = static_cast<unsigned>(nl.inputs().size());
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint64_t> lanes(n);
+    std::vector<bool> assign(n);
+    for (unsigned i = 0; i < n; ++i) {
+      lanes[i] = (mask >> i) & 1;
+      assign[i] = (mask >> i) & 1;
+    }
+    const auto sim = simulate(nl, lanes);
+    for (NetId o : nl.outputs())
+      ASSERT_EQ(m.eval(refs[o], assign), (sim[o] & 1) != 0) << "mask=" << mask;
+  }
+}
+
+TEST(Bdd, MiterEquivalenceByCanonicity) {
+  // Equivalent circuits produce pointer-identical BDDs for every output.
+  const Gf2k field = Gf2k::make(4);
+  const Netlist c1 = make_mastrovito_multiplier(field);
+  const Netlist c2 = make_montgomery_multiplier_flat(field);
+  Manager m;
+  std::vector<unsigned> vars(c1.inputs().size());
+  for (unsigned i = 0; i < vars.size(); ++i) vars[i] = i;
+  const auto r1 = build_netlist_bdds(m, c1, vars);
+  const auto r2 = build_netlist_bdds(m, c2, vars);
+  const Word* z1 = c1.find_word("Z");
+  const Word* z2 = c2.find_word("Z");
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_EQ(r1[z1->bits[i]], r2[z2->bits[i]]) << "output bit " << i;
+}
+
+TEST(Bdd, MiterDetectsBug) {
+  const Gf2k field = Gf2k::make(3);
+  const Netlist c1 = make_mastrovito_multiplier(field);
+  BugDescription desc;
+  Netlist c2 = c1;
+  // Deterministic bug: flip the function of the net driving z0.
+  const NetId z0 = c1.find_word("Z")->bits[0];
+  c2 = inject_gate_type_bug(c1, z0, GateType::kXnor, &desc);
+  Manager m;
+  std::vector<unsigned> vars(c1.inputs().size());
+  for (unsigned i = 0; i < vars.size(); ++i) vars[i] = i;
+  const auto r1 = build_netlist_bdds(m, c1, vars);
+  const auto r2 = build_netlist_bdds(m, c2, vars);
+  EXPECT_NE(r1[c1.find_word("Z")->bits[0]], r2[c2.find_word("Z")->bits[0]]);
+}
+
+TEST(Bdd, MultiplierMiddleBitGrowsFast) {
+  // The classic result: multiplier output BDDs grow super-polynomially. We
+  // just check strong growth of the top output bit across k.
+  std::size_t prev = 0;
+  for (unsigned k : {4u, 6u, 8u}) {
+    const Gf2k field = Gf2k::make(k);
+    const Netlist nl = make_mastrovito_multiplier(field);
+    Manager m;
+    std::vector<unsigned> vars(nl.inputs().size());
+    for (unsigned i = 0; i < vars.size(); ++i) vars[i] = i;
+    const auto refs = build_netlist_bdds(m, nl, vars);
+    const std::size_t sz = m.count_nodes(refs[nl.find_word("Z")->bits[k - 1]]);
+    if (prev != 0) EXPECT_GT(sz, 2 * prev) << "k=" << k;
+    prev = sz;
+  }
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,128 @@
+#include "gf/biguint.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(BigUint, Basics) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), -1);
+  EXPECT_EQ(z.to_string(), "0");
+  BigUint one(1);
+  EXPECT_TRUE(one.is_one());
+  EXPECT_EQ(one.bit_length(), 0);
+  EXPECT_EQ(BigUint(12345).to_string(), "12345");
+}
+
+TEST(BigUint, Pow2) {
+  EXPECT_EQ(BigUint::pow2(0), BigUint(1));
+  EXPECT_EQ(BigUint::pow2(13), BigUint(8192));
+  const BigUint big = BigUint::pow2(200);
+  EXPECT_EQ(big.bit_length(), 200);
+  EXPECT_TRUE(big.bit(200));
+  EXPECT_FALSE(big.bit(199));
+  EXPECT_FALSE(big.bit(201));
+}
+
+TEST(BigUint, AdditionMatchesUint128) {
+  test::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.next(), b = rng.next();
+    const unsigned __int128 expect = (unsigned __int128)a + b;
+    const BigUint sum = BigUint(a) + BigUint(b);
+    EXPECT_EQ(sum.bit(64), (expect >> 64) != 0);
+    EXPECT_EQ(sum.low_u64(), static_cast<std::uint64_t>(expect));
+  }
+}
+
+TEST(BigUint, AdditionCarryChain) {
+  // (2^128 - 1) + 1 = 2^128
+  BigUint v = (BigUint::pow2(128) - BigUint(1)) + BigUint(1);
+  EXPECT_EQ(v, BigUint::pow2(128));
+}
+
+TEST(BigUint, SubtractionMatchesUint128) {
+  test::Rng rng(4);
+  for (int t = 0; t < 200; ++t) {
+    std::uint64_t a = rng.next(), b = rng.next();
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ(BigUint(a) - BigUint(b), BigUint(a - b));
+  }
+}
+
+TEST(BigUint, SubtractionBorrowChain) {
+  EXPECT_EQ(BigUint::pow2(128) - BigUint(1),
+            (BigUint::pow2(64) - BigUint(1)) +
+                ((BigUint::pow2(64) - BigUint(1)) << 64));
+}
+
+TEST(BigUint, MultiplicationMatchesUint128) {
+  test::Rng rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.next(), b = rng.next();
+    const unsigned __int128 expect = (unsigned __int128)a * b;
+    const BigUint prod = BigUint(a) * BigUint(b);
+    EXPECT_EQ(prod.low_u64(), static_cast<std::uint64_t>(expect));
+    BigUint hi = prod.divmod(BigUint::pow2(64)).quotient;
+    EXPECT_EQ(hi.low_u64(), static_cast<std::uint64_t>(expect >> 64));
+  }
+}
+
+TEST(BigUint, MultiplicationLawsLarge) {
+  const BigUint a = BigUint::pow2(100) + BigUint(77);
+  const BigUint b = BigUint::pow2(130) + BigUint(5);
+  const BigUint c = BigUint(123456789);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a * BigUint(1), a);
+  EXPECT_EQ(a * BigUint(), BigUint());
+}
+
+TEST(BigUint, DivModRoundTrip) {
+  test::Rng rng(6);
+  for (int t = 0; t < 200; ++t) {
+    BigUint a = BigUint(rng.next()) * BigUint(rng.next()) + BigUint(rng.next());
+    BigUint d = BigUint(rng.next() | 1);
+    const auto dm = a.divmod(d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, a);
+    EXPECT_LT(dm.remainder, d);
+  }
+}
+
+TEST(BigUint, DivModSmallCases) {
+  EXPECT_EQ((BigUint(7) % BigUint(3)), BigUint(1));
+  EXPECT_EQ(BigUint(6).divmod(BigUint(3)).quotient, BigUint(2));
+  EXPECT_EQ(BigUint(5).divmod(BigUint(8)).quotient, BigUint());
+  EXPECT_EQ(BigUint(5).divmod(BigUint(8)).remainder, BigUint(5));
+}
+
+TEST(BigUint, Ordering) {
+  EXPECT_LT(BigUint(1), BigUint(2));
+  EXPECT_LT(BigUint(0xFFFFFFFFFFFFFFFFull), BigUint::pow2(64));
+  EXPECT_GT(BigUint::pow2(128), BigUint::pow2(127) + BigUint::pow2(126));
+  EXPECT_EQ(BigUint(42) <=> BigUint(42), std::strong_ordering::equal);
+}
+
+TEST(BigUint, ShiftLeft) {
+  EXPECT_EQ(BigUint(1) << 200, BigUint::pow2(200));
+  EXPECT_EQ(BigUint(0b101) << 63, BigUint::pow2(65) + BigUint::pow2(63));
+}
+
+TEST(BigUint, ToStringLarge) {
+  // 2^100 = 1267650600228229401496703205376
+  EXPECT_EQ(BigUint::pow2(100).to_string(), "1267650600228229401496703205376");
+  // 10^19 boundary handling
+  EXPECT_EQ(BigUint(10000000000000000000ull).to_string(), "10000000000000000000");
+}
+
+TEST(BigUint, HashConsistency) {
+  EXPECT_EQ(BigUint(17).hash(), BigUint(17).hash());
+  EXPECT_NE(BigUint(17).hash(), BigUint(18).hash());
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,133 @@
+#include "circuit/ecc.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/extractor.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(ConstMultiplier, MatchesFieldScaling) {
+  for (unsigned k : {3u, 8u, 16u}) {
+    const Gf2k field = Gf2k::make(k);
+    test::Rng rng(k);
+    const auto c = rng.elem(field);
+    const Netlist nl = make_const_multiplier(field, c);
+    EXPECT_TRUE(nl.validate().empty());
+    std::vector<Gf2Poly> as, expect;
+    for (int i = 0; i < 32; ++i) {
+      as.push_back(rng.elem(field));
+      expect.push_back(field.mul(c, as.back()));
+    }
+    EXPECT_EQ(simulate_words(nl, *nl.find_word("Z"), {{nl.find_word("A"), as}}),
+              expect);
+  }
+}
+
+TEST(ConstMultiplier, AbstractsToScaledIdentity) {
+  const Gf2k field = Gf2k::make(8);
+  const auto c = field.alpha_pow(100);
+  const WordFunction fn =
+      extract_word_function(make_const_multiplier(field, c), field);
+  MPoly expect(&field);
+  expect.add_term(Monomial(fn.pool.id("A"), BigUint(1)), c);
+  EXPECT_EQ(fn.g, expect);
+}
+
+TEST(ConstMultiplier, ZeroConstantGivesCase1) {
+  const Gf2k field = Gf2k::make(4);
+  const WordFunction fn = extract_word_function(
+      make_const_multiplier(field, field.zero()), field);
+  EXPECT_TRUE(fn.stats.case1);
+  EXPECT_TRUE(fn.g.is_zero());
+}
+
+class LdDouble : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LdDouble, SimulationMatchesCurveFormulas) {
+  const Gf2k field = Gf2k::make(GetParam());
+  test::Rng rng(GetParam() * 3 + 1);
+  const auto b = rng.elem(field);
+  const Netlist nl = make_ld_point_double(field, b);
+  EXPECT_TRUE(nl.validate().empty());
+  std::vector<Gf2Poly> xs, zs, ex3, ez3;
+  for (int i = 0; i < 32; ++i) {
+    const auto x = rng.elem(field), z = rng.elem(field);
+    xs.push_back(x);
+    zs.push_back(z);
+    const auto x2 = field.square(x), z2 = field.square(z);
+    ex3.push_back(field.add(field.square(x2), field.mul(b, field.square(z2))));
+    ez3.push_back(field.mul(x2, z2));
+  }
+  const auto got_x3 = simulate_words(
+      nl, *nl.find_word("X3"), {{nl.find_word("X"), xs}, {nl.find_word("Z"), zs}});
+  const auto got_z3 = simulate_words(
+      nl, *nl.find_word("Z3"), {{nl.find_word("X"), xs}, {nl.find_word("Z"), zs}});
+  EXPECT_EQ(got_x3, ex3);
+  EXPECT_EQ(got_z3, ez3);
+}
+
+TEST_P(LdDouble, BothOutputWordsAbstractToCurveEquations) {
+  // Multi-output abstraction: X3 = X⁴ + b·Z⁴ and Z3 = X²·Z² recovered as
+  // canonical polynomials straight from the gates.
+  const Gf2k field = Gf2k::make(GetParam());
+  test::Rng rng(GetParam() * 5 + 2);
+  const auto b = rng.elem(field);
+  const Netlist nl = make_ld_point_double(field, b);
+  const std::vector<WordFunction> fns = extract_all_word_functions(nl, field);
+  ASSERT_EQ(fns.size(), 2u);
+
+  for (const WordFunction& fn : fns) {
+    const VarId x = fn.pool.id("X"), z = fn.pool.id("Z");
+    MPoly expect(&field);
+    if (fn.output_word == "X3") {
+      expect.add_term(Monomial(x, BigUint(4)), field.one());
+      expect.add_term(Monomial(z, BigUint(4)), b);
+    } else {
+      ASSERT_EQ(fn.output_word, "Z3");
+      expect.add_term(
+          Monomial::from_pairs({{x, BigUint(2)}, {z, BigUint(2)}}), field.one());
+    }
+    EXPECT_EQ(fn.g, expect) << fn.output_word << " = " << fn.g.to_string(fn.pool);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LdDouble, ::testing::Values(3, 5, 8, 16));
+
+TEST(LdDouble, ExtractNamedWord) {
+  const Gf2k field = Gf2k::make(5);
+  const Netlist nl = make_ld_point_double(field, field.one());
+  const WordFunction z3 = extract_word_function_for(nl, field, "Z3");
+  EXPECT_EQ(z3.output_word, "Z3");
+  EXPECT_THROW(extract_word_function_for(nl, field, "nope"),
+               std::invalid_argument);
+  // The single-output entry point must refuse a two-output circuit.
+  EXPECT_THROW(extract_word_function(nl, field), std::invalid_argument);
+}
+
+TEST(LdDouble, BugInSharedSquarerCorruptsBothOutputs) {
+  const Gf2k field = Gf2k::make(4);
+  const auto b = field.alpha();
+  const Netlist good = make_ld_point_double(field, b);
+  Netlist bad = good;
+  // sx_ cone feeds both X3 (via sx2_) and Z3 (via m_): flip one of its XORs.
+  NetId victim = kNoNet;
+  for (NetId n = 0; n < bad.num_nets(); ++n) {
+    if (bad.gate(n).type == GateType::kXor &&
+        bad.gate(n).name.rfind("sx_", 0) == 0) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoNet);
+  bad.mutable_gate(victim).type = GateType::kOr;
+  const auto good_fns = extract_all_word_functions(good, field);
+  const auto bad_fns = extract_all_word_functions(bad, field);
+  EXPECT_NE(good_fns[0].g, bad_fns[0].g);
+  EXPECT_NE(good_fns[1].g, bad_fns[1].g);
+}
+
+}  // namespace
+}  // namespace gfa

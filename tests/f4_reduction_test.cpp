@@ -1,0 +1,81 @@
+#include "abstraction/f4_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/karatsuba.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+class F4Engines : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(F4Engines, AgreesWithIndexedRewriterOnMultipliers) {
+  // Both evaluation strategies of the guided reduction compute the same
+  // canonical polynomial (they realize the same Gröbner reduction chain).
+  const Gf2k field = Gf2k::make(GetParam());
+  for (const Netlist& nl : {make_mastrovito_multiplier(field),
+                            make_montgomery_multiplier_flat(field),
+                            make_karatsuba_multiplier(field)}) {
+    const WordFunction a = extract_word_function(nl, field);
+    const WordFunction b = extract_word_function_f4(nl, field);
+    EXPECT_EQ(a.g, b.g) << nl.name();
+    EXPECT_EQ(b.stats.remainder_terms, a.stats.remainder_terms) << nl.name();
+  }
+}
+
+TEST_P(F4Engines, AgreesOnRandomCircuits) {
+  const Gf2k field = Gf2k::make(GetParam());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Netlist nl = test::make_random_word_circuit(GetParam(), seed, 40);
+    const WordFunction a = extract_word_function(nl, field);
+    const WordFunction b = extract_word_function_f4(nl, field);
+    EXPECT_EQ(a.g, b.g) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, F4Engines, ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(F4Reduction, PaperExample51Buggy) {
+  const Gf2k field(Gf2Poly::from_bits(0b111));
+  const WordFunction fn =
+      extract_word_function_f4(test::make_fig2_multiplier(true), field);
+  EXPECT_EQ(fn.g.num_terms(), 4u);  // the buggy quartic polynomial
+}
+
+TEST(F4Reduction, Case1Constant) {
+  const Gf2k field = Gf2k::make(3);
+  Netlist nl("c");
+  std::vector<NetId> a(3), z(3);
+  for (unsigned i = 0; i < 3; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < 3; ++i) {
+    z[i] = nl.add_const(i == 1, "z" + std::to_string(i));
+    nl.mark_output(z[i]);
+  }
+  nl.declare_word("A", a);
+  nl.declare_word("Z", z);
+  const WordFunction fn = extract_word_function_f4(nl, field);
+  EXPECT_TRUE(fn.stats.case1);
+  EXPECT_EQ(fn.g, MPoly::constant(&field, field.alpha()));
+}
+
+TEST(F4Reduction, BudgetTrips) {
+  const Gf2k field = Gf2k::make(8);
+  ExtractionOptions opts;
+  opts.max_terms = 5;
+  EXPECT_THROW(
+      extract_word_function_f4(make_mastrovito_multiplier(field), field, opts),
+      ExtractionBudgetExceeded);
+}
+
+TEST(F4Reduction, RejectsMultiOutputAndMissingWords) {
+  const Gf2k field = Gf2k::make(2);
+  Netlist nl;
+  nl.add_input("a0");
+  EXPECT_THROW(extract_word_function_f4(nl, field), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gfa

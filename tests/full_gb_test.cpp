@@ -1,0 +1,88 @@
+#include "baselines/full_gb.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/extractor.h"
+#include "circuit/mastrovito.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(FullGb, Fig2MultiplierFindsZPlusAB) {
+  // Paper Example 4.2: the Gröbner basis of J + J_0 under the abstraction
+  // order contains g7 : Z + A·B.
+  const Gf2k field(Gf2Poly::from_bits(0b111));
+  const FullGbResult res =
+      abstract_by_full_groebner(test::make_fig2_multiplier(), field);
+  ASSERT_TRUE(res.completed);
+  ASSERT_TRUE(res.found);
+  const MPoly ab = MPoly::variable(&field, res.pool.id("A")) *
+                   MPoly::variable(&field, res.pool.id("B"));
+  EXPECT_EQ(res.g, ab) << res.g.to_string(res.pool);
+}
+
+TEST(FullGb, BuggyFig2FindsBuggyPolynomial) {
+  const Gf2k field(Gf2Poly::from_bits(0b111));
+  const FullGbResult res = abstract_by_full_groebner(
+      test::make_fig2_multiplier(/*with_bug=*/true), field);
+  ASSERT_TRUE(res.completed);
+  ASSERT_TRUE(res.found);
+  // Must agree with the guided extractor (both compute the canonical form).
+  const WordFunction fast = extract_word_function(
+      test::make_fig2_multiplier(/*with_bug=*/true), field);
+  // Compare coefficient-by-coefficient through the pools (same names).
+  for (const auto& [mono, coeff] : fast.g.terms()) {
+    std::vector<std::pair<VarId, BigUint>> mapped;
+    for (const auto& [v, e] : mono.factors())
+      mapped.emplace_back(res.pool.id(fast.pool.name(v)), e);
+    EXPECT_EQ(res.g.coeff(Monomial::from_pairs(std::move(mapped))), coeff);
+  }
+  EXPECT_EQ(res.g.num_terms(), fast.g.num_terms());
+}
+
+TEST(FullGb, AgreesWithExtractorOnRandomTinyCircuits) {
+  const Gf2k field = Gf2k::make(2);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Netlist nl = test::make_random_word_circuit(2, seed, /*extra_gates=*/6);
+    const FullGbResult res = abstract_by_full_groebner(nl, field);
+    ASSERT_TRUE(res.completed) << "seed=" << seed;
+    ASSERT_TRUE(res.found) << "seed=" << seed;
+    const WordFunction fast = extract_word_function(nl, field);
+    for (const auto& [mono, coeff] : fast.g.terms()) {
+      std::vector<std::pair<VarId, BigUint>> mapped;
+      for (const auto& [v, e] : mono.factors())
+        mapped.emplace_back(res.pool.id(fast.pool.name(v)), e);
+      EXPECT_EQ(res.g.coeff(Monomial::from_pairs(std::move(mapped))), coeff)
+          << "seed=" << seed;
+    }
+    EXPECT_EQ(res.g.num_terms(), fast.g.num_terms()) << "seed=" << seed;
+  }
+}
+
+TEST(FullGb, UnrefinedOrderAlsoWorksOnTinyCircuit) {
+  const Gf2k field(Gf2Poly::from_bits(0b111));
+  const FullGbResult res = abstract_by_full_groebner(
+      test::make_fig2_multiplier(), field, {}, /*use_rato=*/false);
+  ASSERT_TRUE(res.completed);
+  ASSERT_TRUE(res.found);
+  const MPoly ab = MPoly::variable(&field, res.pool.id("A")) *
+                   MPoly::variable(&field, res.pool.id("B"));
+  EXPECT_EQ(res.g, ab);
+}
+
+TEST(FullGb, BudgetTripsOnLargerCircuit) {
+  // The explosion the paper reports for slimgb: a 4-bit multiplier already
+  // exceeds a small reduction budget.
+  const Gf2k field = Gf2k::make(4);
+  BuchbergerOptions opts;
+  opts.max_reductions = 50;
+  const FullGbResult res =
+      abstract_by_full_groebner(make_mastrovito_multiplier(field), field, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_FALSE(res.found);
+  EXPECT_GE(res.reductions, 50u);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+class MultiplierGenerators : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MultiplierGenerators, MastrovitoMatchesFieldMultiplication) {
+  const Gf2k field = Gf2k::make(GetParam());
+  const Netlist nl = make_mastrovito_multiplier(field);
+  EXPECT_TRUE(nl.validate().empty());
+  test::Rng rng(GetParam());
+  std::vector<Gf2Poly> as, bs, expect;
+  for (int i = 0; i < 64; ++i) {
+    as.push_back(rng.elem(field));
+    bs.push_back(rng.elem(field));
+    expect.push_back(field.mul(as.back(), bs.back()));
+  }
+  const auto got = simulate_words(
+      nl, *nl.find_word("Z"),
+      {{nl.find_word("A"), as}, {nl.find_word("B"), bs}});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(MultiplierGenerators, MontgomeryFlatMatchesFieldMultiplication) {
+  const Gf2k field = Gf2k::make(GetParam());
+  const Netlist nl = make_montgomery_multiplier_flat(field);
+  EXPECT_TRUE(nl.validate().empty());
+  test::Rng rng(GetParam() + 1000);
+  std::vector<Gf2Poly> as, bs, expect;
+  for (int i = 0; i < 64; ++i) {
+    as.push_back(rng.elem(field));
+    bs.push_back(rng.elem(field));
+    expect.push_back(field.mul(as.back(), bs.back()));
+  }
+  const auto got = simulate_words(
+      nl, *nl.find_word("Z"),
+      {{nl.find_word("A"), as}, {nl.find_word("B"), bs}});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(MultiplierGenerators, MontMulBlockComputesMontgomeryProduct) {
+  const Gf2k field = Gf2k::make(GetParam());
+  const Netlist blk = make_montmul_block(field, "mm");
+  const auto r_inv = field.inv(field.alpha_pow(std::uint64_t{field.k()}));
+  test::Rng rng(GetParam() + 2000);
+  std::vector<Gf2Poly> xs, ys, expect;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(rng.elem(field));
+    ys.push_back(rng.elem(field));
+    expect.push_back(field.mul(field.mul(xs.back(), ys.back()), r_inv));
+  }
+  const auto got = simulate_words(
+      blk, *blk.find_word("Z"),
+      {{blk.find_word("X"), xs}, {blk.find_word("Y"), ys}});
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MultiplierGenerators,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 11, 16, 23, 32, 48,
+                                           64));
+
+TEST(MultiplierGenerators, MastrovitoExhaustiveTinyFields) {
+  for (unsigned k = 2; k <= 5; ++k) {
+    const Gf2k field = Gf2k::make(k);
+    const Netlist nl = make_mastrovito_multiplier(field);
+    std::vector<Gf2Poly> as, bs, expect;
+    for (std::uint64_t a = 0; a < (1u << k); ++a)
+      for (std::uint64_t b = 0; b < (1u << k); ++b) {
+        as.push_back(field.from_bits(a));
+        bs.push_back(field.from_bits(b));
+        expect.push_back(field.mul(as.back(), bs.back()));
+        if (as.size() == 64 || (a == (1u << k) - 1 && b == (1u << k) - 1)) {
+          const auto got = simulate_words(
+              nl, *nl.find_word("Z"),
+              {{nl.find_word("A"), as}, {nl.find_word("B"), bs}});
+          EXPECT_EQ(got, expect) << "k=" << k;
+          as.clear();
+          bs.clear();
+          expect.clear();
+        }
+      }
+  }
+}
+
+TEST(MultiplierGenerators, GateCountsGrowQuadratically) {
+  const std::size_t g8 = make_mastrovito_multiplier(Gf2k::make(8)).num_logic_gates();
+  const std::size_t g16 =
+      make_mastrovito_multiplier(Gf2k::make(16)).num_logic_gates();
+  const std::size_t g32 =
+      make_mastrovito_multiplier(Gf2k::make(32)).num_logic_gates();
+  // Roughly 4x per doubling (O(k²) architecture).
+  EXPECT_GT(g16, 3 * g8);
+  EXPECT_LT(g16, 6 * g8);
+  EXPECT_GT(g32, 3 * g16);
+  EXPECT_LT(g32, 6 * g16);
+}
+
+TEST(MultiplierGenerators, HierarchyBlockSizesMatchPaperShape) {
+  // Table 2 shape: Blk Mid (two variable operands) is the largest; Blk A/B
+  // (constant R²) and Blk Out (constant 1) are substantially smaller.
+  const Gf2k field = Gf2k::make(16);
+  const MontgomeryHierarchy h = make_montgomery_hierarchy(field);
+  const std::size_t a = h.blk_a.num_logic_gates();
+  const std::size_t b = h.blk_b.num_logic_gates();
+  const std::size_t mid = h.blk_mid.num_logic_gates();
+  const std::size_t out = h.blk_out.num_logic_gates();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(mid, a);
+  EXPECT_GT(mid, out);
+  EXPECT_LT(out, a + mid);
+}
+
+TEST(MultiplierGenerators, MontgomeryBlocksHaveWordInterface) {
+  const Gf2k field = Gf2k::make(8);
+  const MontgomeryHierarchy h = make_montgomery_hierarchy(field);
+  for (const Netlist* blk : {&h.blk_a, &h.blk_b, &h.blk_out}) {
+    ASSERT_NE(blk->find_word("X"), nullptr);
+    ASSERT_NE(blk->find_word("Z"), nullptr);
+    EXPECT_EQ(blk->find_word("Y"), nullptr);  // folded constant
+  }
+  ASSERT_NE(h.blk_mid.find_word("Y"), nullptr);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,162 @@
+#include "gf/gf2k.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/interpolation.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(Gf2k, ConstructionFromDefaultPoly) {
+  const Gf2k f = Gf2k::make(8);
+  EXPECT_EQ(f.k(), 8u);
+  EXPECT_EQ(f.modulus().degree(), 8);
+  EXPECT_EQ(f.order(), BigUint(256));
+}
+
+TEST(Gf2k, NistFieldsConstruct) {
+  for (unsigned k : {163u, 233u, 283u, 409u, 571u}) {
+    const Gf2k f = Gf2k::make(k);
+    EXPECT_EQ(f.k(), k);
+    // Spot-check: α^{2^k} = α (Fermat for the generator image).
+    EXPECT_EQ(f.frobenius(f.alpha(), k), f.alpha());
+  }
+}
+
+TEST(Gf2k, F4MultiplicationTable) {
+  // F_4 with P = x^2+x+1: elements {0, 1, α, α+1}; α·α = α+1, α·(α+1) = 1.
+  const Gf2k f(Gf2Poly::from_bits(0b111));
+  const auto alpha = f.alpha();
+  const auto alpha1 = f.add(alpha, f.one());
+  EXPECT_EQ(f.mul(alpha, alpha), alpha1);
+  EXPECT_EQ(f.mul(alpha, alpha1), f.one());
+  EXPECT_EQ(f.mul(alpha1, alpha1), alpha);
+}
+
+class FieldAxioms : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FieldAxioms, RandomizedLaws) {
+  const Gf2k f = Gf2k::make(GetParam());
+  test::Rng rng(GetParam() * 7919 + 1);
+  for (int t = 0; t < 60; ++t) {
+    const auto a = rng.elem(f), b = rng.elem(f), c = rng.elem(f);
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.add(a, a), f.zero());              // char 2
+    EXPECT_EQ(f.mul(a, f.one()), a);
+    EXPECT_EQ(f.mul(a, f.zero()), f.zero());
+    EXPECT_EQ(f.square(a), f.mul(a, a));
+    if (!a.is_zero()) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+      // Fermat: a^(q-1) = 1.
+      EXPECT_EQ(f.pow(a, f.order() - BigUint(1)), f.one());
+    }
+    // Frobenius is additive: (a+b)^2 = a^2 + b^2.
+    EXPECT_EQ(f.square(f.add(a, b)), f.add(f.square(a), f.square(b)));
+    // a^q = a.
+    EXPECT_EQ(f.pow(a, f.order()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndCryptoSizes, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 8, 16, 31, 32, 33, 64,
+                                           67, 128, 163, 233));
+
+TEST(Gf2k, InverseExhaustiveSmall) {
+  for (unsigned k = 2; k <= 8; ++k) {
+    const Gf2k f = Gf2k::make(k);
+    for (const auto& a : all_field_elements(f)) {
+      if (a.is_zero()) continue;
+      EXPECT_EQ(f.mul(a, f.inv(a)), f.one()) << "k=" << k;
+    }
+  }
+}
+
+TEST(Gf2k, PowEdgeCases) {
+  const Gf2k f = Gf2k::make(8);
+  const auto a = f.from_bits(0x53);
+  EXPECT_EQ(f.pow(a, BigUint(0)), f.one());
+  EXPECT_EQ(f.pow(a, BigUint(1)), a);
+  EXPECT_EQ(f.pow(f.zero(), BigUint(5)), f.zero());
+  EXPECT_EQ(f.pow(a, BigUint(2)), f.square(a));
+  EXPECT_EQ(f.pow(a, BigUint(5)), f.mul(f.square(f.square(a)), a));
+}
+
+TEST(Gf2k, AlphaPowMatchesRepeatedMul) {
+  const Gf2k f = Gf2k::make(11);
+  Gf2k::Elem cur = f.one();
+  for (std::uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(f.alpha_pow(e), cur);
+    cur = f.mul(cur, f.alpha());
+  }
+}
+
+TEST(Gf2k, FrobeniusIsIteratedSquare) {
+  const Gf2k f = Gf2k::make(16);
+  test::Rng rng(99);
+  const auto a = rng.elem(f);
+  EXPECT_EQ(f.frobenius(a, 0), a);
+  EXPECT_EQ(f.frobenius(a, 3), f.square(f.square(f.square(a))));
+  EXPECT_EQ(f.frobenius(a, 16), a);  // full orbit
+}
+
+TEST(Gf2k, ReduceExponent) {
+  const Gf2k f = Gf2k::make(4);  // q = 16, q-1 = 15
+  EXPECT_EQ(f.reduce_exponent(BigUint(0)), BigUint(0));
+  EXPECT_EQ(f.reduce_exponent(BigUint(1)), BigUint(1));
+  EXPECT_EQ(f.reduce_exponent(BigUint(15)), BigUint(15));
+  EXPECT_EQ(f.reduce_exponent(BigUint(16)), BigUint(1));   // X^q = X
+  EXPECT_EQ(f.reduce_exponent(BigUint(17)), BigUint(2));
+  EXPECT_EQ(f.reduce_exponent(BigUint(30)), BigUint(15));
+  EXPECT_EQ(f.reduce_exponent(BigUint(31)), BigUint(1));
+}
+
+TEST(Gf2k, ReduceExponentPreservesFunction) {
+  // X^e and X^reduce(e) agree pointwise on the whole field.
+  const Gf2k f = Gf2k::make(5);
+  for (std::uint64_t e : {32ull, 33ull, 40ull, 62ull, 63ull, 100ull}) {
+    const BigUint r = f.reduce_exponent(BigUint(e));
+    for (const auto& a : all_field_elements(f)) {
+      EXPECT_EQ(f.pow(a, BigUint(e)), f.pow(a, r)) << "e=" << e;
+    }
+  }
+}
+
+TEST(Gf2k, AlphaPowInverseLaw) {
+  // α^a · α^{q-1-a} = 1 for several a, across two field sizes.
+  for (unsigned k : {5u, 16u}) {
+    const Gf2k f = Gf2k::make(k);
+    const BigUint qm1 = f.order() - BigUint(1);
+    for (std::uint64_t a : {1ull, 2ull, 7ull, 100ull}) {
+      const auto x = f.alpha_pow(a);
+      const auto y = f.pow(f.alpha(), qm1 - (BigUint(a) % qm1));
+      EXPECT_EQ(f.mul(x, y), f.one()) << "k=" << k << " a=" << a;
+      EXPECT_EQ(f.inv(x), y);
+    }
+  }
+}
+
+TEST(Gf2k, ToString) {
+  const Gf2k f = Gf2k::make(4);
+  EXPECT_EQ(f.to_string(f.zero()), "0");
+  EXPECT_EQ(f.to_string(f.one()), "1");
+  EXPECT_EQ(f.to_string(f.alpha()), "α");
+  EXPECT_EQ(f.to_string(f.from_bits(0b1011)), "α^3 + α + 1");
+}
+
+TEST(Gf2k, FromBitsReduces) {
+  const Gf2k f(Gf2Poly::from_bits(0b111));  // F_4
+  // 0b100 = α^2 which reduces to α + 1.
+  EXPECT_EQ(f.from_bits(0b100), f.add(f.alpha(), f.one()));
+}
+
+TEST(Gf2k, CheckedConstructionAcceptsIrreducible) {
+  const Gf2k f(Gf2Poly::from_exponents({8, 4, 3, 1, 0}), /*check=*/true);
+  EXPECT_EQ(f.k(), 8u);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,118 @@
+#include "baselines/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(Interpolation, AllFieldElementsEnumerates) {
+  const Gf2k f = Gf2k::make(3);
+  const auto elems = all_field_elements(f);
+  EXPECT_EQ(elems.size(), 8u);
+  // Distinct and reduced.
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    EXPECT_TRUE(f.is_canonical(elems[i]));
+    for (std::size_t j = i + 1; j < elems.size(); ++j)
+      EXPECT_NE(elems[i], elems[j]);
+  }
+}
+
+TEST(Interpolation, IdentityFunction) {
+  const Gf2k f = Gf2k::make(4);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  const MPoly p = interpolate_univariate(f, x, [](const Gf2k::Elem& a) { return a; });
+  EXPECT_EQ(p, MPoly::variable(&f, x));
+}
+
+TEST(Interpolation, ConstantFunction) {
+  const Gf2k f = Gf2k::make(3);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  const MPoly p = interpolate_univariate(
+      f, x, [&](const Gf2k::Elem&) { return f.alpha(); });
+  EXPECT_EQ(p, MPoly::constant(&f, f.alpha()));
+}
+
+TEST(Interpolation, SquareIsFrobeniusPolynomial) {
+  const Gf2k f = Gf2k::make(4);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  const MPoly p = interpolate_univariate(
+      f, x, [&](const Gf2k::Elem& a) { return f.square(a); });
+  MPoly expect(&f);
+  expect.add_term(Monomial(x, BigUint(2)), f.one());
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Interpolation, InverseFunctionIsPowerQMinus2) {
+  // a -> a^{-1} (with 0 -> 0) is X^{q-2} over F_q.
+  const Gf2k f = Gf2k::make(3);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  const MPoly p = interpolate_univariate(f, x, [&](const Gf2k::Elem& a) {
+    return a.is_zero() ? f.zero() : f.inv(a);
+  });
+  MPoly expect(&f);
+  expect.add_term(Monomial(x, BigUint(6)), f.one());  // q - 2 = 6
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Interpolation, InterpolantMatchesFunctionPointwise) {
+  // Random function: build the canonical polynomial and re-evaluate.
+  const Gf2k f = Gf2k::make(3);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  test::Rng rng(31);
+  std::vector<Gf2k::Elem> table;
+  for (int i = 0; i < 8; ++i) table.push_back(rng.elem(f));
+  auto fun = [&](const Gf2k::Elem& a) {
+    std::uint64_t idx = 0;
+    for (unsigned i = 0; i < 3; ++i)
+      if (a.coeff(i)) idx |= 1u << i;
+    return table[idx];
+  };
+  const MPoly p = interpolate_univariate(f, x, fun);
+  for (const auto& a : all_field_elements(f))
+    EXPECT_EQ(p.eval([&](VarId) { return a; }), fun(a));
+  // Canonical: degree < q.
+  for (const auto& [mono, c] : p.terms())
+    EXPECT_LT(mono.exponent(x), BigUint(8));
+}
+
+TEST(Interpolation, BivariateMultiplication) {
+  const Gf2k f = Gf2k::make(3);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  const VarId y = pool.intern("Y", VarKind::kWord);
+  const MPoly p = interpolate_bivariate(
+      f, x, y, [&](const Gf2k::Elem& a, const Gf2k::Elem& b) { return f.mul(a, b); });
+  EXPECT_EQ(p, MPoly::variable(&f, x) * MPoly::variable(&f, y));
+}
+
+TEST(Interpolation, BivariateRandomPointwise) {
+  const Gf2k f = Gf2k::make(2);
+  VarPool pool;
+  const VarId x = pool.intern("X", VarKind::kWord);
+  const VarId y = pool.intern("Y", VarKind::kWord);
+  test::Rng rng(5);
+  std::vector<Gf2k::Elem> table;
+  for (int i = 0; i < 16; ++i) table.push_back(rng.elem(f));
+  auto fun = [&](const Gf2k::Elem& a, const Gf2k::Elem& b) {
+    std::uint64_t idx = 0;
+    if (a.coeff(0)) idx |= 1;
+    if (a.coeff(1)) idx |= 2;
+    if (b.coeff(0)) idx |= 4;
+    if (b.coeff(1)) idx |= 8;
+    return table[idx];
+  };
+  const MPoly p = interpolate_bivariate(f, x, y, fun);
+  for (const auto& a : all_field_elements(f))
+    for (const auto& b : all_field_elements(f))
+      EXPECT_EQ(p.eval([&](VarId v) { return v == x ? a : b; }), fun(a, b));
+}
+
+}  // namespace
+}  // namespace gfa

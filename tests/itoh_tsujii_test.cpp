@@ -1,0 +1,91 @@
+#include "circuit/itoh_tsujii.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/interpolation.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+class ItohTsujii : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ItohTsujii, ComposedPolynomialIsXToQMinus2) {
+  // Hierarchical abstraction of the whole inverter = the canonical inversion
+  // polynomial X^{q-2} — for every ladder size, including ones where flat
+  // gate-level abstraction would be exponentially infeasible.
+  const Gf2k field = Gf2k::make(GetParam());
+  const ItohTsujiiHierarchy h = make_itoh_tsujii(field);
+  const HierarchicalAbstraction ha = abstract_hierarchy(h.graph, field);
+  const MPoly expect = inversion_spec(field, ha.composed.pool.id("A"));
+  EXPECT_EQ(ha.composed.g, expect) << ha.composed.g.to_string(ha.composed.pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ItohTsujii,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 11, 16, 23, 32));
+
+TEST(ItohTsujiiDetail, MatchesFieldInversionBySimulation) {
+  // Flatten the hierarchy by hand through the simulator: evaluate each block
+  // in dataflow order on concrete values and compare against field.inv().
+  const Gf2k field = Gf2k::make(8);
+  const ItohTsujiiHierarchy h = make_itoh_tsujii(field);
+  test::Rng rng(88);
+  for (int t = 0; t < 20; ++t) {
+    const Gf2Poly a = rng.elem(field);
+    std::map<std::string, Gf2Poly> sig{{"A", a}};
+    for (const auto& inst : h.graph.instances) {
+      std::vector<std::pair<const Word*, std::vector<Gf2Poly>>> ins;
+      for (const auto& [word, s] : inst.inputs)
+        ins.emplace_back(inst.block->find_word(word),
+                         std::vector<Gf2Poly>{sig.at(s)});
+      sig[inst.output_signal] =
+          simulate_words(*inst.block, *inst.block->find_word("Z"), ins)[0];
+    }
+    const Gf2Poly expect = a.is_zero() ? field.zero() : field.inv(a);
+    EXPECT_EQ(sig.at("INV"), expect) << "A=" << field.to_string(a);
+  }
+}
+
+TEST(ItohTsujiiDetail, ZeroMapsToZero) {
+  // X^{q-2} evaluates to 0 at 0 — the canonical form encodes the 0 ↦ 0
+  // convention automatically.
+  const Gf2k field = Gf2k::make(5);
+  const MPoly spec = inversion_spec(field, 0);
+  EXPECT_TRUE(spec.eval([&](VarId) { return field.zero(); }).is_zero());
+  // And to a^{-1} everywhere else.
+  for (const auto& a : all_field_elements(field)) {
+    if (a.is_zero()) continue;
+    EXPECT_EQ(spec.eval([&](VarId) { return a; }), field.inv(a));
+  }
+}
+
+TEST(ItohTsujiiDetail, ChainLengthIsLogarithmic) {
+  // The addition chain uses O(log k) multiplications.
+  for (unsigned k : {8u, 16u, 32u, 64u}) {
+    const Gf2k field = Gf2k::make(k);
+    const ItohTsujiiHierarchy h = make_itoh_tsujii(field);
+    std::size_t muls = 0;
+    for (const auto& inst : h.graph.instances)
+      if (inst.name.rfind("mul", 0) == 0) ++muls;
+    EXPECT_LE(muls, 2 * static_cast<std::size_t>(std::bit_width(k - 1)));
+    EXPECT_GE(muls, static_cast<std::size_t>(std::bit_width(k - 1)) - 1);
+  }
+}
+
+TEST(ItohTsujiiDetail, BuggyChainDetected) {
+  // Mutate the shared multiplier block: the composed polynomial must differ
+  // from X^{q-2} (and the abstraction pinpoints that it does).
+  const Gf2k field = Gf2k::make(8);
+  ItohTsujiiHierarchy h = make_itoh_tsujii(field);
+  Netlist& mul = *h.blocks[0];
+  const NetId p00 = mul.find_net("p0_0");
+  ASSERT_NE(p00, kNoNet);
+  mul.mutable_gate(p00).type = GateType::kOr;
+  const HierarchicalAbstraction ha = abstract_hierarchy(h.graph, field);
+  const MPoly expect = inversion_spec(field, ha.composed.pool.id("A"));
+  EXPECT_NE(ha.composed.g, expect);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,125 @@
+#include "poly/monomial.h"
+
+#include <gtest/gtest.h>
+
+namespace gfa {
+namespace {
+
+Monomial mono(std::vector<std::pair<VarId, std::uint64_t>> pairs) {
+  std::vector<std::pair<VarId, BigUint>> v;
+  for (auto& [var, e] : pairs) v.emplace_back(var, BigUint(e));
+  return Monomial::from_pairs(std::move(v));
+}
+
+TEST(Monomial, OneAndConstruction) {
+  EXPECT_TRUE(Monomial().is_one());
+  EXPECT_TRUE(Monomial(3, BigUint(0)).is_one());
+  EXPECT_FALSE(Monomial(3, BigUint(1)).is_one());
+  // Repeated vars merge, zero exponents drop.
+  EXPECT_EQ(mono({{1, 2}, {1, 3}}), mono({{1, 5}}));
+  EXPECT_EQ(mono({{1, 0}, {2, 1}}), mono({{2, 1}}));
+}
+
+TEST(Monomial, ExponentLookup) {
+  const Monomial m = mono({{2, 3}, {5, 1}});
+  EXPECT_EQ(m.exponent(2), BigUint(3));
+  EXPECT_EQ(m.exponent(5), BigUint(1));
+  EXPECT_EQ(m.exponent(3), BigUint(0));
+  EXPECT_EQ(m.total_degree(), BigUint(4));
+}
+
+TEST(Monomial, Multiplication) {
+  EXPECT_EQ(mono({{0, 1}, {1, 2}}) * mono({{1, 1}, {2, 4}}),
+            mono({{0, 1}, {1, 3}, {2, 4}}));
+  EXPECT_EQ(Monomial() * mono({{7, 2}}), mono({{7, 2}}));
+}
+
+TEST(Monomial, Divides) {
+  EXPECT_TRUE(mono({{1, 1}}).divides(mono({{1, 2}, {2, 1}})));
+  EXPECT_FALSE(mono({{1, 3}}).divides(mono({{1, 2}, {2, 1}})));
+  EXPECT_FALSE(mono({{3, 1}}).divides(mono({{1, 2}})));
+  EXPECT_TRUE(Monomial().divides(mono({{1, 1}})));
+  EXPECT_TRUE(mono({{1, 1}}).divides(mono({{1, 1}})));
+}
+
+TEST(Monomial, DivideInto) {
+  // (x1^2 x2^4) / (x1 x2) = x1 x2^3
+  EXPECT_EQ(mono({{1, 1}, {2, 1}}).divide_into(mono({{1, 2}, {2, 4}})),
+            mono({{1, 1}, {2, 3}}));
+  EXPECT_EQ(mono({{1, 2}}).divide_into(mono({{1, 2}})), Monomial());
+}
+
+TEST(Monomial, LcmAndRelativelyPrime) {
+  EXPECT_EQ(Monomial::lcm(mono({{1, 2}, {2, 1}}), mono({{2, 3}, {4, 1}})),
+            mono({{1, 2}, {2, 3}, {4, 1}}));
+  EXPECT_TRUE(Monomial::relatively_prime(mono({{1, 2}}), mono({{2, 3}})));
+  EXPECT_FALSE(Monomial::relatively_prime(mono({{1, 2}, {5, 1}}), mono({{5, 9}})));
+  EXPECT_TRUE(Monomial::relatively_prime(Monomial(), mono({{1, 1}})));
+}
+
+TEST(Monomial, ProductCriterionIdentity) {
+  // lm(f)·lm(g) == lcm(lm(f), lm(g)) iff relatively prime.
+  const Monomial a = mono({{1, 2}, {3, 1}});
+  const Monomial b = mono({{2, 4}});
+  EXPECT_EQ(a * b, Monomial::lcm(a, b));
+  const Monomial c = mono({{3, 2}});
+  EXPECT_NE(a * c, Monomial::lcm(a, c));
+}
+
+TEST(Monomial, BigExponents) {
+  const Monomial m = Monomial(0, BigUint::pow2(570)) * Monomial(0, BigUint::pow2(570));
+  EXPECT_EQ(m.exponent(0), BigUint::pow2(571));
+}
+
+TEST(TermOrder, LexByIdBasics) {
+  const TermOrder o = TermOrder::lex_by_id(4);
+  // x0 > x1 > x2 > x3; x0 beats any power of later vars.
+  EXPECT_TRUE(o.greater(mono({{0, 1}}), mono({{1, 9}, {2, 9}})));
+  EXPECT_TRUE(o.greater(mono({{0, 2}}), mono({{0, 1}, {1, 5}})));
+  EXPECT_TRUE(o.greater(mono({{0, 1}, {1, 1}}), mono({{0, 1}})));
+  EXPECT_EQ(o.compare(mono({{1, 2}}), mono({{1, 2}})), 0);
+}
+
+TEST(TermOrder, CustomPriority) {
+  // Priority z > x > y with ids x=0, y=1, z=2.
+  const TermOrder o(TermOrder::Type::kLex, {2, 0, 1});
+  EXPECT_TRUE(o.greater(mono({{2, 1}}), mono({{0, 7}, {1, 7}})));
+  EXPECT_TRUE(o.greater(mono({{0, 1}}), mono({{1, 7}})));
+}
+
+TEST(TermOrder, UnrankedVariablesComeLast) {
+  const TermOrder o(TermOrder::Type::kLex, {5});
+  // Var 5 is ranked; vars 0..4 unranked and ordered by id after 5.
+  EXPECT_TRUE(o.greater(mono({{5, 1}}), mono({{0, 3}})));
+  EXPECT_TRUE(o.greater(mono({{0, 1}}), mono({{1, 3}})));
+}
+
+TEST(TermOrder, GradedLex) {
+  const TermOrder o(TermOrder::Type::kGrLex, {0, 1, 2});
+  // Total degree first: x2^3 > x0^2.
+  EXPECT_TRUE(o.greater(mono({{2, 3}}), mono({{0, 2}})));
+  // Ties broken lexicographically: x0 x1 > x0 x2.
+  EXPECT_TRUE(o.greater(mono({{0, 1}, {1, 1}}), mono({{0, 1}, {2, 1}})));
+}
+
+TEST(TermOrder, ExampleFromPaper41) {
+  // lex x > y > z: x y z^2 ... the ordering used in Example 4.1.
+  const TermOrder o = TermOrder::lex_by_id(3);
+  EXPECT_TRUE(o.greater(mono({{0, 2}, {1, 1}}), mono({{0, 1}, {1, 2}})));
+  EXPECT_TRUE(o.greater(mono({{1, 2}}), mono({{1, 1}, {2, 2}})));
+}
+
+TEST(Monomial, CanonicalOrderingIsTotal) {
+  std::vector<Monomial> ms = {Monomial(), mono({{0, 1}}), mono({{0, 2}}),
+                              mono({{1, 1}}), mono({{0, 1}, {1, 1}})};
+  for (const auto& a : ms)
+    for (const auto& b : ms) {
+      const auto c1 = a <=> b;
+      const auto c2 = b <=> a;
+      EXPECT_EQ(c1 == std::strong_ordering::equal, a == b);
+      EXPECT_EQ(c1 == std::strong_ordering::less, c2 == std::strong_ordering::greater);
+    }
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,190 @@
+#include "poly/mpoly.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/interpolation.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+class MPolyTest : public ::testing::Test {
+ protected:
+  MPolyTest() : field_(Gf2k::make(4)) {
+    x_ = pool_.intern("x", VarKind::kWord);
+    y_ = pool_.intern("y", VarKind::kWord);
+    b_ = pool_.intern("b", VarKind::kBit);
+  }
+  MPoly var(VarId v) { return MPoly::variable(&field_, v); }
+  MPoly con(std::uint64_t bits) {
+    return MPoly::constant(&field_, field_.from_bits(bits));
+  }
+  Gf2k field_;
+  VarPool pool_;
+  VarId x_, y_, b_;
+};
+
+TEST_F(MPolyTest, AddCancelsInCharTwo) {
+  MPoly p = var(x_) + var(y_);
+  EXPECT_EQ(p.num_terms(), 2u);
+  p += var(x_);
+  EXPECT_EQ(p.num_terms(), 1u);
+  EXPECT_EQ(p, var(y_));
+  EXPECT_TRUE((p + p).is_zero());
+}
+
+TEST_F(MPolyTest, MultiplicationExpands) {
+  // (x + 1)(x + 1) = x^2 + 1 over char 2.
+  MPoly xp1 = var(x_) + con(1);
+  MPoly sq = xp1 * xp1;
+  EXPECT_EQ(sq.num_terms(), 2u);
+  EXPECT_EQ(sq.coeff(Monomial(x_, BigUint(2))), field_.one());
+  EXPECT_EQ(sq.coeff(Monomial()), field_.one());
+  // (x + y)^2 = x^2 + y^2.
+  MPoly s2 = (var(x_) + var(y_)) * (var(x_) + var(y_));
+  EXPECT_EQ(s2, var(x_) * var(x_) + var(y_) * var(y_));
+}
+
+TEST_F(MPolyTest, CoefficientArithmetic) {
+  // α·x + α·x = 0 ; α·x + (α+1)·x = x.
+  const auto alpha = field_.alpha();
+  MPoly p(&field_);
+  p.add_term(Monomial(x_, BigUint(1)), alpha);
+  p.add_term(Monomial(x_, BigUint(1)), field_.add(alpha, field_.one()));
+  EXPECT_EQ(p, var(x_));
+}
+
+TEST_F(MPolyTest, LeadingTermDependsOnOrder) {
+  MPoly p = var(x_) + var(y_) * var(y_);
+  const TermOrder lex_xy(TermOrder::Type::kLex, {x_, y_});
+  const TermOrder lex_yx(TermOrder::Type::kLex, {y_, x_});
+  EXPECT_EQ(p.leading_term(lex_xy).mono, Monomial(x_, BigUint(1)));
+  EXPECT_EQ(p.leading_term(lex_yx).mono, Monomial(y_, BigUint(2)));
+}
+
+TEST_F(MPolyTest, MonicDividesByLeadingCoeff) {
+  const auto alpha = field_.alpha();
+  MPoly p = var(x_).scaled(alpha) + con(1);
+  const TermOrder o = TermOrder::lex_by_id(pool_.size());
+  const MPoly m = p.monic(o);
+  EXPECT_EQ(m.leading_term(o).coeff, field_.one());
+  EXPECT_EQ(m.coeff(Monomial()), field_.inv(alpha));
+}
+
+TEST_F(MPolyTest, NormalizedVanishingBitVariable) {
+  // b^5 -> b for a bit variable.
+  MPoly p = MPoly::term(&field_, field_.one(), Monomial(b_, BigUint(5)));
+  EXPECT_EQ(p.normalized_vanishing(pool_), var(b_));
+  // b^2 + b -> 0.
+  MPoly q = MPoly::term(&field_, field_.one(), Monomial(b_, BigUint(2))) + var(b_);
+  EXPECT_TRUE(q.normalized_vanishing(pool_).is_zero());
+}
+
+TEST_F(MPolyTest, NormalizedVanishingWordVariable) {
+  // q = 16: x^16 -> x, x^17 -> x^2, x^15 stays.
+  auto term = [&](std::uint64_t e) {
+    return MPoly::term(&field_, field_.one(), Monomial(x_, BigUint(e)));
+  };
+  EXPECT_EQ(term(16).normalized_vanishing(pool_), term(1));
+  EXPECT_EQ(term(17).normalized_vanishing(pool_), term(2));
+  EXPECT_EQ(term(15).normalized_vanishing(pool_), term(15));
+}
+
+TEST_F(MPolyTest, EvalMatchesStructure) {
+  // p = α·x·y + y + 1 at x = α, y = α+1.
+  const auto alpha = field_.alpha();
+  MPoly p(&field_);
+  p.add_term(Monomial::from_pairs({{x_, BigUint(1)}, {y_, BigUint(1)}}), alpha);
+  p.add_term(Monomial(y_, BigUint(1)), field_.one());
+  p.add_term(Monomial(), field_.one());
+  const auto xval = alpha;
+  const auto yval = field_.add(alpha, field_.one());
+  const auto expect = field_.add(
+      field_.add(field_.mul(alpha, field_.mul(xval, yval)), yval), field_.one());
+  EXPECT_EQ(p.eval([&](VarId v) { return v == x_ ? xval : yval; }), expect);
+}
+
+TEST_F(MPolyTest, SubstituteVariableByPolynomial) {
+  // p = x^2 + y; x := y + 1 gives y^2 + y + 1 + y = y^2 + 1.
+  MPoly p = var(x_) * var(x_) + var(y_);
+  MPoly r = p.substituted(x_, var(y_) + con(1), pool_);
+  EXPECT_EQ(r, var(y_) * var(y_) + con(1) + var(y_) + var(y_) + var(y_));
+}
+
+TEST_F(MPolyTest, SubstituteLargeExponentUsesVanishing) {
+  // x^16 with x := y must give y (vanishing normalizes x^16 -> x first/after).
+  MPoly p = MPoly::term(&field_, field_.one(), Monomial(x_, BigUint(16)));
+  EXPECT_EQ(p.substituted(x_, var(y_), pool_), var(y_));
+}
+
+TEST_F(MPolyTest, MentionsAndVariables) {
+  MPoly p = var(x_) * var(y_) + con(3);
+  EXPECT_TRUE(p.mentions(x_));
+  EXPECT_TRUE(p.mentions(y_));
+  EXPECT_FALSE(p.mentions(b_));
+  EXPECT_EQ(p.variables(), (std::vector<VarId>{x_, y_}));
+}
+
+TEST_F(MPolyTest, ToStringReadable) {
+  const auto alpha = field_.alpha();
+  MPoly p(&field_);
+  p.add_term(Monomial::from_pairs({{x_, BigUint(1)}, {y_, BigUint(1)}}),
+             field_.add(alpha, field_.one()));
+  p.add_term(Monomial(), field_.one());
+  EXPECT_EQ(p.to_string(pool_), "(α + 1)*x*y + 1");
+}
+
+TEST_F(MPolyTest, NormalFormSingleDivisor) {
+  // Divide x^2 y by {x y + 1} under lex x > y: remainder is x·(−1)·... = x.
+  const TermOrder o(TermOrder::Type::kLex, {x_, y_});
+  MPoly f = var(x_) * var(x_) * var(y_);
+  MPoly g = var(x_) * var(y_) + con(1);
+  const MPoly r = normal_form(f, {g}, o);
+  EXPECT_EQ(r, var(x_));
+}
+
+TEST_F(MPolyTest, NormalFormIsZeroForMultiples) {
+  const TermOrder o(TermOrder::Type::kLex, {x_, y_});
+  MPoly g = var(x_) + var(y_) * var(y_);
+  MPoly f = g * (var(x_) * var(y_) + con(7));
+  EXPECT_TRUE(normal_form(f, {g}, o).is_zero());
+}
+
+TEST_F(MPolyTest, NormalFormRemainderNotDivisible) {
+  const TermOrder o(TermOrder::Type::kLex, {x_, y_});
+  test::Rng rng(17);
+  // Random f against two divisors; every remainder term must be reduced.
+  for (int t = 0; t < 20; ++t) {
+    MPoly f(&field_);
+    for (int term = 0; term < 6; ++term)
+      f.add_term(Monomial::from_pairs({{x_, BigUint(rng.below(4))},
+                                       {y_, BigUint(rng.below(4))}}),
+                 rng.elem(field_));
+    MPoly g1 = var(x_) * var(y_) + var(y_);
+    MPoly g2 = var(y_) * var(y_) + con(2);
+    const MPoly r = normal_form(f, {g1, g2}, o);
+    for (const auto& [mono, c] : r.terms()) {
+      EXPECT_FALSE(g1.leading_term(o).mono.divides(mono));
+      EXPECT_FALSE(g2.leading_term(o).mono.divides(mono));
+    }
+  }
+}
+
+TEST_F(MPolyTest, SpolyCancelsLeadingTerms) {
+  const TermOrder o(TermOrder::Type::kLex, {x_, y_});
+  MPoly f = var(x_) * var(x_) + var(y_);       // lt x^2
+  MPoly g = var(x_) * var(y_) + con(1);        // lt x y
+  const MPoly s = spoly(f, g, o);
+  // Spoly = y·f + x·g = y^2 + x (char 2).
+  EXPECT_EQ(s, var(y_) * var(y_) + var(x_));
+}
+
+TEST_F(MPolyTest, DefaultConstructedIsPlaceholder) {
+  MPoly p;
+  EXPECT_TRUE(p.is_zero());
+  p = MPoly::constant(&field_, field_.one());
+  EXPECT_FALSE(p.is_zero());
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,74 @@
+#include "circuit/mutate.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(Mutate, GateTypeBugChangesFunction) {
+  const Netlist nl = test::make_fig2_multiplier();
+  BugDescription desc;
+  const Netlist buggy =
+      inject_gate_type_bug(nl, nl.find_net("r0"), GateType::kAnd, &desc);
+  EXPECT_EQ(buggy.gate(buggy.find_net("r0")).type, GateType::kAnd);
+  EXPECT_NE(desc.text.find("r0"), std::string::npos);
+  EXPECT_NE(desc.text.find("xor -> and"), std::string::npos);
+  // Original unchanged.
+  EXPECT_EQ(nl.gate(nl.find_net("r0")).type, GateType::kXor);
+  // Function differs on some input.
+  const auto v1 = simulate(nl, {0b01, 0b10, 0b11, 0b00});
+  const auto v2 = simulate(buggy, {0b01, 0b10, 0b11, 0b00});
+  EXPECT_NE(v1[nl.find_net("z1")] & 0b11, v2[buggy.find_net("z1")] & 0b11);
+}
+
+TEST(Mutate, RejectsIncompatibleTypeSwap) {
+  const Netlist nl = test::make_fig2_multiplier();
+  EXPECT_THROW(inject_gate_type_bug(nl, nl.find_net("r0"), GateType::kNot),
+               std::invalid_argument);
+  EXPECT_THROW(inject_gate_type_bug(nl, nl.find_net("r0"), GateType::kXor),
+               std::invalid_argument);
+}
+
+TEST(Mutate, WireBugReroutes) {
+  const Netlist nl = test::make_fig2_multiplier();
+  // This is exactly the paper's Example 5.1: r0's fanin s1 -> s0.
+  BugDescription desc;
+  const Netlist buggy = inject_wire_bug(nl, nl.find_net("r0"), 0,
+                                        nl.find_net("s0"), &desc);
+  EXPECT_EQ(buggy.gate(buggy.find_net("r0")).fanins[0], buggy.find_net("s0"));
+  EXPECT_NE(desc.text.find("s1 -> s0"), std::string::npos);
+  EXPECT_TRUE(buggy.validate().empty());
+}
+
+TEST(Mutate, WireBugRejectsIdentity) {
+  const Netlist nl = test::make_fig2_multiplier();
+  EXPECT_THROW(inject_wire_bug(nl, nl.find_net("r0"), 0, nl.find_net("s1")),
+               std::invalid_argument);
+}
+
+TEST(Mutate, WireBugRejectsCycles) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g1 = nl.add_gate(GateType::kNot, {a}, "g1");
+  const NetId g2 = nl.add_gate(GateType::kNot, {g1}, "g2");
+  nl.mark_output(g2);
+  EXPECT_THROW(inject_wire_bug(nl, g1, 0, g2), std::logic_error);
+}
+
+TEST(Mutate, RandomBugsAreLegalAndDeterministic) {
+  const Netlist nl = test::make_fig2_multiplier();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    BugDescription d1, d2;
+    const Netlist b1 = inject_random_bug(nl, seed, &d1);
+    const Netlist b2 = inject_random_bug(nl, seed, &d2);
+    EXPECT_TRUE(b1.validate().empty()) << d1.text;
+    EXPECT_EQ(d1.text, d2.text);
+    EXPECT_FALSE(d1.text.empty());
+  }
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,103 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl("t");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, {a, b}, "g");
+  nl.mark_output(g);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.num_logic_gates(), 1u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs(), std::vector<NetId>{g});
+  EXPECT_EQ(nl.find_net("g"), g);
+  EXPECT_EQ(nl.find_net("nope"), kNoNet);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Netlist, AutoNamesAreUnique) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g1 = nl.add_gate(GateType::kNot, {a});
+  const NetId g2 = nl.add_gate(GateType::kNot, {g1});
+  EXPECT_NE(nl.gate(g1).name, nl.gate(g2).name);
+}
+
+TEST(Netlist, TopologicalOrderRespectsFanins) {
+  const Netlist nl = test::make_fig2_multiplier();
+  const auto topo = nl.topological_order();
+  std::vector<std::size_t> pos(nl.num_nets());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    for (NetId f : nl.gate(n).fanins) EXPECT_LT(pos[f], pos[n]);
+}
+
+TEST(Netlist, ReverseTopologicalLevels) {
+  const Netlist nl = test::make_fig2_multiplier();
+  const auto level = nl.reverse_topological_levels();
+  // Outputs are at level 0.
+  for (NetId o : nl.outputs()) EXPECT_EQ(level[o], 0u);
+  // Every net sits strictly below all its fanins (RATO invariant).
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    for (NetId f : nl.gate(n).fanins) EXPECT_GT(level[f], level[n]);
+}
+
+TEST(Netlist, ValidateCatchesArityErrors) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  NetId g = nl.add_gate(GateType::kAnd, {a, a}, "g");
+  nl.mutable_gate(g).fanins.pop_back();  // and with 1 fanin
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+TEST(Netlist, ValidateCatchesCycles) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g1 = nl.add_gate(GateType::kAnd, {a, a}, "g1");
+  const NetId g2 = nl.add_gate(GateType::kAnd, {g1, a}, "g2");
+  nl.mutable_gate(g1).fanins[1] = g2;  // g1 <-> g2 cycle
+  EXPECT_NE(nl.validate().find("cycle"), std::string::npos);
+  EXPECT_THROW(nl.topological_order(), std::logic_error);
+}
+
+TEST(Netlist, WordsRoundTrip) {
+  Netlist nl;
+  const NetId a0 = nl.add_input("a0");
+  const NetId a1 = nl.add_input("a1");
+  nl.declare_word("A", {a0, a1});
+  ASSERT_NE(nl.find_word("A"), nullptr);
+  EXPECT_EQ(nl.find_word("A")->bits, (std::vector<NetId>{a0, a1}));
+  EXPECT_EQ(nl.find_word("B"), nullptr);
+}
+
+TEST(GateTypeNames, RoundTrip) {
+  for (GateType t : {GateType::kInput, GateType::kConst0, GateType::kConst1,
+                     GateType::kBuf, GateType::kNot, GateType::kAnd,
+                     GateType::kOr, GateType::kXor, GateType::kNand,
+                     GateType::kNor, GateType::kXnor}) {
+    auto back = gate_type_from_name(gate_type_name(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(gate_type_from_name("frobnicate").has_value());
+}
+
+TEST(Netlist, NumLogicGatesExcludesSources) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_const(true, "one");
+  nl.add_const(false, "zero");
+  nl.add_gate(GateType::kNot, {a}, "n");
+  EXPECT_EQ(nl.num_nets(), 4u);
+  EXPECT_EQ(nl.num_logic_gates(), 1u);
+}
+
+}  // namespace
+}  // namespace gfa

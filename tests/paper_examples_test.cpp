@@ -1,0 +1,154 @@
+// End-to-end reproductions of the paper's worked examples (Fig. 2,
+// Example 4.2, Example 5.1) through the *full* pipeline: circuit ideal,
+// abstraction term orders, the guided S-polynomial reduction, and the lift.
+
+#include <gtest/gtest.h>
+
+#include "abstraction/equivalence.h"
+#include "abstraction/rato.h"
+#include "circuit/gate_poly.h"
+#include "circuit/sim.h"
+#include "poly/groebner.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+class PaperExamples : public ::testing::Test {
+ protected:
+  PaperExamples() : field_(Gf2Poly::from_bits(0b111)) {}  // F_4, P = x²+x+1
+  Gf2k field_;
+};
+
+TEST_F(PaperExamples, Example42CircuitIdealPolynomials) {
+  // The generators f_1 … f_10 of Example 4.2 (word polynomials f_1..f_3 and
+  // gate polynomials f_4..f_10).
+  const Netlist nl = test::make_fig2_multiplier();
+  const CircuitIdeal ci = circuit_ideal(nl, &field_);
+  EXPECT_EQ(ci.gate_polys.size(), 7u);   // s0..s3, r0, z0, z1
+  EXPECT_EQ(ci.word_polys.size(), 3u);   // A, B, Z
+
+  // f_4 : s0 + a0·b0.
+  const VarId s0 = ci.pool.id("s0");
+  const VarId a0 = ci.pool.id("a0");
+  const VarId b0 = ci.pool.id("b0");
+  MPoly f4 = MPoly::variable(&field_, s0);
+  f4.add_term(Monomial::from_pairs({{a0, BigUint(1)}, {b0, BigUint(1)}}),
+              field_.one());
+  EXPECT_EQ(ci.gate_polys[0], f4);
+
+  // f_3 : a0 + a1·α + A.
+  MPoly f3 = MPoly::variable(&field_, ci.pool.id("A"));
+  f3.add_term(Monomial(ci.pool.id("a0"), BigUint(1)), field_.one());
+  f3.add_term(Monomial(ci.pool.id("a1"), BigUint(1)), field_.alpha());
+  EXPECT_EQ(ci.word_polys[0], f3);
+}
+
+TEST_F(PaperExamples, Example42GroebnerBasisContainsG7) {
+  // "The polynomial g7 : Z + AB describes Z = AB as the canonical polynomial
+  // function implemented by the circuit."
+  const Netlist nl = test::make_fig2_multiplier();
+  const CircuitIdeal ci = circuit_ideal(nl, &field_);
+  const TermOrder order = make_rato_order(nl, ci);
+
+  std::vector<MPoly> gens = ci.all_generators();
+  std::vector<VarId> all_vars;
+  for (std::size_t v = 0; v < ci.pool.size(); ++v)
+    all_vars.push_back(static_cast<VarId>(v));
+  for (MPoly& p : vanishing_polynomials(&field_, ci.pool, all_vars))
+    gens.push_back(std::move(p));
+
+  const auto res = buchberger(gens, order);
+  ASSERT_TRUE(res.completed);
+  // Z + AB must reduce to zero modulo the basis (it lies in J + J_0)...
+  MPoly z_plus_ab = MPoly::variable(&field_, ci.pool.id("Z"));
+  z_plus_ab.add_term(
+      Monomial::from_pairs(
+          {{ci.pool.id("A"), BigUint(1)}, {ci.pool.id("B"), BigUint(1)}}),
+      field_.one());
+  EXPECT_TRUE(normal_form(z_plus_ab, res.basis, order).is_zero());
+  // ...and the reduced basis contains it as the unique Z-leading polynomial.
+  const auto reduced = reduce_basis(res.basis, order);
+  int z_leading = 0;
+  for (const MPoly& g : reduced) {
+    if (g.leading_term(order).mono == Monomial(ci.pool.id("Z"), BigUint(1))) {
+      ++z_leading;
+      EXPECT_EQ(g, z_plus_ab) << g.to_string(ci.pool);
+    }
+  }
+  EXPECT_EQ(z_leading, 1);  // Corollary 4.1
+}
+
+TEST_F(PaperExamples, Example51CorrectCircuitRemainder) {
+  // "Computing Spoly(f_1, f_9) ->+ r, we find that r = Z + A·B."
+  const WordFunction fn =
+      extract_word_function(test::make_fig2_multiplier(), field_);
+  EXPECT_EQ(fn.g.num_terms(), 1u);
+  const MPoly ab = MPoly::variable(&field_, fn.pool.id("A")) *
+                   MPoly::variable(&field_, fn.pool.id("B"));
+  EXPECT_EQ(fn.g, ab);
+}
+
+TEST_F(PaperExamples, Example51BuggyCircuitPolynomial) {
+  // "We find the polynomial Z + α·A²B² + A²B + (α+1)·AB² + (α+1)·AB ... which
+  // is indeed the polynomial representation of the buggy circuit!"
+  const WordFunction fn =
+      extract_word_function(test::make_fig2_multiplier(true), field_);
+  const VarId a = fn.pool.id("A"), b = fn.pool.id("B");
+  auto m = [&](std::uint64_t ea, std::uint64_t eb) {
+    return Monomial::from_pairs({{a, BigUint(ea)}, {b, BigUint(eb)}});
+  };
+  const auto alpha = field_.alpha();
+  const auto alpha1 = field_.add(alpha, field_.one());
+  EXPECT_EQ(fn.g.num_terms(), 4u);
+  EXPECT_EQ(fn.g.coeff(m(2, 2)), alpha);
+  EXPECT_EQ(fn.g.coeff(m(2, 1)), field_.one());
+  EXPECT_EQ(fn.g.coeff(m(1, 2)), alpha1);
+  EXPECT_EQ(fn.g.coeff(m(1, 1)), alpha1);
+
+  // And the buggy polynomial is the true function of the buggy circuit:
+  // evaluate against simulation over all 16 points.
+  const Netlist buggy = test::make_fig2_multiplier(true);
+  for (std::uint64_t av = 0; av < 4; ++av)
+    for (std::uint64_t bv = 0; bv < 4; ++bv) {
+      const auto sim = simulate_words(
+          buggy, *buggy.find_word("Z"),
+          {{buggy.find_word("A"), {field_.from_bits(av)}},
+           {buggy.find_word("B"), {field_.from_bits(bv)}}})[0];
+      EXPECT_EQ(test::eval_word_function(
+                    fn, field_,
+                    {{"A", field_.from_bits(av)}, {"B", field_.from_bits(bv)}}),
+                sim);
+    }
+}
+
+TEST_F(PaperExamples, VerificationProblemStatement) {
+  // "Prove whether or not C1, C2 implement the same function over F_2k" —
+  // the correct and buggy Fig. 2 circuits must be told apart.
+  const EquivalenceResult eq = check_equivalence(
+      test::make_fig2_multiplier(), test::make_fig2_multiplier(), field_);
+  EXPECT_TRUE(eq.equivalent);
+  const EquivalenceResult neq = check_equivalence(
+      test::make_fig2_multiplier(), test::make_fig2_multiplier(true), field_);
+  EXPECT_FALSE(neq.equivalent);
+}
+
+TEST_F(PaperExamples, RatoMakesGatePolysLeadWithOutputs) {
+  // Under RATO, every gate polynomial's leading term is its output variable,
+  // and all leading terms are pairwise relatively prime (the Lemma 5.1 setup).
+  const Netlist nl = test::make_fig2_multiplier();
+  const CircuitIdeal ci = circuit_ideal(nl, &field_);
+  const TermOrder order = make_rato_order(nl, ci);
+  std::vector<Monomial> lms;
+  for (const MPoly& f : ci.gate_polys) {
+    const Monomial lm = f.leading_term(order).mono;
+    EXPECT_EQ(lm.num_vars(), 1u);
+    lms.push_back(lm);
+  }
+  for (std::size_t i = 0; i < lms.size(); ++i)
+    for (std::size_t j = i + 1; j < lms.size(); ++j)
+      EXPECT_TRUE(Monomial::relatively_prime(lms[i], lms[j]));
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,125 @@
+#include "circuit/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/mastrovito.h"
+#include "circuit/sim.h"
+#include "gf/gf2k.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+constexpr const char* kMul2 = R"(
+# 2-bit multiplier over F_4 (paper Fig. 2)
+module mul2
+input a0 a1 b0 b1
+and s0 a0 b0
+and s1 a0 b1
+and s2 a1 b0
+and s3 a1 b1
+xor r0 s1 s2
+xor z0 s0 s3
+xor z1 r0 s3
+output z0 z1
+word A a0 a1
+word B b0 b1
+word Z z0 z1
+endmodule
+)";
+
+TEST(Parser, ParsesFig2Multiplier) {
+  const Netlist nl = parse_netlist(kMul2);
+  EXPECT_EQ(nl.name(), "mul2");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.num_logic_gates(), 7u);
+  ASSERT_NE(nl.find_word("A"), nullptr);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Parser, OutOfOrderGateDefinitions) {
+  // z depends on t which is defined later in the file.
+  const Netlist nl = parse_netlist(
+      "input a b\nxor z t a\nand t a b\noutput z\n");
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_EQ(nl.num_logic_gates(), 2u);
+}
+
+TEST(Parser, RoundTripPreservesFunction) {
+  const Gf2k field = Gf2k::make(5);
+  const Netlist nl = make_mastrovito_multiplier(field);
+  const Netlist back = parse_netlist(write_netlist(nl));
+  EXPECT_EQ(back.name(), nl.name());
+  EXPECT_EQ(back.num_logic_gates(), nl.num_logic_gates());
+  // Behavioural equality on random vectors.
+  test::Rng rng(21);
+  std::vector<Gf2Poly> as, bs;
+  for (int i = 0; i < 32; ++i) {
+    as.push_back(rng.elem(field));
+    bs.push_back(rng.elem(field));
+  }
+  const auto z1 = simulate_words(nl, *nl.find_word("Z"),
+                                 {{nl.find_word("A"), as}, {nl.find_word("B"), bs}});
+  const auto z2 = simulate_words(back, *back.find_word("Z"),
+                                 {{back.find_word("A"), as}, {back.find_word("B"), bs}});
+  EXPECT_EQ(z1, z2);
+}
+
+TEST(Parser, AcceptsAllGateTypesAndConstants) {
+  const Netlist nl = parse_netlist(
+      "input a b\nconst0 z0\nconst1 o1\nbuf c a\nnot d a\n"
+      "and e a b\nor f a b\nxor g a b\nnand h a b\nnor i a b\nxnor j a b\n"
+      "and wide a b c d\noutput wide\n");
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_EQ(nl.gate(nl.find_net("wide")).fanins.size(), 4u);
+}
+
+TEST(Parser, ErrorOnDuplicateNet) {
+  EXPECT_THROW(parse_netlist("input a\nnot a a\n"), ParseError);
+  EXPECT_THROW(parse_netlist("input a\nnot x a\nnot x a\n"), ParseError);
+}
+
+TEST(Parser, ErrorOnUndefinedNet) {
+  EXPECT_THROW(parse_netlist("input a\nand z a ghost\noutput z\n"), ParseError);
+  EXPECT_THROW(parse_netlist("input a\noutput ghost\n"), ParseError);
+  EXPECT_THROW(parse_netlist("input a\nword W ghost\n"), ParseError);
+}
+
+TEST(Parser, ErrorOnCycle) {
+  EXPECT_THROW(parse_netlist("input a\nand x y a\nand y x a\noutput x\n"),
+               ParseError);
+}
+
+TEST(Parser, ErrorOnBadArity) {
+  EXPECT_THROW(parse_netlist("input a\nnot z a a\n"), ParseError);
+  EXPECT_THROW(parse_netlist("input a\nand z a\n"), ParseError);
+  EXPECT_THROW(parse_netlist("input a\nconst0 z a\n"), ParseError);
+}
+
+TEST(Parser, ErrorOnUnknownDirective) {
+  EXPECT_THROW(parse_netlist("wire a b c\n"), ParseError);
+}
+
+TEST(Parser, ErrorMessageCarriesLineNumber) {
+  try {
+    parse_netlist("input a\n\nfrob z a\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line_number, 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, FileRoundTrip) {
+  const Netlist nl = parse_netlist(kMul2);
+  const std::string path = ::testing::TempDir() + "/mul2.net";
+  write_netlist_file(nl, path);
+  const Netlist back = read_netlist_file(path);
+  EXPECT_EQ(back.num_logic_gates(), nl.num_logic_gates());
+  EXPECT_EQ(back.words().size(), 3u);
+  EXPECT_THROW(read_netlist_file("/nonexistent/xyz.net"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,210 @@
+#include "baselines/sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/miter.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/mutate.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+using sat::Result;
+using sat::Solver;
+
+TEST(SatSolver, TrivialCases) {
+  {
+    Solver s;
+    EXPECT_EQ(s.solve(), Result::kSat);  // empty formula
+  }
+  {
+    Solver s;
+    s.add_clause({1});
+    EXPECT_EQ(s.solve(), Result::kSat);
+    EXPECT_TRUE(s.model_value(1));
+  }
+  {
+    Solver s;
+    s.add_clause({1});
+    s.add_clause({-1});
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+  }
+  {
+    Solver s;
+    s.add_clause({});
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+  }
+}
+
+TEST(SatSolver, NormalizesTautologiesAndDuplicates) {
+  Solver s;
+  s.add_clause({1, -1});     // tautology, dropped
+  s.add_clause({2, 2, 2});   // collapses to unit
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(2));
+}
+
+TEST(SatSolver, UnitPropagationChain) {
+  Solver s;
+  s.add_clause({1});
+  s.add_clause({-1, 2});
+  s.add_clause({-2, 3});
+  s.add_clause({-3, 4});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  for (int v = 1; v <= 4; ++v) EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(SatSolver, RequiresConflictAnalysis) {
+  // XOR-chain style instance that forces backtracking.
+  Solver s;
+  s.add_clause({1, 2});
+  s.add_clause({-1, -2});
+  s.add_clause({2, 3});
+  s.add_clause({-2, -3});
+  s.add_clause({1, 3});    // forces 1 != 2, 2 != 3, and 1 or 3
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_NE(s.model_value(1), s.model_value(2));
+  EXPECT_NE(s.model_value(2), s.model_value(3));
+}
+
+TEST(SatSolver, PigeonholePrinciple) {
+  // PHP(n+1, n): n+1 pigeons, n holes — classically UNSAT and requires real
+  // search. Variables p_{i,j} = pigeon i in hole j.
+  const int pigeons = 5, holes = 4;
+  Solver s;
+  auto var = [&](int i, int j) { return i * holes + j + 1; };
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<int> c;
+    for (int j = 0; j < holes; ++j) c.push_back(var(i, j));
+    s.add_clause(c);
+  }
+  for (int j = 0; j < holes; ++j)
+    for (int i1 = 0; i1 < pigeons; ++i1)
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2)
+        s.add_clause({-var(i1, j), -var(i2, j)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SatSolver, RandomInstancesAgreeWithBruteForce) {
+  test::Rng rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nvars = 8;
+    const int nclauses = 3 + static_cast<int>(rng.below(40));
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<int> cl;
+      for (int l = 0; l < 3; ++l) {
+        const int v = 1 + static_cast<int>(rng.below(nvars));
+        cl.push_back(rng.next() & 1 ? v : -v);
+      }
+      clauses.push_back(cl);
+    }
+    bool brute_sat = false;
+    for (std::uint32_t m = 0; m < (1u << nvars) && !brute_sat; ++m) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (int l : cl) {
+          const bool val = (m >> (std::abs(l) - 1)) & 1;
+          if (l > 0 ? val : !val) any = true;
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    Solver s;
+    for (const auto& cl : clauses) s.add_clause(cl);
+    const Result r = s.solve();
+    ASSERT_EQ(r == Result::kSat, brute_sat) << "trial " << trial;
+    if (r == Result::kSat) {
+      // The returned model must satisfy every clause.
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (int l : cl)
+          if (l > 0 ? s.model_value(l) : !s.model_value(-l)) any = true;
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+TEST(SatSolver, ConflictLimitReturnsUnknown) {
+  // Large pigeonhole with a tiny budget.
+  const int pigeons = 8, holes = 7;
+  Solver s;
+  auto var = [&](int i, int j) { return i * holes + j + 1; };
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<int> c;
+    for (int j = 0; j < holes; ++j) c.push_back(var(i, j));
+    s.add_clause(c);
+  }
+  for (int j = 0; j < holes; ++j)
+    for (int i1 = 0; i1 < pigeons; ++i1)
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2)
+        s.add_clause({-var(i1, j), -var(i2, j)});
+  EXPECT_EQ(s.solve(/*conflict_limit=*/10), Result::kUnknown);
+}
+
+TEST(Miter, EquivalentCircuitsGiveUnsat) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist miter = make_miter(make_mastrovito_multiplier(field),
+                                   make_montgomery_multiplier_flat(field));
+  EXPECT_TRUE(miter.validate().empty());
+  const Cnf cnf = tseitin_encode(miter, miter.outputs()[0]);
+  Solver s;
+  for (const auto& c : cnf.clauses) s.add_clause(c);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Miter, BuggyCircuitGivesSatWithValidCounterexample) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  BugDescription desc;
+  const Netlist impl = inject_random_bug(make_montgomery_multiplier_flat(field),
+                                         /*seed=*/3, &desc);
+  const Netlist miter = make_miter(spec, impl);
+  const Cnf cnf = tseitin_encode(miter, miter.outputs()[0]);
+  Solver s;
+  for (const auto& c : cnf.clauses) s.add_clause(c);
+  const Result r = s.solve();
+  if (r == Result::kUnsat) {
+    GTEST_SKIP() << "seed 3 bug is benign: " << desc.text;
+  }
+  ASSERT_EQ(r, Result::kSat);
+  // Extract the counterexample input and confirm by simulation.
+  std::vector<std::uint64_t> lanes(miter.inputs().size());
+  for (std::size_t i = 0; i < miter.inputs().size(); ++i)
+    lanes[i] = s.model_value(static_cast<int>(miter.inputs()[i]) + 1) ? 1 : 0;
+  const auto values = simulate(miter, lanes);
+  EXPECT_EQ(values[miter.outputs()[0]] & 1u, 1u);
+}
+
+TEST(Miter, TseitinEncodingIsConsistentWithSimulation) {
+  // For arbitrary circuits: any SAT model of (output = 1) must simulate to 1.
+  const Netlist nl = test::make_random_word_circuit(3, 9, 30);
+  Netlist with_top = nl;
+  // OR all outputs into one net so the query is single-output.
+  std::vector<NetId> outs = with_top.outputs();
+  NetId top = outs[0];
+  for (std::size_t i = 1; i < outs.size(); ++i)
+    top = with_top.add_gate(GateType::kOr, {top, outs[i]});
+  const Cnf cnf = tseitin_encode(with_top, top);
+  Solver s;
+  for (const auto& c : cnf.clauses) s.add_clause(c);
+  if (s.solve() == Result::kSat) {
+    std::vector<std::uint64_t> lanes(with_top.inputs().size());
+    for (std::size_t i = 0; i < with_top.inputs().size(); ++i)
+      lanes[i] = s.model_value(static_cast<int>(with_top.inputs()[i]) + 1) ? 1 : 0;
+    EXPECT_EQ(simulate(with_top, lanes)[top] & 1u, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gfa

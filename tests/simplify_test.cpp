@@ -1,0 +1,130 @@
+#include "circuit/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/montgomery.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+// Checks behavioural equality on 64 random vectors per word-input batch.
+void expect_equivalent(const Netlist& a, const Netlist& b, const Gf2k& field,
+                       std::uint64_t seed) {
+  test::Rng rng(seed);
+  std::vector<std::pair<const Word*, std::vector<Gf2Poly>>> in_a, in_b;
+  for (const Word& w : a.words()) {
+    bool is_input = true;
+    for (NetId bit : w.bits)
+      if (a.gate(bit).type != GateType::kInput) is_input = false;
+    if (!is_input) continue;
+    std::vector<Gf2Poly> vals;
+    for (int i = 0; i < 64; ++i) vals.push_back(rng.elem(field));
+    in_a.emplace_back(&w, vals);
+    in_b.emplace_back(b.find_word(w.name), std::move(vals));
+  }
+  const auto za = simulate_words(a, *a.find_word("Z"), in_a);
+  const auto zb = simulate_words(b, *b.find_word("Z"), in_b);
+  EXPECT_EQ(za, zb);
+}
+
+TEST(Simplify, ConstantFoldsAndGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId one = nl.add_const(true);
+  const NetId zero = nl.add_const(false);
+  const NetId g1 = nl.add_gate(GateType::kAnd, {a, one}, "g1");   // = a
+  const NetId g2 = nl.add_gate(GateType::kAnd, {a, zero}, "g2");  // = 0
+  const NetId g3 = nl.add_gate(GateType::kOr, {g1, g2}, "g3");    // = a
+  nl.mark_output(g3);
+  SimplifyStats stats;
+  const Netlist out = simplify(nl, &stats);
+  EXPECT_EQ(out.num_logic_gates(), 0u);
+  EXPECT_EQ(out.gate(out.outputs()[0]).type, GateType::kInput);
+  EXPECT_GT(stats.gates_before, stats.gates_after);
+}
+
+TEST(Simplify, XorIdentities) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId one = nl.add_const(true);
+  const NetId x1 = nl.add_gate(GateType::kXor, {a, a}, "x1");   // = 0
+  const NetId x2 = nl.add_gate(GateType::kXor, {a, one}, "x2"); // = ¬a
+  const NetId x3 = nl.add_gate(GateType::kXor, {x1, b}, "x3");  // = b
+  nl.mark_output(x2);
+  nl.mark_output(x3);
+  const Netlist out = simplify(nl, nullptr);
+  // x2 becomes an inverter of a; x3 becomes b directly.
+  EXPECT_EQ(out.gate(out.outputs()[0]).type, GateType::kNot);
+  EXPECT_EQ(out.gate(out.outputs()[1]).type, GateType::kInput);
+}
+
+TEST(Simplify, ComplementCancellation) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n = nl.add_gate(GateType::kNot, {a}, "n");
+  const NetId g = nl.add_gate(GateType::kAnd, {a, n}, "g");  // a·¬a = 0
+  const NetId h = nl.add_gate(GateType::kOr, {a, n}, "h");   // a+¬a = 1
+  nl.mark_output(g);
+  nl.mark_output(h);
+  const Netlist out = simplify(nl, nullptr);
+  EXPECT_EQ(out.gate(out.outputs()[0]).type, GateType::kConst0);
+  EXPECT_EQ(out.gate(out.outputs()[1]).type, GateType::kConst1);
+}
+
+TEST(Simplify, DoubleNegationCollapses) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_gate(GateType::kNot, {a}, "n1");
+  const NetId n2 = nl.add_gate(GateType::kNot, {n1}, "n2");
+  const NetId n3 = nl.add_gate(GateType::kBuf, {n2}, "n3");
+  nl.mark_output(n3);
+  const Netlist out = simplify(nl, nullptr);
+  EXPECT_EQ(out.num_logic_gates(), 0u);
+}
+
+TEST(Simplify, PreservesRandomCircuitBehaviour) {
+  const Gf2k field = Gf2k::make(4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Netlist nl = test::make_random_word_circuit(4, seed, 40);
+    const Netlist out = simplify(nl, nullptr);
+    EXPECT_TRUE(out.validate().empty());
+    expect_equivalent(nl, out, field, seed * 31);
+  }
+}
+
+TEST(Simplify, MontgomeryConstantBlockShrinks) {
+  const Gf2k field = Gf2k::make(8);
+  // Generic block vs the same block with a constant operand folded.
+  const Netlist generic = make_montmul_block(field, "generic");
+  const Netlist folded =
+      make_montmul_block(field, "folded", field.alpha_pow(16));
+  EXPECT_LT(folded.num_logic_gates(), generic.num_logic_gates());
+  EXPECT_GT(folded.num_logic_gates(), 0u);
+}
+
+TEST(Simplify, IsIdempotent) {
+  const Gf2k field = Gf2k::make(4);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Netlist once = simplify(test::make_random_word_circuit(4, seed, 40));
+    const Netlist twice = simplify(once);
+    EXPECT_EQ(twice.num_logic_gates(), once.num_logic_gates()) << seed;
+    expect_equivalent(once, twice, field, seed * 97);
+  }
+}
+
+TEST(Simplify, KeepsWordStructure) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist nl = test::make_random_word_circuit(4, 3, 30);
+  const Netlist out = simplify(nl, nullptr);
+  for (const char* w : {"A", "B", "Z"}) {
+    ASSERT_NE(out.find_word(w), nullptr) << w;
+    EXPECT_EQ(out.find_word(w)->bits.size(), 4u);
+  }
+  EXPECT_EQ(out.outputs().size(), nl.outputs().size());
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,155 @@
+#include "circuit/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "abstraction/equivalence.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/sim.h"
+#include "test_util.h"
+
+namespace gfa {
+namespace {
+
+constexpr const char* kMul2Verilog = R"(
+// The paper's Fig. 2 multiplier, ANSI-style header.
+module mul2 (input [1:0] A, input [1:0] B, output [1:0] Z);
+  wire s0, s1, s2, s3, r0;
+  and g0 (s0, A[0], B[0]);
+  and g1 (s1, A[0], B[1]);
+  and g2 (s2, A[1], B[0]);
+  and g3 (s3, A[1], B[1]);
+  xor g4 (r0, s1, s2);
+  xor g5 (Z[0], s0, s3);
+  xor g6 (Z[1], r0, s3);
+endmodule
+)";
+
+TEST(Verilog, ParsesAnsiModule) {
+  const Netlist nl = parse_verilog(kMul2Verilog);
+  EXPECT_EQ(nl.name(), "mul2");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.num_logic_gates(), 7u);
+  ASSERT_NE(nl.find_word("A"), nullptr);
+  ASSERT_NE(nl.find_word("Z"), nullptr);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Verilog, ParsedFig2AbstractsToAB) {
+  const Gf2k field(Gf2Poly::from_bits(0b111));
+  const WordFunction fn = extract_word_function(parse_verilog(kMul2Verilog), field);
+  const MPoly ab = MPoly::variable(&field, fn.pool.id("A")) *
+                   MPoly::variable(&field, fn.pool.id("B"));
+  EXPECT_EQ(fn.g, ab);
+}
+
+TEST(Verilog, NonAnsiPortsAndAssigns) {
+  const Netlist nl = parse_verilog(R"(
+    module m (a, b, y, z);
+      input a, b;
+      output y;
+      output z;
+      wire t;
+      assign t = a & ~b;
+      assign y = t ^ b | a;
+      assign z = 1'b1;
+    endmodule
+  )");
+  EXPECT_TRUE(nl.validate().empty());
+  // Exhaustive behavioural check of the expression tree.
+  const auto v = simulate(nl, {0b0011, 0b0101});
+  const NetId y = nl.find_net("y"), z = nl.find_net("z");
+  for (int m = 0; m < 4; ++m) {
+    const bool a = (0b0011 >> m) & 1, b = (0b0101 >> m) & 1;
+    const bool expect_y = ((a && !b) != b) || a;  // (a & ~b) ^ b | a
+    EXPECT_EQ((v[y] >> m) & 1, expect_y ? 1u : 0u) << m;
+    EXPECT_EQ((v[z] >> m) & 1, 1u);
+  }
+}
+
+TEST(Verilog, CommentsAndOutOfOrderBodies) {
+  const Netlist nl = parse_verilog(
+      "module m (input a, output z); /* block\ncomment */\n"
+      "  xor (z, t, a); // uses t before its driver\n"
+      "  not (t, a);\n"
+      "endmodule\n");
+  EXPECT_TRUE(nl.validate().empty());
+  const auto v = simulate(nl, {0b01});
+  EXPECT_EQ(v[nl.find_net("z")] & 0b11, 0b11u);  // a ^ ~a = 1
+}
+
+TEST(Verilog, RejectsBadInput) {
+  EXPECT_THROW(parse_verilog("module m (input a, output z);\n"), VerilogError);
+  EXPECT_THROW(parse_verilog("module m (input a, output z);"
+                             " always @(posedge a) z = 1; endmodule"),
+               VerilogError);
+  EXPECT_THROW(parse_verilog("module m (input a, output z);"
+                             " and (z, a); endmodule"),
+               VerilogError);  // arity
+  EXPECT_THROW(parse_verilog("module m (input a, output z);"
+                             " buf (z, a); buf (z, a); endmodule"),
+               VerilogError);  // multiple drivers
+  EXPECT_THROW(parse_verilog("module m (input [1:0] a, output z);"
+                             " buf (z, a); endmodule"),
+               VerilogError);  // vector without index
+  EXPECT_THROW(parse_verilog("module m (input [1:0] a, output z);"
+                             " buf (z, a[5]); endmodule"),
+               VerilogError);  // out of range
+  EXPECT_THROW(parse_verilog("module m (input a, output z);"
+                             " buf (z, ghost); endmodule"),
+               VerilogError);  // undriven
+  EXPECT_THROW(parse_verilog("module m (input a, output z);"
+                             " and (x, z, a); and (z, x, a); endmodule"),
+               VerilogError);  // cycle
+}
+
+TEST(Verilog, ErrorCarriesLineNumber) {
+  try {
+    parse_verilog("module m (input a, output z);\n\n  frobnicate;\nendmodule");
+    FAIL();
+  } catch (const VerilogError& e) {
+    EXPECT_EQ(e.line_number, 3u);
+  }
+}
+
+class VerilogRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VerilogRoundTrip, MultiplierSurvivesWriteParse) {
+  const Gf2k field = Gf2k::make(GetParam());
+  const Netlist original = make_montgomery_multiplier_flat(field);
+  const Netlist back = parse_verilog(write_verilog(original));
+  EXPECT_TRUE(back.validate().empty());
+  ASSERT_NE(back.find_word("A"), nullptr);
+  ASSERT_NE(back.find_word("Z"), nullptr);
+  // Functional equality via canonical polynomials.
+  const EquivalenceResult eq = check_equivalence(original, back, field);
+  EXPECT_TRUE(eq.equivalent) << eq.difference;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VerilogRoundTrip, ::testing::Values(2, 4, 8));
+
+TEST(Verilog, WriterHandlesConstantsAndNots) {
+  Netlist nl("consts");
+  const NetId a = nl.add_input("a");
+  const NetId c1 = nl.add_const(true, "one");
+  const NetId n = nl.add_gate(GateType::kNot, {a}, "na");
+  const NetId z = nl.add_gate(GateType::kAnd, {n, c1}, "z");
+  nl.mark_output(z);
+  const Netlist back = parse_verilog(write_verilog(nl));
+  EXPECT_TRUE(back.validate().empty());
+  const auto v = simulate(back, {0b01});
+  EXPECT_EQ(v[back.outputs()[0]] & 0b11, 0b10u);  // ~a & 1
+}
+
+TEST(Verilog, FileRoundTrip) {
+  const Netlist nl = parse_verilog(kMul2Verilog);
+  const std::string path = ::testing::TempDir() + "/mul2.v";
+  write_verilog_file(nl, path);
+  const Netlist back = read_verilog_file(path);
+  EXPECT_EQ(back.num_logic_gates(), nl.num_logic_gates());
+  EXPECT_THROW(read_verilog_file("/nonexistent/x.v"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gfa

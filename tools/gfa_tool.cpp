@@ -1,0 +1,182 @@
+// gfa_tool — command-line front end for the library.
+//
+//   gfa_tool gen <arch> <k> <file>         generate a circuit
+//       arch: mastrovito | montgomery | karatsuba | squarer | adder | mac
+//   gfa_tool extract <file> <k>            derive Z = F(A, B, …)
+//   gfa_tool verify <spec> <impl> <k>      canonical-form equivalence
+//   gfa_tool sat <spec> <impl> <k> [N]     CDCL miter check (N = conflict cap)
+//   gfa_tool stats <file>                  netlist statistics
+//
+// Circuit files may be the native netlist format (.net, see
+// src/circuit/parser.h) or the structural Verilog subset (.v).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "abstraction/equivalence.h"
+#include "baselines/miter.h"
+#include "baselines/sat/solver.h"
+#include "circuit/arith_extras.h"
+#include "circuit/karatsuba.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/parser.h"
+#include "circuit/verilog.h"
+
+namespace {
+
+using namespace gfa;
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Netlist load(const std::string& path) {
+  return has_suffix(path, ".v") ? read_verilog_file(path)
+                                : read_netlist_file(path);
+}
+
+void save(const Netlist& nl, const std::string& path) {
+  if (has_suffix(path, ".v"))
+    write_verilog_file(nl, path);
+  else
+    write_netlist_file(nl, path);
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 3) return 64;
+  const std::string arch = argv[0];
+  const unsigned k = static_cast<unsigned>(std::atoi(argv[1]));
+  if (k < 2) return 64;
+  const Gf2k field = Gf2k::make(k);
+  Netlist nl;
+  if (arch == "mastrovito") nl = make_mastrovito_multiplier(field);
+  else if (arch == "montgomery") nl = make_montgomery_multiplier_flat(field);
+  else if (arch == "karatsuba") nl = make_karatsuba_multiplier(field);
+  else if (arch == "squarer") nl = make_squarer(field);
+  else if (arch == "adder") nl = make_adder(field);
+  else if (arch == "mac") nl = make_multiply_accumulate(field);
+  else {
+    std::fprintf(stderr, "unknown architecture '%s'\n", arch.c_str());
+    return 64;
+  }
+  save(nl, argv[2]);
+  std::printf("wrote %s: %zu gates over F_2^%u (P = %s)\n", argv[2],
+              nl.num_logic_gates(), k, field.modulus().to_string().c_str());
+  return 0;
+}
+
+int cmd_extract(int argc, char** argv) {
+  if (argc != 2) return 64;
+  const Netlist nl = load(argv[0]);
+  const Gf2k field = Gf2k::make(static_cast<unsigned>(std::atoi(argv[1])));
+  for (const WordFunction& fn : extract_all_word_functions(nl, field)) {
+    std::printf("%s = %s\n", fn.output_word.c_str(),
+                fn.g.to_string(fn.pool).c_str());
+    std::printf("  [%zu substitutions, peak %zu terms, remainder %zu terms]\n",
+                fn.stats.substitutions, fn.stats.peak_terms,
+                fn.stats.remainder_terms);
+  }
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc != 3) return 64;
+  const Netlist spec = load(argv[0]);
+  const Netlist impl = load(argv[1]);
+  const Gf2k field = Gf2k::make(static_cast<unsigned>(std::atoi(argv[2])));
+  const EquivalenceResult res = check_equivalence(spec, impl, field);
+  std::printf("spec: %s = %s\n", res.spec.output_word.c_str(),
+              res.spec.g.to_string(res.spec.pool).c_str());
+  std::printf("impl: %s = %s\n", res.impl.output_word.c_str(),
+              res.impl.g.to_string(res.impl.pool).c_str());
+  if (res.equivalent) {
+    std::printf("EQUIVALENT\n");
+    return 0;
+  }
+  std::printf("NOT EQUIVALENT: %s\n", res.difference.c_str());
+  return 1;
+}
+
+int cmd_sat(int argc, char** argv) {
+  if (argc != 3 && argc != 4) return 64;
+  const Netlist spec = load(argv[0]);
+  const Netlist impl = load(argv[1]);
+  const std::uint64_t limit =
+      argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 0;
+  const Netlist miter = make_miter(spec, impl);
+  const Cnf cnf = tseitin_encode(miter, miter.outputs()[0]);
+  sat::Solver solver;
+  for (const auto& clause : cnf.clauses) solver.add_clause(clause);
+  const sat::Result r = solver.solve(limit);
+  std::printf("%zu clauses, %llu conflicts: %s\n", cnf.clauses.size(),
+              static_cast<unsigned long long>(solver.stats().conflicts),
+              r == sat::Result::kUnsat    ? "EQUIVALENT (miter UNSAT)"
+              : r == sat::Result::kSat    ? "NOT EQUIVALENT (miter SAT)"
+                                          : "UNKNOWN (conflict budget hit)");
+  if (r == sat::Result::kSat) {
+    std::printf("counterexample:");
+    for (NetId n : miter.inputs())
+      std::printf(" %s=%d", miter.gate(n).name.c_str(),
+                  solver.model_value(static_cast<int>(n) + 1) ? 1 : 0);
+    std::printf("\n");
+  }
+  return r == sat::Result::kUnsat ? 0 : 1;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 1) return 64;
+  const Netlist nl = load(argv[0]);
+  const std::string problem = nl.validate();
+  std::printf("module %s: %zu nets, %zu gates, %zu inputs, %zu outputs\n",
+              nl.name().c_str(), nl.num_nets(), nl.num_logic_gates(),
+              nl.inputs().size(), nl.outputs().size());
+  for (const Word& w : nl.words())
+    std::printf("  word %s: %zu bits\n", w.name.c_str(), w.bits.size());
+  std::size_t by_type[16] = {};
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    ++by_type[static_cast<int>(nl.gate(n).type)];
+  for (int t = 0; t < 16; ++t) {
+    if (by_type[t] == 0) continue;
+    std::printf("  %-7s %zu\n", gate_type_name(static_cast<GateType>(t)),
+                by_type[t]);
+  }
+  std::printf("validate: %s\n", problem.empty() ? "ok" : problem.c_str());
+  return problem.empty() ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  gfa_tool gen <arch> <k> <file>\n"
+               "  gfa_tool extract <file> <k>\n"
+               "  gfa_tool verify <spec> <impl> <k>\n"
+               "  gfa_tool sat <spec> <impl> <k> [conflict-limit]\n"
+               "  gfa_tool stats <file>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 64;
+  }
+  const std::string cmd = argv[1];
+  try {
+    int rc = 64;
+    if (cmd == "gen") rc = cmd_gen(argc - 2, argv + 2);
+    else if (cmd == "extract") rc = cmd_extract(argc - 2, argv + 2);
+    else if (cmd == "verify") rc = cmd_verify(argc - 2, argv + 2);
+    else if (cmd == "sat") rc = cmd_sat(argc - 2, argv + 2);
+    else if (cmd == "stats") rc = cmd_stats(argc - 2, argv + 2);
+    if (rc == 64) usage();
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
