@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bdd_baseline.dir/bench_bdd_baseline.cpp.o"
+  "CMakeFiles/bench_bdd_baseline.dir/bench_bdd_baseline.cpp.o.d"
+  "bench_bdd_baseline"
+  "bench_bdd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bdd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

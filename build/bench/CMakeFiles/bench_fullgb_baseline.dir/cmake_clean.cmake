@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fullgb_baseline.dir/bench_fullgb_baseline.cpp.o"
+  "CMakeFiles/bench_fullgb_baseline.dir/bench_fullgb_baseline.cpp.o.d"
+  "bench_fullgb_baseline"
+  "bench_fullgb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fullgb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gf_micro.dir/bench_gf_micro.cpp.o"
+  "CMakeFiles/bench_gf_micro.dir/bench_gf_micro.cpp.o.d"
+  "bench_gf_micro"
+  "bench_gf_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gf_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

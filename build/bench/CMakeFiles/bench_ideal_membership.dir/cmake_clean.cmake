@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ideal_membership.dir/bench_ideal_membership.cpp.o"
+  "CMakeFiles/bench_ideal_membership.dir/bench_ideal_membership.cpp.o.d"
+  "bench_ideal_membership"
+  "bench_ideal_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ideal_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

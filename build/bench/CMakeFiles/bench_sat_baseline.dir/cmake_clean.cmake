@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sat_baseline.dir/bench_sat_baseline.cpp.o"
+  "CMakeFiles/bench_sat_baseline.dir/bench_sat_baseline.cpp.o.d"
+  "bench_sat_baseline"
+  "bench_sat_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sat_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mastrovito.dir/bench_table1_mastrovito.cpp.o"
+  "CMakeFiles/bench_table1_mastrovito.dir/bench_table1_mastrovito.cpp.o.d"
+  "bench_table1_mastrovito"
+  "bench_table1_mastrovito.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mastrovito.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_montgomery.dir/bench_table2_montgomery.cpp.o"
+  "CMakeFiles/bench_table2_montgomery.dir/bench_table2_montgomery.cpp.o.d"
+  "bench_table2_montgomery"
+  "bench_table2_montgomery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_montgomery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_point_double.dir/ecc_point_double.cpp.o"
+  "CMakeFiles/ecc_point_double.dir/ecc_point_double.cpp.o.d"
+  "ecc_point_double"
+  "ecc_point_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_point_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invert_via_hierarchy.dir/invert_via_hierarchy.cpp.o"
+  "CMakeFiles/invert_via_hierarchy.dir/invert_via_hierarchy.cpp.o.d"
+  "invert_via_hierarchy"
+  "invert_via_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invert_via_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

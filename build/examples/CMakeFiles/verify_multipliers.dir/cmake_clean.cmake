@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_multipliers.dir/verify_multipliers.cpp.o"
+  "CMakeFiles/verify_multipliers.dir/verify_multipliers.cpp.o.d"
+  "verify_multipliers"
+  "verify_multipliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_multipliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

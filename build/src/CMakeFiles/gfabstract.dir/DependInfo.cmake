@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abstraction/bitpoly.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/bitpoly.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/bitpoly.cpp.o.d"
+  "/root/repo/src/abstraction/equivalence.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/equivalence.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/equivalence.cpp.o.d"
+  "/root/repo/src/abstraction/extractor.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/extractor.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/extractor.cpp.o.d"
+  "/root/repo/src/abstraction/f4_reduction.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/f4_reduction.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/f4_reduction.cpp.o.d"
+  "/root/repo/src/abstraction/hierarchy.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/hierarchy.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/hierarchy.cpp.o.d"
+  "/root/repo/src/abstraction/rato.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/rato.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/rato.cpp.o.d"
+  "/root/repo/src/abstraction/rewriter.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/rewriter.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/rewriter.cpp.o.d"
+  "/root/repo/src/abstraction/word_lift.cpp" "src/CMakeFiles/gfabstract.dir/abstraction/word_lift.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/abstraction/word_lift.cpp.o.d"
+  "/root/repo/src/baselines/aig/aig.cpp" "src/CMakeFiles/gfabstract.dir/baselines/aig/aig.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/aig/aig.cpp.o.d"
+  "/root/repo/src/baselines/bdd/bdd.cpp" "src/CMakeFiles/gfabstract.dir/baselines/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/bdd/bdd.cpp.o.d"
+  "/root/repo/src/baselines/full_gb.cpp" "src/CMakeFiles/gfabstract.dir/baselines/full_gb.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/full_gb.cpp.o.d"
+  "/root/repo/src/baselines/ideal_membership.cpp" "src/CMakeFiles/gfabstract.dir/baselines/ideal_membership.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/ideal_membership.cpp.o.d"
+  "/root/repo/src/baselines/interpolation.cpp" "src/CMakeFiles/gfabstract.dir/baselines/interpolation.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/interpolation.cpp.o.d"
+  "/root/repo/src/baselines/miter.cpp" "src/CMakeFiles/gfabstract.dir/baselines/miter.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/miter.cpp.o.d"
+  "/root/repo/src/baselines/sat/solver.cpp" "src/CMakeFiles/gfabstract.dir/baselines/sat/solver.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/baselines/sat/solver.cpp.o.d"
+  "/root/repo/src/circuit/arith_extras.cpp" "src/CMakeFiles/gfabstract.dir/circuit/arith_extras.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/arith_extras.cpp.o.d"
+  "/root/repo/src/circuit/ecc.cpp" "src/CMakeFiles/gfabstract.dir/circuit/ecc.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/ecc.cpp.o.d"
+  "/root/repo/src/circuit/gate_poly.cpp" "src/CMakeFiles/gfabstract.dir/circuit/gate_poly.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/gate_poly.cpp.o.d"
+  "/root/repo/src/circuit/itoh_tsujii.cpp" "src/CMakeFiles/gfabstract.dir/circuit/itoh_tsujii.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/itoh_tsujii.cpp.o.d"
+  "/root/repo/src/circuit/karatsuba.cpp" "src/CMakeFiles/gfabstract.dir/circuit/karatsuba.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/karatsuba.cpp.o.d"
+  "/root/repo/src/circuit/massey_omura.cpp" "src/CMakeFiles/gfabstract.dir/circuit/massey_omura.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/massey_omura.cpp.o.d"
+  "/root/repo/src/circuit/mastrovito.cpp" "src/CMakeFiles/gfabstract.dir/circuit/mastrovito.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/mastrovito.cpp.o.d"
+  "/root/repo/src/circuit/montgomery.cpp" "src/CMakeFiles/gfabstract.dir/circuit/montgomery.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/montgomery.cpp.o.d"
+  "/root/repo/src/circuit/mutate.cpp" "src/CMakeFiles/gfabstract.dir/circuit/mutate.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/mutate.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/gfabstract.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/CMakeFiles/gfabstract.dir/circuit/parser.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/parser.cpp.o.d"
+  "/root/repo/src/circuit/sim.cpp" "src/CMakeFiles/gfabstract.dir/circuit/sim.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/sim.cpp.o.d"
+  "/root/repo/src/circuit/simplify.cpp" "src/CMakeFiles/gfabstract.dir/circuit/simplify.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/simplify.cpp.o.d"
+  "/root/repo/src/circuit/verilog.cpp" "src/CMakeFiles/gfabstract.dir/circuit/verilog.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/circuit/verilog.cpp.o.d"
+  "/root/repo/src/gf/biguint.cpp" "src/CMakeFiles/gfabstract.dir/gf/biguint.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/gf/biguint.cpp.o.d"
+  "/root/repo/src/gf/gf2k.cpp" "src/CMakeFiles/gfabstract.dir/gf/gf2k.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/gf/gf2k.cpp.o.d"
+  "/root/repo/src/gf/normal_basis.cpp" "src/CMakeFiles/gfabstract.dir/gf/normal_basis.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/gf/normal_basis.cpp.o.d"
+  "/root/repo/src/gf2/gf2_poly.cpp" "src/CMakeFiles/gfabstract.dir/gf2/gf2_poly.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/gf2/gf2_poly.cpp.o.d"
+  "/root/repo/src/gf2/irreducible.cpp" "src/CMakeFiles/gfabstract.dir/gf2/irreducible.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/gf2/irreducible.cpp.o.d"
+  "/root/repo/src/poly/groebner.cpp" "src/CMakeFiles/gfabstract.dir/poly/groebner.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/poly/groebner.cpp.o.d"
+  "/root/repo/src/poly/monomial.cpp" "src/CMakeFiles/gfabstract.dir/poly/monomial.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/poly/monomial.cpp.o.d"
+  "/root/repo/src/poly/mpoly.cpp" "src/CMakeFiles/gfabstract.dir/poly/mpoly.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/poly/mpoly.cpp.o.d"
+  "/root/repo/src/poly/varpool.cpp" "src/CMakeFiles/gfabstract.dir/poly/varpool.cpp.o" "gcc" "src/CMakeFiles/gfabstract.dir/poly/varpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_extras_test.dir/arith_extras_test.cpp.o"
+  "CMakeFiles/arith_extras_test.dir/arith_extras_test.cpp.o.d"
+  "arith_extras_test"
+  "arith_extras_test.pdb"
+  "arith_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

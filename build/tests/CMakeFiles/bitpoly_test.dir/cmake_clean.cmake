@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitpoly_test.dir/bitpoly_test.cpp.o"
+  "CMakeFiles/bitpoly_test.dir/bitpoly_test.cpp.o.d"
+  "bitpoly_test"
+  "bitpoly_test.pdb"
+  "bitpoly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitpoly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

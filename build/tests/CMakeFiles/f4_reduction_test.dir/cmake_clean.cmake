@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f4_reduction_test.dir/f4_reduction_test.cpp.o"
+  "CMakeFiles/f4_reduction_test.dir/f4_reduction_test.cpp.o.d"
+  "f4_reduction_test"
+  "f4_reduction_test.pdb"
+  "f4_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f4_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

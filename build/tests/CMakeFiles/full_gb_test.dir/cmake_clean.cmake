@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_gb_test.dir/full_gb_test.cpp.o"
+  "CMakeFiles/full_gb_test.dir/full_gb_test.cpp.o.d"
+  "full_gb_test"
+  "full_gb_test.pdb"
+  "full_gb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_gb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf2k_test.dir/gf2k_test.cpp.o"
+  "CMakeFiles/gf2k_test.dir/gf2k_test.cpp.o.d"
+  "gf2k_test"
+  "gf2k_test.pdb"
+  "gf2k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf2k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groebner_test.dir/groebner_test.cpp.o"
+  "CMakeFiles/groebner_test.dir/groebner_test.cpp.o.d"
+  "groebner_test"
+  "groebner_test.pdb"
+  "groebner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groebner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

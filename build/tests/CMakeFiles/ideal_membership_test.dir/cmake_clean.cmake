@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ideal_membership_test.dir/ideal_membership_test.cpp.o"
+  "CMakeFiles/ideal_membership_test.dir/ideal_membership_test.cpp.o.d"
+  "ideal_membership_test"
+  "ideal_membership_test.pdb"
+  "ideal_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ideal_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

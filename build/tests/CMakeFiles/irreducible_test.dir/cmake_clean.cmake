@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irreducible_test.dir/irreducible_test.cpp.o"
+  "CMakeFiles/irreducible_test.dir/irreducible_test.cpp.o.d"
+  "irreducible_test"
+  "irreducible_test.pdb"
+  "irreducible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irreducible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

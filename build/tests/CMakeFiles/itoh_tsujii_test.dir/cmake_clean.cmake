@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itoh_tsujii_test.dir/itoh_tsujii_test.cpp.o"
+  "CMakeFiles/itoh_tsujii_test.dir/itoh_tsujii_test.cpp.o.d"
+  "itoh_tsujii_test"
+  "itoh_tsujii_test.pdb"
+  "itoh_tsujii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itoh_tsujii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for itoh_tsujii_test.
+# This may be replaced when dependencies are built.

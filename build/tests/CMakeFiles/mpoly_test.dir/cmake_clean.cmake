@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpoly_test.dir/mpoly_test.cpp.o"
+  "CMakeFiles/mpoly_test.dir/mpoly_test.cpp.o.d"
+  "mpoly_test"
+  "mpoly_test.pdb"
+  "mpoly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpoly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutate_test.dir/mutate_test.cpp.o"
+  "CMakeFiles/mutate_test.dir/mutate_test.cpp.o.d"
+  "mutate_test"
+  "mutate_test.pdb"
+  "mutate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

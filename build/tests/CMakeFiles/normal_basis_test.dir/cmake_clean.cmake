@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_basis_test.dir/normal_basis_test.cpp.o"
+  "CMakeFiles/normal_basis_test.dir/normal_basis_test.cpp.o.d"
+  "normal_basis_test"
+  "normal_basis_test.pdb"
+  "normal_basis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_basis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

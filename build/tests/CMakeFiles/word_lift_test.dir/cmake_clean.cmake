@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_lift_test.dir/word_lift_test.cpp.o"
+  "CMakeFiles/word_lift_test.dir/word_lift_test.cpp.o.d"
+  "word_lift_test"
+  "word_lift_test.pdb"
+  "word_lift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_lift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfa_tool.dir/gfa_tool.cpp.o"
+  "CMakeFiles/gfa_tool.dir/gfa_tool.cpp.o.d"
+  "gfa_tool"
+  "gfa_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfa_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
