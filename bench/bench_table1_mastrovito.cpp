@@ -13,12 +13,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "abstraction/extractor.h"
 #include "abstraction/word_lift.h"
 #include "circuit/mastrovito.h"
 #include "bench_util.h"
 
 namespace {
+
+gfa::bench::JsonReporter& reporter() {
+  static gfa::bench::JsonReporter r("table1_mastrovito");
+  return r;
+}
 
 void BM_MastrovitoAbstraction(benchmark::State& state) {
   const unsigned k = static_cast<unsigned>(state.range(0));
@@ -28,13 +35,17 @@ void BM_MastrovitoAbstraction(benchmark::State& state) {
   gfa::ExtractionOptions options;
   options.shared_lift = &lift;
 
-  std::size_t peak = 0, remainder = 0;
+  gfa::ExtractionStats stats;
+  double wall_ms = 0;
   bool is_ab = false;
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     const gfa::WordFunction fn =
         gfa::extract_word_function(netlist, field, options);
-    peak = fn.stats.peak_terms;
-    remainder = fn.stats.remainder_terms;
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    stats = fn.stats;
     // Sanity: polynomial must be exactly A·B.
     const gfa::MPoly ab = gfa::MPoly::variable(&field, fn.pool.id("A")) *
                           gfa::MPoly::variable(&field, fn.pool.id("B"));
@@ -43,8 +54,16 @@ void BM_MastrovitoAbstraction(benchmark::State& state) {
   }
   if (!is_ab) state.SkipWithError("extracted polynomial is not A*B");
   state.counters["gates"] = static_cast<double>(netlist.num_logic_gates());
-  state.counters["peak_terms"] = static_cast<double>(peak);
-  state.counters["remainder_terms"] = static_cast<double>(remainder);
+  state.counters["peak_terms"] = static_cast<double>(stats.peak_terms);
+  state.counters["remainder_terms"] = static_cast<double>(stats.remainder_terms);
+  gfa::bench::BenchRecord rec;
+  rec.name = "Table1/Mastrovito";
+  rec.k = k;
+  rec.wall_ms = wall_ms;
+  rec.peak_terms = stats.peak_terms;
+  rec.substitutions = stats.substitutions;
+  rec.extra = {{"gates", static_cast<double>(netlist.num_logic_gates())}};
+  reporter().add(rec);
 }
 
 }  // namespace
@@ -65,5 +84,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  reporter().write();
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,13 @@
 #include "bench_util.h"
 
 namespace {
+
+gfa::bench::JsonReporter& reporter() {
+  static gfa::bench::JsonReporter r("table2_montgomery");
+  return r;
+}
+
+const char* kBlockNames[] = {"BlkA", "BlkB", "BlkMid", "BlkOut"};
 
 const gfa::Netlist& block_of(const gfa::MontgomeryHierarchy& h, int which) {
   switch (which) {
@@ -54,15 +62,28 @@ void BM_MontgomeryBlock(benchmark::State& state) {
   const gfa::Netlist& blk = block_of(pf.hierarchy, static_cast<int>(state.range(1)));
   gfa::ExtractionOptions options;
   options.shared_lift = &pf.lift;
-  std::size_t peak = 0;
+  gfa::ExtractionStats stats;
+  double wall_ms = 0;
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     const gfa::WordFunction fn =
         gfa::extract_word_function(blk, pf.field, options);
-    peak = fn.stats.peak_terms;
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    stats = fn.stats;
     benchmark::DoNotOptimize(fn.g.num_terms());
   }
   state.counters["gates"] = static_cast<double>(blk.num_logic_gates());
-  state.counters["peak_terms"] = static_cast<double>(peak);
+  state.counters["peak_terms"] = static_cast<double>(stats.peak_terms);
+  gfa::bench::BenchRecord rec;
+  rec.name = std::string("Table2/") + kBlockNames[state.range(1)];
+  rec.k = static_cast<unsigned>(state.range(0));
+  rec.wall_ms = wall_ms;
+  rec.peak_terms = stats.peak_terms;
+  rec.substitutions = stats.substitutions;
+  rec.extra = {{"gates", static_cast<double>(blk.num_logic_gates())}};
+  reporter().add(rec);
 }
 
 void BM_MontgomeryTotal(benchmark::State& state) {
@@ -72,9 +93,14 @@ void BM_MontgomeryTotal(benchmark::State& state) {
   gfa::ExtractionOptions options;
   options.shared_lift = &pf.lift;
   bool is_ab = false;
+  double wall_ms = 0;
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     const gfa::HierarchicalAbstraction ha =
         abstract_montgomery(pf.hierarchy, pf.field, options);
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
     const gfa::MPoly ab =
         gfa::MPoly::variable(&pf.field, ha.composed.pool.id("A")) *
         gfa::MPoly::variable(&pf.field, ha.composed.pool.id("B"));
@@ -87,6 +113,12 @@ void BM_MontgomeryTotal(benchmark::State& state) {
       pf.hierarchy.blk_mid.num_logic_gates() +
       pf.hierarchy.blk_out.num_logic_gates();
   state.counters["gates"] = static_cast<double>(total_gates);
+  gfa::bench::BenchRecord rec;
+  rec.name = "Table2/TotalHierarchical";
+  rec.k = static_cast<unsigned>(state.range(0));
+  rec.wall_ms = wall_ms;
+  rec.extra = {{"gates", static_cast<double>(total_gates)}};
+  reporter().add(rec);
 }
 
 }  // namespace
@@ -97,11 +129,10 @@ int main(int argc, char** argv) {
       "paper_reference",
       "k=163 total 636s (BlkA 144 / BlkB 137 / BlkMid 264 / BlkOut 91); "
       "k=571 total 87458s. Block gate shape: Mid >> A = B > Out");
-  static const char* kNames[] = {"BlkA", "BlkB", "BlkMid", "BlkOut"};
   for (unsigned k : gfa::bench::ladder({16, 32, 64, 96, 128}, 163)) {
     for (int b = 0; b < 4; ++b) {
       benchmark::RegisterBenchmark(
-          (std::string("Table2/") + kNames[b]).c_str(), BM_MontgomeryBlock)
+          (std::string("Table2/") + kBlockNames[b]).c_str(), BM_MontgomeryBlock)
           ->Args({static_cast<int>(k), b})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1)
@@ -116,5 +147,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  reporter().write();
   return 0;
 }

@@ -6,9 +6,17 @@
 // laptop-scale runs; set GFA_BENCH_MAX_K to extend them up to the full NIST
 // set (233, 283, 409, 571) when you have the time budget of the paper's
 // 24-hour runs.
+//
+// Each bench binary also writes a machine-readable BENCH_<name>.json next to
+// its working directory via JsonReporter, so the performance trajectory of
+// the repo is recorded run over run (k, wall time, peak terms, substitutions,
+// plus bench-specific extras such as kernel-vs-generic speedups).
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gfa::bench {
@@ -19,14 +27,26 @@ inline const std::vector<unsigned>& nist_sizes() {
   return kSizes;
 }
 
+/// Parses GFA_BENCH_MAX_K; exits with a diagnostic on a malformed value
+/// rather than silently benching nothing (atoi's 0 on garbage).
+inline unsigned max_k_from_env(unsigned default_max) {
+  const char* env = std::getenv("GFA_BENCH_MAX_K");
+  if (env == nullptr) return default_max;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0 || v > 1000000) {
+    std::fprintf(stderr,
+                 "GFA_BENCH_MAX_K must be a positive integer, got '%s'\n", env);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(v);
+}
+
 /// Returns `base` extended by every NIST size <= GFA_BENCH_MAX_K
 /// (default `default_max`).
 inline std::vector<unsigned> ladder(std::vector<unsigned> base,
                                     unsigned default_max) {
-  unsigned max_k = default_max;
-  if (const char* env = std::getenv("GFA_BENCH_MAX_K")) {
-    max_k = static_cast<unsigned>(std::atoi(env));
-  }
+  const unsigned max_k = max_k_from_env(default_max);
   std::vector<unsigned> out;
   for (unsigned k : base)
     if (k <= max_k) out.push_back(k);
@@ -34,5 +54,63 @@ inline std::vector<unsigned> ladder(std::vector<unsigned> base,
     if (k <= max_k && (out.empty() || k > out.back())) out.push_back(k);
   return out;
 }
+
+/// One measured configuration of a bench.
+struct BenchRecord {
+  std::string name;              // e.g. "Table1/Mastrovito" or "mul"
+  unsigned k = 0;                // field size
+  double wall_ms = 0.0;          // wall-clock time of the measured work
+  std::size_t peak_terms = 0;    // extraction memory proxy (0 if n/a)
+  std::size_t substitutions = 0; // RATO substitution count (0 if n/a)
+  /// Bench-specific numeric extras, e.g. {"speedup", 32.5}.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Accumulates records and writes BENCH_<name>.json (an array of objects) on
+/// destruction or on an explicit write().
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : path_("BENCH_" + std::move(bench_name) + ".json") {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    try {
+      write();
+    } catch (...) {
+      // Never throw out of a destructor; the bench results already printed.
+    }
+  }
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  void write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      out << "  {\"name\": \"" << r.name << "\", \"k\": " << r.k
+          << ", \"wall_ms\": " << r.wall_ms
+          << ", \"peak_terms\": " << r.peak_terms
+          << ", \"substitutions\": " << r.substitutions;
+      for (const auto& [key, value] : r.extra)
+        out << ", \"" << key << "\": " << value;
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace gfa::bench

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+
+#include "abstraction/word_lift.h"
+#include "util/parallel_for.h"
 
 namespace gfa {
 
@@ -72,8 +76,18 @@ bool same_word_function(const WordFunction& f1, const WordFunction& f2,
 EquivalenceResult check_equivalence(const Netlist& spec, const Netlist& impl,
                                     const Gf2k& field,
                                     const ExtractionOptions& options) {
-  WordFunction spec_fn = extract_word_function(spec, field, options);
-  WordFunction impl_fn = extract_word_function(impl, field, options);
+  // Build the O(k³) Frobenius basis change once for both circuits, then
+  // abstract spec and impl concurrently.
+  ExtractionOptions local = options;
+  std::optional<WordLift> owned_lift;
+  if (local.shared_lift == nullptr) {
+    owned_lift.emplace(&field, local.basis);
+    local.shared_lift = &*owned_lift;
+  }
+  WordFunction spec_fn, impl_fn;
+  parallel_invoke(
+      [&] { spec_fn = extract_word_function(spec, field, local); },
+      [&] { impl_fn = extract_word_function(impl, field, local); });
   std::string diff;
   const bool eq = same_word_function(spec_fn, impl_fn, &diff);
   return EquivalenceResult{eq, std::move(spec_fn), std::move(impl_fn),

@@ -9,6 +9,7 @@
 #include "abstraction/rato.h"
 #include "abstraction/rewriter.h"
 #include "abstraction/word_lift.h"
+#include "util/parallel_for.h"
 
 namespace gfa {
 
@@ -148,9 +149,13 @@ std::vector<WordFunction> extract_all_word_functions(
     owned_lift.emplace(&field, local.basis);
     local.shared_lift = &*owned_lift;
   }
-  std::vector<WordFunction> out;
-  for (const Word* w : output_words(netlist))
-    out.push_back(extract_for_word(netlist, field, w, local));
+  // Output words are independent once the lift is shared; abstract them
+  // concurrently (each extraction builds its own rewriter and pool).
+  const std::vector<const Word*> outs = output_words(netlist);
+  std::vector<WordFunction> out(outs.size());
+  parallel_for(outs.size(), [&](std::size_t i) {
+    out[i] = extract_for_word(netlist, field, outs[i], local);
+  });
   return out;
 }
 

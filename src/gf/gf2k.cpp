@@ -1,7 +1,7 @@
 #include "gf/gf2k.h"
 
 #include <cassert>
-#include <cstdlib>
+#include <stdexcept>
 
 #include "gf2/irreducible.h"
 
@@ -9,11 +9,14 @@ namespace gfa {
 
 Gf2k::Gf2k(Gf2Poly modulus, bool check_irreducible) : modulus_(std::move(modulus)) {
   const int deg = modulus_.degree();
-  assert(deg >= 1 && "field modulus must have degree >= 1");
+  if (deg < 1)
+    throw std::invalid_argument("field modulus must have degree >= 1");
   if (check_irreducible && !is_irreducible(modulus_)) {
-    std::abort();  // constructing a "field" with a reducible modulus is unrecoverable
+    throw std::invalid_argument("field modulus " + modulus_.to_string() +
+                                " is reducible");
   }
   k_ = static_cast<unsigned>(deg);
+  kernels_ = std::make_shared<const Gf2kKernels>(modulus_);
 }
 
 Gf2k Gf2k::make(unsigned k) { return Gf2k(default_irreducible(k)); }
@@ -22,8 +25,19 @@ Gf2k::Elem Gf2k::from_bits(std::uint64_t bits) const {
   return Gf2Poly::from_bits(bits).mod(modulus_);
 }
 
+Gf2k::Elem Gf2k::mul(const Elem& a, const Elem& b) const {
+  if (is_canonical(a) && is_canonical(b)) return kernels_->mul(a, b);
+  return (a * b).mod(modulus_);
+}
+
+Gf2k::Elem Gf2k::square(const Elem& a) const {
+  if (is_canonical(a)) return kernels_->square(a);
+  return a.squared().mod(modulus_);
+}
+
 Gf2k::Elem Gf2k::inv(const Elem& a) const {
   assert(!a.is_zero() && "zero has no multiplicative inverse");
+  if (is_canonical(a)) return kernels_->inv(a);
   Gf2Poly::ExtGcd eg = Gf2Poly::ext_gcd(a, modulus_);
   assert(eg.g.is_one() && "modulus not irreducible or element not reduced");
   return eg.s.mod(modulus_);
@@ -41,9 +55,12 @@ Gf2k::Elem Gf2k::pow(const Elem& a, const BigUint& e) const {
   return result;
 }
 
-Gf2k::Elem Gf2k::alpha_pow(std::uint64_t e) const { return alpha_pow(BigUint(e)); }
+Gf2k::Elem Gf2k::alpha_pow(std::uint64_t e) const { return kernels_->alpha_pow(e); }
 
-Gf2k::Elem Gf2k::alpha_pow(const BigUint& e) const { return pow(alpha(), e); }
+Gf2k::Elem Gf2k::alpha_pow(const BigUint& e) const {
+  if (e.fits_u64()) return kernels_->alpha_pow(e.low_u64());
+  return pow(alpha(), e);
+}
 
 Gf2k::Elem Gf2k::frobenius(const Elem& a, unsigned j) const {
   Elem out = reduce(a);

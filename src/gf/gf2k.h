@@ -13,10 +13,12 @@
 // {a_0, …, a_{k-1}} *is* the field element with those coordinates.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gf/biguint.h"
+#include "gf/gf2k_kernels.h"
 #include "gf2/gf2_poly.h"
 
 namespace gfa {
@@ -25,10 +27,10 @@ class Gf2k {
  public:
   using Elem = Gf2Poly;
 
-  /// Field with the given irreducible modulus (degree >= 1). When
-  /// `check_irreducible` is set, aborts if the modulus is reducible; large
-  /// NIST moduli are trusted by default since the Rabin test at k = 571 is
-  /// itself costly.
+  /// Field with the given irreducible modulus (degree >= 1, else throws
+  /// std::invalid_argument). When `check_irreducible` is set, throws
+  /// std::invalid_argument if the modulus is reducible; large NIST moduli are
+  /// trusted by default since the Rabin test at k = 571 is itself costly.
   explicit Gf2k(Gf2Poly modulus, bool check_irreducible = false);
 
   /// Field F_{2^k} with the default (NIST or lowest-weight) modulus.
@@ -36,6 +38,9 @@ class Gf2k {
 
   unsigned k() const { return k_; }
   const Gf2Poly& modulus() const { return modulus_; }
+
+  /// Which fast-arithmetic tier serves this field (see gf/gf2k_kernels.h).
+  KernelTier kernel_tier() const { return kernels_->tier(); }
 
   /// Field order as a BigUint: q = 2^k.
   BigUint order() const { return BigUint::pow2(k_); }
@@ -57,8 +62,10 @@ class Gf2k {
 
   /// Addition = subtraction = XOR.
   Elem add(const Elem& a, const Elem& b) const { return a + b; }
-  Elem mul(const Elem& a, const Elem& b) const { return (a * b).mod(modulus_); }
-  Elem square(const Elem& a) const { return a.squared().mod(modulus_); }
+  /// Product/square in the field, dispatched to the fast kernel tier.
+  /// Non-canonical operands (degree >= k) take the generic reduce path.
+  Elem mul(const Elem& a, const Elem& b) const;
+  Elem square(const Elem& a) const;
 
   /// Multiplicative inverse of a non-zero element (extended Euclid).
   Elem inv(const Elem& a) const;
@@ -84,6 +91,8 @@ class Gf2k {
  private:
   Gf2Poly modulus_;
   unsigned k_;
+  /// Shared so field copies stay cheap (the table tier carries ~0.5 MB).
+  std::shared_ptr<const Gf2kKernels> kernels_;
 };
 
 }  // namespace gfa

@@ -20,6 +20,13 @@ Gf2Poly Gf2Poly::from_bits(std::uint64_t bits) {
   return p;
 }
 
+Gf2Poly Gf2Poly::from_words(const std::uint64_t* words, std::size_t n) {
+  Gf2Poly p;
+  p.words_.assign(words, words + n);
+  p.trim();
+  return p;
+}
+
 Gf2Poly Gf2Poly::from_exponents(std::initializer_list<unsigned> exps) {
   Gf2Poly p;
   for (unsigned e : exps) p.set_coeff(e, !p.coeff(e));

@@ -25,6 +25,10 @@ class Gf2Poly {
   /// Polynomial whose coefficient bits are the bits of `bits` (bit i -> x^i).
   static Gf2Poly from_bits(std::uint64_t bits);
 
+  /// Polynomial from `n` packed little-endian words (bit i of word j is the
+  /// coefficient of x^(64j+i)); trailing zero words are trimmed.
+  static Gf2Poly from_words(const std::uint64_t* words, std::size_t n);
+
   /// Polynomial with 1-coefficients exactly at the listed exponents.
   /// Duplicate exponents cancel in pairs (GF(2) addition).
   static Gf2Poly from_exponents(std::initializer_list<unsigned> exps);

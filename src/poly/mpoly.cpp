@@ -194,27 +194,61 @@ std::string MPoly::to_string(const VarPool& pool, const TermOrder& order) const 
 
 MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
                   const TermOrder& order) {
-  MPoly p = f;
+  // Leading terms of the basis are fixed throughout the division; compute
+  // them (and the inverses of their coefficients) once instead of rescanning
+  // every divisor on every reduction step.
+  struct Divisor {
+    const MPoly* g;
+    Monomial lm;
+    Gf2k::Elem inv_lc;
+  };
+  std::vector<Divisor> divisors;
+  divisors.reserve(basis.size());
+  for (const MPoly& g : basis) {
+    if (g.is_zero()) continue;
+    MPoly::Term lt = g.leading_term(order);
+    divisors.push_back(
+        {&g, std::move(lt.mono), f.field().inv(lt.coeff)});
+  }
+
+  // Keep the working polynomial in a map sorted descending by the term
+  // order: the leading term is begin() (O(log n)) rather than a full scan,
+  // which kept the whole division quadratic in the number of terms.
+  auto greater = [&order](const Monomial& a, const Monomial& b) {
+    return order.greater(a, b);
+  };
+  std::map<Monomial, Gf2k::Elem, decltype(greater)> work(greater);
+  for (const auto& [m, c] : f.terms()) work.emplace(m, c);
+
   MPoly r(&f.field());
-  while (!p.is_zero()) {
-    const MPoly::Term lt_p = p.leading_term(order);
-    bool reduced = false;
-    for (const MPoly& g : basis) {
-      if (g.is_zero()) continue;
-      const MPoly::Term lt_g = g.leading_term(order);
-      if (lt_g.mono.divides(lt_p.mono)) {
-        // p -= (lt(p) / lt(g)) * g ; over char 2, minus is plus.
-        const Monomial q = lt_g.mono.divide_into(lt_p.mono);
-        const Gf2k::Elem c =
-            f.field().mul(lt_p.coeff, f.field().inv(lt_g.coeff));
-        p += g.mul_term(c, q);
-        reduced = true;
+  while (!work.empty()) {
+    const auto head = work.begin();
+    const Monomial mono = head->first;
+    const Gf2k::Elem coeff = head->second;
+    work.erase(head);
+    const Divisor* hit = nullptr;
+    for (const Divisor& d : divisors) {
+      if (d.lm.divides(mono)) {
+        hit = &d;
         break;
       }
     }
-    if (!reduced) {
-      r.add_term(lt_p.mono, lt_p.coeff);
-      p.add_term(lt_p.mono, lt_p.coeff);  // cancels the leading term
+    if (hit == nullptr) {
+      r.add_term(mono, coeff);
+      continue;
+    }
+    // p -= (lt(p) / lm(g)) * g ; over char 2, minus is plus. The leading
+    // term of the product cancels `mono` exactly, so only the divisor's
+    // trailing terms enter the working map (all smaller under the order).
+    const Monomial q = hit->lm.divide_into(mono);
+    const Gf2k::Elem c = f.field().mul(coeff, hit->inv_lc);
+    for (const auto& [gm, gc] : hit->g->terms()) {
+      if (gm == hit->lm) continue;
+      auto [it, inserted] = work.emplace(gm * q, f.field().mul(c, gc));
+      if (!inserted) {
+        it->second = f.field().add(it->second, f.field().mul(c, gc));
+        if (it->second.is_zero()) work.erase(it);
+      }
     }
   }
   return r;

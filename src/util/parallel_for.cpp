@@ -1,0 +1,175 @@
+#include "util/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gfa {
+
+namespace {
+
+/// Set while the current thread is executing pool work (or a loop body on the
+/// caller's side); nested parallel_for calls then run serially.
+thread_local bool tls_in_parallel = false;
+
+unsigned decide_thread_count() {
+  if (const char* env = std::getenv("GFA_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+/// One loop in flight at a time; workers claim chunks off an atomic cursor.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<unsigned> active{0};  // workers currently inside the loop body
+  std::exception_ptr error;         // first failure; guarded by error_mutex
+  std::mutex error_mutex;
+
+  void work() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // drain remaining chunks
+      }
+    }
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  unsigned thread_count() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    job.chunk = n / (thread_count() * 8) + 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    job.work();  // the caller participates
+    {
+      // Wait for workers still inside a claimed chunk.
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ = nullptr;
+      done_cv_.wait(lock, [&] { return job.active.load() == 0; });
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  /// Serializes top-level loops; a second concurrent caller runs serially.
+  std::mutex run_mutex;
+
+ private:
+  Pool() {
+    const unsigned n = decide_thread_count();
+    for (unsigned i = 0; i + 1 < n; ++i)
+      threads_.emplace_back([this] { worker(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void worker() {
+    tls_in_parallel = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        job->active.fetch_add(1);
+      }
+      job->work();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->active.fetch_sub(1);
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+unsigned parallel_thread_count() { return Pool::instance().thread_count(); }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  Pool& pool = Pool::instance();
+  const bool serial = n == 1 || tls_in_parallel || pool.thread_count() == 1 ||
+                      !pool.run_mutex.try_lock();
+  if (serial) {
+    const bool was = tls_in_parallel;
+    tls_in_parallel = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      tls_in_parallel = was;
+      throw;
+    }
+    tls_in_parallel = was;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(pool.run_mutex, std::adopt_lock);
+  const bool was = tls_in_parallel;
+  tls_in_parallel = true;
+  try {
+    pool.run(n, fn);
+  } catch (...) {
+    tls_in_parallel = was;
+    throw;
+  }
+  tls_in_parallel = was;
+}
+
+void parallel_invoke(const std::function<void()>& a,
+                     const std::function<void()>& b) {
+  parallel_for(2, [&](std::size_t i) { i == 0 ? a() : b(); });
+}
+
+}  // namespace gfa

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal shared thread pool for the embarrassingly parallel loops of the
+// abstraction pipeline (the O(k³) basis-change transforms of the word lift,
+// per-output-word extraction, concurrent spec/impl abstraction).
+//
+// Semantics:
+//   * parallel_for(n, fn) runs fn(i) for every i in [0, n), blocking until
+//     all calls have finished. Work is claimed in chunks from a global pool
+//     and the calling thread participates, so progress never depends on a
+//     worker being free.
+//   * Nested calls (from inside a pool task) and calls while the pool is
+//     busy degrade to serial execution on the calling thread — correct by
+//     construction, never deadlocking.
+//   * The first exception thrown by fn is captured and rethrown on the
+//     calling thread once the loop has drained.
+//
+// The pool is sized to GFA_THREADS when that environment variable holds a
+// positive integer, otherwise std::thread::hardware_concurrency().
+
+#include <cstddef>
+#include <functional>
+
+namespace gfa {
+
+/// Number of threads participating in parallel loops (>= 1, counting the
+/// caller).
+unsigned parallel_thread_count();
+
+/// Runs fn(i) for i in [0, n); see the header comment for guarantees.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Runs a and b, potentially concurrently; rethrows the first exception.
+void parallel_invoke(const std::function<void()>& a,
+                     const std::function<void()>& b);
+
+}  // namespace gfa

@@ -1,0 +1,69 @@
+// Tests for the shared thread pool (util/parallel_for.h): completeness,
+// nesting, exception propagation, and concurrent use through parallel_invoke.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel_for.h"
+
+namespace gfa {
+namespace {
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, ComputesDisjointResults) {
+  const std::size_t n = 4096;
+  std::vector<long> out(n, 0);
+  parallel_for(n, [&](std::size_t i) { out[i] = static_cast<long>(i) * 3; });
+  long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 3L * static_cast<long>(n) * (static_cast<long>(n) - 1) / 2);
+}
+
+TEST(ParallelFor, NestedCallsComplete) {
+  const std::size_t outer = 16, inner = 64;
+  std::atomic<int> count{0};
+  parallel_for(outer, [&](std::size_t) {
+    parallel_for(inner, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), static_cast<int>(outer * inner));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> count{0};
+  parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelInvoke, RunsBothAndPropagates) {
+  std::atomic<int> a{0}, b{0};
+  parallel_invoke([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+  EXPECT_THROW(parallel_invoke([] { throw std::logic_error("x"); }, [] {}),
+               std::logic_error);
+}
+
+TEST(ParallelFor, ThreadCountIsPositive) {
+  EXPECT_GE(parallel_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gfa
