@@ -1,58 +1,79 @@
 // Paper §6, second implicit table: "a full Gröbner basis of J + J_0 with an
 // elimination order (SINGULAR slimgb) is infeasible beyond 32-bit circuits."
 //
-// For each k, runs unguided Buchberger on the whole circuit ideal plus
-// vanishing polynomials under the abstraction order, with a reduction budget
-// standing in for the memory explosion — next to the RATO-guided extraction
-// of the *same* circuit, which is instantaneous. The contrast is the paper's
+// For each k, drives the "full-gb" registry engine — unguided Buchberger on
+// the whole circuit ideal plus vanishing polynomials for *both* circuits —
+// under a reduction budget standing in for the memory explosion (running dry
+// is verdict=unknown), next to the RATO-guided "abstraction" engine on the
+// *same* instance, which is instantaneous. The contrast is the paper's
 // motivation for §5.
 
 #include <benchmark/benchmark.h>
 
-#include "abstraction/extractor.h"
-#include "baselines/full_gb.h"
 #include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "engine/registry.h"
+#include "engine/report.h"
 #include "bench_util.h"
 
 namespace {
 
 constexpr std::size_t kReductionBudget = 20000;
 
+double stat(const gfa::engine::EngineRun& run, const char* key) {
+  const auto it = run.stats.find(key);
+  return it == run.stats.end() ? 0.0 : it->second;
+}
+
 void BM_FullGroebner(benchmark::State& state) {
   const unsigned k = static_cast<unsigned>(state.range(0));
   const gfa::Gf2k field = gfa::Gf2k::make(k);
-  const gfa::Netlist netlist = make_mastrovito_multiplier(field);
-  gfa::BuchbergerOptions options;
-  options.max_reductions = kReductionBudget;
+  const gfa::Netlist spec = make_mastrovito_multiplier(field);
+  const gfa::Netlist impl = make_montgomery_multiplier_flat(field);
+  const gfa::engine::EquivEngine* engine =
+      gfa::engine::EngineRegistry::global().find("full-gb");
 
-  bool completed = false, found = false;
-  std::size_t reductions = 0, max_terms = 0;
+  gfa::engine::EngineRun run;
   for (auto _ : state) {
-    const gfa::FullGbResult res =
-        abstract_by_full_groebner(netlist, field, options);
-    completed = res.completed;
-    found = res.found;
-    reductions = res.reductions;
-    max_terms = res.max_terms_seen;
-    benchmark::DoNotOptimize(res.basis_size);
+    gfa::engine::RunOptions options;
+    options.gb_max_reductions = kReductionBudget;
+    run = gfa::engine::run_engine(*engine, spec, impl, field, options);
+    benchmark::DoNotOptimize(run.wall_ms);
   }
-  state.counters["completed"] = completed ? 1 : 0;
-  state.counters["found_Z_poly"] = found ? 1 : 0;
-  state.counters["spoly_reductions"] = static_cast<double>(reductions);
-  state.counters["max_terms"] = static_cast<double>(max_terms);
+  if (!run.status.ok())
+    state.SkipWithError(run.status.to_string().c_str());
+  else if (run.verdict == gfa::engine::Verdict::kNotEquivalent)
+    state.SkipWithError("full GB: circuits differ (generator bug)");
+  state.counters["completed"] =
+      run.status.ok() && run.verdict != gfa::engine::Verdict::kUnknown ? 1 : 0;
+  state.counters["spoly_reductions"] =
+      stat(run, "spec_reductions") + stat(run, "impl_reductions");
+  state.counters["spec_basis_size"] = stat(run, "spec_basis_size");
+  state.counters["impl_basis_size"] = stat(run, "impl_basis_size");
 }
 
 void BM_GuidedExtraction(benchmark::State& state) {
-  // The same circuit through the §5 guided reduction, for contrast.
+  // The same instance through the §5 guided flow, for contrast.
   const unsigned k = static_cast<unsigned>(state.range(0));
   const gfa::Gf2k field = gfa::Gf2k::make(k);
-  const gfa::Netlist netlist = make_mastrovito_multiplier(field);
+  const gfa::Netlist spec = make_mastrovito_multiplier(field);
+  const gfa::Netlist impl = make_montgomery_multiplier_flat(field);
+  const gfa::engine::EquivEngine* engine =
+      gfa::engine::EngineRegistry::global().find("abstraction");
+
+  gfa::engine::EngineRun run;
   for (auto _ : state) {
-    const gfa::WordFunction fn = gfa::extract_word_function(netlist, field);
-    benchmark::DoNotOptimize(fn.g.num_terms());
+    run = gfa::engine::run_engine(*engine, spec, impl, field,
+                                  gfa::engine::RunOptions{});
+    benchmark::DoNotOptimize(run.wall_ms);
   }
+  if (!run.status.ok())
+    state.SkipWithError(run.status.to_string().c_str());
+  else if (run.verdict != gfa::engine::Verdict::kEquivalent)
+    state.SkipWithError("abstraction: circuits differ (generator bug)");
   state.counters["completed"] = 1;
-  state.counters["found_Z_poly"] = 1;
+  state.counters["substitutions"] =
+      stat(run, "spec_substitutions") + stat(run, "impl_substitutions");
 }
 
 }  // namespace

@@ -3,62 +3,75 @@
 // (spec *derived*). The paper reports [5] scaling to 163-bit and failing
 // beyond, while abstraction reaches 571-bit hierarchically.
 //
-// Both methods here run over the same Mastrovito and flattened Montgomery
-// circuits; the interesting series are the peak term counts (memory shape)
-// and times as k grows, plus the qualitative point that ideal membership
-// answers only yes/no against a *given* spec while abstraction returns the
-// polynomial itself.
+// Both registry engines ("ideal-membership" and "abstraction") run over the
+// same Mastrovito and flattened Montgomery circuits, verified against
+// themselves — the correct-circuit series of the paper's tables. The
+// interesting series are the peak term counts (memory shape) and times as k
+// grows, plus the qualitative point that ideal membership answers only
+// yes/no against a *given* spec while abstraction returns the polynomial.
 
 #include <benchmark/benchmark.h>
 
-#include "abstraction/extractor.h"
-#include "abstraction/word_lift.h"
-#include "baselines/ideal_membership.h"
 #include "circuit/mastrovito.h"
 #include "circuit/montgomery.h"
+#include "engine/registry.h"
+#include "engine/report.h"
 #include "bench_util.h"
 
 namespace {
+
+double stat(const gfa::engine::EngineRun& run, const char* key) {
+  const auto it = run.stats.find(key);
+  return it == run.stats.end() ? 0.0 : it->second;
+}
+
+gfa::Netlist make_circuit(const gfa::Gf2k& field, bool montgomery) {
+  return montgomery ? make_montgomery_multiplier_flat(field)
+                    : make_mastrovito_multiplier(field);
+}
 
 void BM_IdealMembership(benchmark::State& state) {
   const unsigned k = static_cast<unsigned>(state.range(0));
   const bool montgomery = state.range(1) != 0;
   const gfa::Gf2k field = gfa::Gf2k::make(k);
-  const gfa::Netlist netlist = montgomery
-                                   ? make_montgomery_multiplier_flat(field)
-                                   : make_mastrovito_multiplier(field);
-  bool member = false;
-  std::size_t peak = 0;
+  const gfa::Netlist netlist = make_circuit(field, montgomery);
+  const gfa::engine::EquivEngine* engine =
+      gfa::engine::EngineRegistry::global().find("ideal-membership");
+
+  gfa::engine::EngineRun run;
   for (auto _ : state) {
-    const auto res = verify_multiplier_by_ideal_membership(netlist, field);
-    member = res.is_member;
-    peak = res.peak_terms;
-    benchmark::DoNotOptimize(res.residual_terms);
+    run = gfa::engine::run_engine(*engine, netlist, netlist, field,
+                                  gfa::engine::RunOptions{});
+    benchmark::DoNotOptimize(run.wall_ms);
   }
-  if (!member) state.SkipWithError("ideal membership failed on correct circuit");
+  if (!run.status.ok())
+    state.SkipWithError(run.status.to_string().c_str());
+  else if (run.verdict != gfa::engine::Verdict::kEquivalent)
+    state.SkipWithError("ideal membership failed on correct circuit");
   state.counters["gates"] = static_cast<double>(netlist.num_logic_gates());
-  state.counters["peak_terms"] = static_cast<double>(peak);
+  state.counters["peak_terms"] = stat(run, "peak_terms");
 }
 
 void BM_Abstraction(benchmark::State& state) {
   const unsigned k = static_cast<unsigned>(state.range(0));
   const bool montgomery = state.range(1) != 0;
   const gfa::Gf2k field = gfa::Gf2k::make(k);
-  const gfa::Netlist netlist = montgomery
-                                   ? make_montgomery_multiplier_flat(field)
-                                   : make_mastrovito_multiplier(field);
-  const gfa::WordLift lift(&field);
-  gfa::ExtractionOptions options;
-  options.shared_lift = &lift;
-  std::size_t peak = 0;
+  const gfa::Netlist netlist = make_circuit(field, montgomery);
+  const gfa::engine::EquivEngine* engine =
+      gfa::engine::EngineRegistry::global().find("abstraction");
+
+  gfa::engine::EngineRun run;
   for (auto _ : state) {
-    const gfa::WordFunction fn =
-        gfa::extract_word_function(netlist, field, options);
-    peak = fn.stats.peak_terms;
-    benchmark::DoNotOptimize(fn.g.num_terms());
+    run = gfa::engine::run_engine(*engine, netlist, netlist, field,
+                                  gfa::engine::RunOptions{});
+    benchmark::DoNotOptimize(run.wall_ms);
   }
+  if (!run.status.ok())
+    state.SkipWithError(run.status.to_string().c_str());
+  else if (run.verdict != gfa::engine::Verdict::kEquivalent)
+    state.SkipWithError("abstraction failed on correct circuit");
   state.counters["gates"] = static_cast<double>(netlist.num_logic_gates());
-  state.counters["peak_terms"] = static_cast<double>(peak);
+  state.counters["peak_terms"] = stat(run, "spec_peak_terms");
 }
 
 }  // namespace

@@ -1,46 +1,53 @@
 // Paper §6, first implicit table: "AIG/SAT miter methods cannot prove
 // equivalence beyond 16-bit multipliers within 24 hours."
 //
-// For each k, builds the Mastrovito-vs-Montgomery miter, Tseitin-encodes it,
-// and runs the CDCL solver with a conflict budget (the 24-hour stand-in).
-// The expected shape is an exponential wall within the first few sizes —
-// contrast with the abstraction benches, which walk the same circuits to
-// k = 163+. Counters: proved (1 = UNSAT within budget), conflicts, clauses.
+// For each k, drives the "sat" and "fraig" registry engines on the
+// Mastrovito-vs-Montgomery instance with a conflict budget (the 24-hour
+// stand-in). The expected shape is an exponential wall within the first few
+// sizes — contrast with the abstraction benches, which walk the same
+// circuits to k = 163+. Counters: proved (1 = UNSAT within budget),
+// conflicts, clauses.
 
 #include <benchmark/benchmark.h>
 
-#include "baselines/aig/aig.h"
-#include "baselines/miter.h"
-#include "baselines/sat/solver.h"
 #include "circuit/mastrovito.h"
 #include "circuit/montgomery.h"
+#include "engine/registry.h"
+#include "engine/report.h"
 #include "bench_util.h"
 
 namespace {
 
 constexpr std::uint64_t kConflictBudget = 200000;
 
+double stat(const gfa::engine::EngineRun& run, const char* key) {
+  const auto it = run.stats.find(key);
+  return it == run.stats.end() ? 0.0 : it->second;
+}
+
 void BM_SatMiterEquivalence(benchmark::State& state) {
   const unsigned k = static_cast<unsigned>(state.range(0));
   const gfa::Gf2k field = gfa::Gf2k::make(k);
-  const gfa::Netlist miter = make_miter(make_mastrovito_multiplier(field),
-                                        make_montgomery_multiplier_flat(field));
-  const gfa::Cnf cnf = tseitin_encode(miter, miter.outputs()[0]);
+  const gfa::Netlist spec = make_mastrovito_multiplier(field);
+  const gfa::Netlist impl = make_montgomery_multiplier_flat(field);
+  const gfa::engine::EquivEngine* engine =
+      gfa::engine::EngineRegistry::global().find("sat");
 
-  gfa::sat::Result result = gfa::sat::Result::kUnknown;
-  std::uint64_t conflicts = 0;
+  gfa::engine::EngineRun run;
   for (auto _ : state) {
-    gfa::sat::Solver solver;
-    for (const auto& clause : cnf.clauses) solver.add_clause(clause);
-    result = solver.solve(kConflictBudget);
-    conflicts = solver.stats().conflicts;
-    benchmark::DoNotOptimize(result);
+    gfa::engine::RunOptions options;
+    options.sat_conflict_limit = kConflictBudget;
+    run = gfa::engine::run_engine(*engine, spec, impl, field, options);
+    benchmark::DoNotOptimize(run.wall_ms);
   }
-  if (result == gfa::sat::Result::kSat)
+  if (!run.status.ok())
+    state.SkipWithError(run.status.to_string().c_str());
+  else if (run.verdict == gfa::engine::Verdict::kNotEquivalent)
     state.SkipWithError("miter SAT: circuits differ (generator bug)");
-  state.counters["proved"] = result == gfa::sat::Result::kUnsat ? 1 : 0;
-  state.counters["conflicts"] = static_cast<double>(conflicts);
-  state.counters["clauses"] = static_cast<double>(cnf.clauses.size());
+  state.counters["proved"] =
+      run.verdict == gfa::engine::Verdict::kEquivalent ? 1 : 0;
+  state.counters["conflicts"] = stat(run, "conflicts");
+  state.counters["clauses"] = stat(run, "clauses");
 }
 
 void BM_FraigMiterEquivalence(benchmark::State& state) {
@@ -51,21 +58,25 @@ void BM_FraigMiterEquivalence(benchmark::State& state) {
   const gfa::Gf2k field = gfa::Gf2k::make(k);
   const gfa::Netlist spec = make_mastrovito_multiplier(field);
   const gfa::Netlist impl = make_montgomery_multiplier_flat(field);
+  const gfa::engine::EquivEngine* engine =
+      gfa::engine::EngineRegistry::global().find("fraig");
 
-  gfa::aig::FraigOptions options;
-  options.final_conflicts = kConflictBudget;
-  gfa::aig::FraigResult res;
+  gfa::engine::EngineRun run;
   for (auto _ : state) {
-    res = gfa::aig::fraig_equivalence_check(spec, impl, options);
-    benchmark::DoNotOptimize(res.status);
+    gfa::engine::RunOptions options;
+    options.sat_conflict_limit = kConflictBudget;
+    run = gfa::engine::run_engine(*engine, spec, impl, field, options);
+    benchmark::DoNotOptimize(run.wall_ms);
   }
-  if (res.status == gfa::aig::FraigResult::Status::kNotEquivalent)
+  if (!run.status.ok())
+    state.SkipWithError(run.status.to_string().c_str());
+  else if (run.verdict == gfa::engine::Verdict::kNotEquivalent)
     state.SkipWithError("fraig: circuits differ (generator bug)");
   state.counters["proved"] =
-      res.status == gfa::aig::FraigResult::Status::kEquivalent ? 1 : 0;
-  state.counters["merges"] = static_cast<double>(res.merges);
-  state.counters["sat_calls"] = static_cast<double>(res.sat_calls);
-  state.counters["final_conflicts"] = static_cast<double>(res.final_conflicts);
+      run.verdict == gfa::engine::Verdict::kEquivalent ? 1 : 0;
+  state.counters["merges"] = stat(run, "merges");
+  state.counters["sat_calls"] = stat(run, "sat_calls");
+  state.counters["final_conflicts"] = stat(run, "final_conflicts");
 }
 
 }  // namespace

@@ -19,6 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/json_writer.h"
+#include "util/parse_number.h"
+
 namespace gfa::bench {
 
 /// The NIST ECC field sizes of the paper's Tables 1 and 2.
@@ -32,14 +35,14 @@ inline const std::vector<unsigned>& nist_sizes() {
 inline unsigned max_k_from_env(unsigned default_max) {
   const char* env = std::getenv("GFA_BENCH_MAX_K");
   if (env == nullptr) return default_max;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0' || v == 0 || v > 1000000) {
+  const Result<unsigned> v = parse_unsigned(env, 1, 1000000);
+  if (!v.ok()) {
     std::fprintf(stderr,
-                 "GFA_BENCH_MAX_K must be a positive integer, got '%s'\n", env);
+                 "GFA_BENCH_MAX_K must be a positive integer, got '%s' (%s)\n",
+                 env, v.status().to_string().c_str());
     std::exit(2);
   }
-  return static_cast<unsigned>(v);
+  return *v;
 }
 
 /// Returns `base` extended by every NIST size <= GFA_BENCH_MAX_K
@@ -92,18 +95,20 @@ class JsonReporter {
       std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
       return;
     }
-    out << "[\n";
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const BenchRecord& r = records_[i];
-      out << "  {\"name\": \"" << r.name << "\", \"k\": " << r.k
-          << ", \"wall_ms\": " << r.wall_ms
-          << ", \"peak_terms\": " << r.peak_terms
-          << ", \"substitutions\": " << r.substitutions;
-      for (const auto& [key, value] : r.extra)
-        out << ", \"" << key << "\": " << value;
-      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    JsonWriter w(out);
+    w.begin_array();
+    for (const BenchRecord& r : records_) {
+      w.begin_object();
+      w.member("name", r.name);
+      w.member("k", r.k);
+      w.member("wall_ms", r.wall_ms);
+      w.member("peak_terms", static_cast<std::uint64_t>(r.peak_terms));
+      w.member("substitutions", static_cast<std::uint64_t>(r.substitutions));
+      for (const auto& [key, value] : r.extra) w.member(key, value);
+      w.end_object();
     }
-    out << "]\n";
+    w.end_array();
+    out << "\n";
   }
 
   const std::string& path() const { return path_; }

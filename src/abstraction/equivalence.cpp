@@ -81,17 +81,30 @@ EquivalenceResult check_equivalence(const Netlist& spec, const Netlist& impl,
   ExtractionOptions local = options;
   std::optional<WordLift> owned_lift;
   if (local.shared_lift == nullptr) {
-    owned_lift.emplace(&field, local.basis);
+    owned_lift.emplace(&field, local.basis, local.control);
     local.shared_lift = &*owned_lift;
   }
   WordFunction spec_fn, impl_fn;
   parallel_invoke(
       [&] { spec_fn = extract_word_function(spec, field, local); },
-      [&] { impl_fn = extract_word_function(impl, field, local); });
+      [&] { impl_fn = extract_word_function(impl, field, local); },
+      local.control);
   std::string diff;
   const bool eq = same_word_function(spec_fn, impl_fn, &diff);
   return EquivalenceResult{eq, std::move(spec_fn), std::move(impl_fn),
                            std::move(diff)};
+}
+
+Result<EquivalenceResult> try_check_equivalence(
+    const Netlist& spec, const Netlist& impl, const Gf2k& field,
+    const ExtractionOptions& options) {
+  try {
+    return check_equivalence(spec, impl, field, options);
+  } catch (const ExtractionBudgetExceeded& e) {
+    return Status::resource_exhausted(e.what());
+  } catch (...) {
+    return status_from_current_exception();
+  }
 }
 
 }  // namespace gfa

@@ -35,4 +35,11 @@ EquivalenceResult check_equivalence(const Netlist& spec, const Netlist& impl,
                                     const Gf2k& field,
                                     const ExtractionOptions& options = {});
 
+/// Non-throwing variant with the same Status mapping as
+/// try_extract_word_function (kInvalidArgument / kResourceExhausted /
+/// kDeadlineExceeded / kCancelled).
+Result<EquivalenceResult> try_check_equivalence(
+    const Netlist& spec, const Netlist& impl, const Gf2k& field,
+    const ExtractionOptions& options = {});
+
 }  // namespace gfa

@@ -50,6 +50,7 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
     stats.peak_terms = rw.num_terms();
     for (NetId n : rato_net_order(netlist)) {
       if (is_input[n]) continue;
+      throw_if_stopped(options.control);
       rw.substitute(n, gate_tail_bitpoly(field, netlist.gate(n)));
       ++stats.substitutions;
       stats.peak_terms = std::max(stats.peak_terms, rw.num_terms());
@@ -109,10 +110,11 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
     if (options.basis != nullptr &&
         options.shared_lift->basis() != *options.basis)
       throw std::invalid_argument("shared_lift built for a different basis");
-    result.g = options.shared_lift->lift(r, bindings, result.pool);
+    result.g = options.shared_lift->lift(r, bindings, result.pool,
+                                         options.control);
   } else {
-    const WordLift lift(&field, options.basis);
-    result.g = lift.lift(r, bindings, result.pool);
+    const WordLift lift(&field, options.basis, options.control);
+    result.g = lift.lift(r, bindings, result.pool, options.control);
   }
   result.stats = stats;
   return result;
@@ -146,7 +148,7 @@ std::vector<WordFunction> extract_all_word_functions(
   ExtractionOptions local = options;
   std::optional<WordLift> owned_lift;
   if (local.shared_lift == nullptr) {
-    owned_lift.emplace(&field, local.basis);
+    owned_lift.emplace(&field, local.basis, local.control);
     local.shared_lift = &*owned_lift;
   }
   // Output words are independent once the lift is shared; abstract them
@@ -155,8 +157,32 @@ std::vector<WordFunction> extract_all_word_functions(
   std::vector<WordFunction> out(outs.size());
   parallel_for(outs.size(), [&](std::size_t i) {
     out[i] = extract_for_word(netlist, field, outs[i], local);
-  });
+  }, local.control);
   return out;
+}
+
+Result<WordFunction> try_extract_word_function(
+    const Netlist& netlist, const Gf2k& field,
+    const ExtractionOptions& options) {
+  try {
+    return extract_word_function(netlist, field, options);
+  } catch (const ExtractionBudgetExceeded& e) {
+    return Status::resource_exhausted(e.what());
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<std::vector<WordFunction>> try_extract_all_word_functions(
+    const Netlist& netlist, const Gf2k& field,
+    const ExtractionOptions& options) {
+  try {
+    return extract_all_word_functions(netlist, field, options);
+  } catch (const ExtractionBudgetExceeded& e) {
+    return Status::resource_exhausted(e.what());
+  } catch (...) {
+    return status_from_current_exception();
+  }
 }
 
 }  // namespace gfa

@@ -29,6 +29,8 @@
 
 #include "circuit/netlist.h"
 #include "poly/mpoly.h"
+#include "util/exec_control.h"
+#include "util/status.h"
 
 namespace gfa {
 
@@ -47,6 +49,11 @@ struct ExtractionOptions {
   /// the polynomial basis {α^i}; pass a NormalBasis::basis() for circuits
   /// whose words are normal-basis coordinates (e.g. Massey–Omura multipliers).
   const std::vector<Gf2k::Elem>* basis = nullptr;
+  /// Deadline/cancellation, checkpointed per gate substitution in the
+  /// backward-rewriting loop, inside the Frobenius lift, and per chunk of any
+  /// internal parallel_for. Expiry unwinds via StatusError; the try_* entry
+  /// points below convert it to a Status.
+  const ExecControl* control = nullptr;
 };
 
 struct ExtractionStats {
@@ -85,6 +92,16 @@ WordFunction extract_word_function_for(const Netlist& netlist, const Gf2k& field
 /// Abstracts every output word; one WordFunction per word, in declaration
 /// order. The Frobenius basis change is built once and shared.
 std::vector<WordFunction> extract_all_word_functions(
+    const Netlist& netlist, const Gf2k& field,
+    const ExtractionOptions& options = {});
+
+/// Non-throwing entry points: malformed circuits map to kInvalidArgument,
+/// a tripped max_terms budget to kResourceExhausted, and an expired
+/// ExtractionOptions::control to kDeadlineExceeded / kCancelled.
+Result<WordFunction> try_extract_word_function(
+    const Netlist& netlist, const Gf2k& field,
+    const ExtractionOptions& options = {});
+Result<std::vector<WordFunction>> try_extract_all_word_functions(
     const Netlist& netlist, const Gf2k& field,
     const ExtractionOptions& options = {});
 

@@ -15,12 +15,14 @@ namespace {
 /// Inverts a k×k matrix over F_{2^k} by Gauss–Jordan elimination. The row
 /// eliminations per pivot column are independent and run on the pool.
 std::vector<std::vector<Gf2k::Elem>> invert(
-    const Gf2k& field, std::vector<std::vector<Gf2k::Elem>> m) {
+    const Gf2k& field, std::vector<std::vector<Gf2k::Elem>> m,
+    const ExecControl* control) {
   const std::size_t k = m.size();
   std::vector<std::vector<Gf2k::Elem>> inv(k, std::vector<Gf2k::Elem>(k));
   for (std::size_t i = 0; i < k; ++i) inv[i][i] = field.one();
 
   for (std::size_t col = 0; col < k; ++col) {
+    throw_if_stopped(control);
     std::size_t pivot = col;
     while (pivot < k && m[pivot][col].is_zero()) ++pivot;
     if (pivot == k) throw std::logic_error("basis-change matrix is singular");
@@ -38,14 +40,15 @@ std::vector<std::vector<Gf2k::Elem>> invert(
         m[row][j] += field.mul(f, m[col][j]);    // char 2: subtract == add
         inv[row][j] += field.mul(f, inv[col][j]);
       }
-    });
+    }, control);
   }
   return inv;
 }
 
 }  // namespace
 
-WordLift::WordLift(const Gf2k* field, const std::vector<Elem>* basis)
+WordLift::WordLift(const Gf2k* field, const std::vector<Elem>* basis,
+                   const ExecControl* control)
     : field_(field) {
   const unsigned k = field_->k();
   if (basis != nullptr) {
@@ -67,15 +70,15 @@ WordLift::WordLift(const Gf2k* field, const std::vector<Elem>* basis)
     }
   }
   // a = C · (A^{2^j})_j needs C = M^{-1}, with rows indexed by bit position i.
-  c_ = invert(*field_, std::move(m));
+  c_ = invert(*field_, std::move(m), control);
 }
 
 MPoly WordLift::lift(const BitPoly& r, const std::vector<WordBinding>& words,
-                     const VarPool& pool) const {
+                     const VarPool& pool, const ExecControl* control) const {
   for (const WordBinding& w : words)
     assert(w.bit_vars.size() == field_->k() && "word width must equal k");
-  if (r.max_monomial_size() <= 2) return lift_bilinear(r, words, pool);
-  return lift_general(r, words, pool);
+  if (r.max_monomial_size() <= 2) return lift_bilinear(r, words, pool, control);
+  return lift_general(r, words, pool, control);
 }
 
 namespace {
@@ -98,7 +101,8 @@ std::unordered_map<VarId, BitLocation> index_bits(
 
 MPoly WordLift::lift_bilinear(const BitPoly& r,
                               const std::vector<WordBinding>& words,
-                              const VarPool& pool) const {
+                              const VarPool& pool,
+                              const ExecControl* control) const {
   const unsigned k = field_->k();
   const auto loc = index_bits(words);
 
@@ -153,6 +157,7 @@ MPoly WordLift::lift_bilinear(const BitPoly& r,
   // embarrassingly parallel by row, so they run on the pool; each task only
   // touches its own output row and the results are merged sequentially.
   for (const auto& [pair, q] : quad) {
+    throw_if_stopped(control);
     const VarId uv = words[pair.first].word_var;
     const VarId vv = words[pair.second].word_var;
     // E = Q·C, then D = Cᵀ·E.
@@ -163,7 +168,7 @@ MPoly WordLift::lift_bilinear(const BitPoly& r,
         for (unsigned t = 0; t < k; ++t)
           if (!c_[l][t].is_zero()) e[i][t] += field_->mul(q[i][l], c_[l][t]);
       }
-    });
+    }, control);
     std::vector<std::vector<std::pair<Monomial, Elem>>> rows(k);
     parallel_for(k, [&](std::size_t s) {
       for (unsigned t = 0; t < k; ++t) {
@@ -180,7 +185,7 @@ MPoly WordLift::lift_bilinear(const BitPoly& r,
                                         {vv, BigUint::pow2(t)}});
         rows[s].emplace_back(std::move(mono), std::move(d));
       }
-    });
+    }, control);
     for (const auto& row : rows)
       for (const auto& [mono, d] : row) out.add_term(mono, d);
   }
@@ -189,7 +194,8 @@ MPoly WordLift::lift_bilinear(const BitPoly& r,
 
 MPoly WordLift::lift_general(const BitPoly& r,
                              const std::vector<WordBinding>& words,
-                             const VarPool& pool) const {
+                             const VarPool& pool,
+                             const ExecControl* control) const {
   const unsigned k = field_->k();
   const auto loc = index_bits(words);
 
@@ -211,6 +217,7 @@ MPoly WordLift::lift_general(const BitPoly& r,
 
   MPoly out(field_);
   for (const auto& [m, c] : r.terms()) {
+    throw_if_stopped(control);
     MPoly acc = MPoly::constant(field_, c);
     for (VarId v : m) acc = (acc * expand_bit(v)).normalized_vanishing(pool);
     out += acc;

@@ -21,6 +21,7 @@
 
 #include "abstraction/bitpoly.h"
 #include "poly/mpoly.h"
+#include "util/exec_control.h"
 
 namespace gfa {
 
@@ -33,8 +34,11 @@ class WordLift {
   /// polynomial basis {α^i}. A normal basis (gf/normal_basis.h) plugs in here,
   /// which is what makes cross-representation equivalence checks work: M
   /// becomes M_{j,i} = basis[i]^{2^j} and everything downstream is unchanged.
+  /// `control` bounds the O(k³) matrix inversion (checkpointed per pivot
+  /// column and per pool chunk); expiry unwinds via StatusError.
   explicit WordLift(const Gf2k* field,
-                    const std::vector<Elem>* basis = nullptr);
+                    const std::vector<Elem>* basis = nullptr,
+                    const ExecControl* control = nullptr);
 
   /// The word basis this lift was built for.
   const std::vector<Elem>& basis() const { return basis_; }
@@ -54,13 +58,13 @@ class WordLift {
   /// polynomial over the word variables. Every bit variable occurring in `r`
   /// must be bound. `pool` supplies variable kinds for vanishing reduction.
   MPoly lift(const BitPoly& r, const std::vector<WordBinding>& words,
-             const VarPool& pool) const;
+             const VarPool& pool, const ExecControl* control = nullptr) const;
 
  private:
   MPoly lift_bilinear(const BitPoly& r, const std::vector<WordBinding>& words,
-                      const VarPool& pool) const;
+                      const VarPool& pool, const ExecControl* control) const;
   MPoly lift_general(const BitPoly& r, const std::vector<WordBinding>& words,
-                     const VarPool& pool) const;
+                     const VarPool& pool, const ExecControl* control) const;
 
   const Gf2k* field_;
   std::vector<Elem> basis_;

@@ -263,7 +263,7 @@ FraigResult fraig_equivalence_check(const Netlist& c1, const Netlist& c2,
     solver.add_clause({da, db});
     solver.add_clause({-da, -db});
     ++result.sat_calls;
-    const sat::Result res = solver.solve(budget);
+    const sat::Result res = solver.solve(budget, options.control);
     if (res == sat::Result::kSat) {
       // Fold the counterexample into the simulation: lane 0 carries the
       // distinguishing pattern, the other 63 lanes are random variations.
@@ -282,6 +282,7 @@ FraigResult fraig_equivalence_check(const Netlist& c1, const Netlist& c2,
 
   // Sweep AND nodes in topological (index) order.
   for (std::uint32_t v = aig.num_inputs() + 1; v < aig.num_vars(); ++v) {
+    if ((v & 255u) == 0) throw_if_stopped(options.control);
     if (var_of(uf.resolve(make_lit(v, false))) != v) continue;  // already merged
     bool phase_v = false;
     const std::uint64_t key = signature_key(v, &phase_v);
@@ -324,7 +325,7 @@ FraigResult fraig_equivalence_check(const Netlist& c1, const Netlist& c2,
   const int dm = enc.encode(m);
   solver.add_clause({dm});
   ++result.sat_calls;
-  const sat::Result res = solver.solve(options.final_conflicts);
+  const sat::Result res = solver.solve(options.final_conflicts, options.control);
   result.final_conflicts = solver.stats().conflicts;
   if (res == sat::Result::kUnsat) {
     result.status = FraigResult::Status::kEquivalent;

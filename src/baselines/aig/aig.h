@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "util/exec_control.h"
 
 namespace gfa::aig {
 
@@ -73,6 +74,9 @@ struct FraigOptions {
   std::uint64_t final_conflicts = 0;          // 0 = unlimited final query
   unsigned sim_words = 4;                     // 256 random patterns initially
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Deadline/cancellation, checkpointed per sweep candidate and inside
+  /// every SAT query; expiry unwinds via StatusError.
+  const ExecControl* control = nullptr;
 };
 
 struct FraigResult {

@@ -17,6 +17,7 @@ Manager::Manager(std::size_t node_limit) : node_limit_(node_limit) {
 }
 
 NodeRef Manager::make(unsigned var, NodeRef lo, NodeRef hi) {
+  if ((++allocations_ & 255u) == 0) throw_if_stopped(control_);
   if (lo == hi) return lo;  // reduction rule
   const Key key{var, lo, hi};
   if (auto it = unique_.find(key); it != unique_.end()) return it->second;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "util/exec_control.h"
 
 namespace gfa::bdd {
 
@@ -29,6 +30,11 @@ class Manager {
   /// BddBudgetExceeded once the table grows past the limit (the benches'
   /// memory-explosion stand-in).
   explicit Manager(std::size_t node_limit = 0);
+
+  /// Installs a deadline/cancellation source polled every few hundred node
+  /// allocations; expiry unwinds via StatusError. Pass nullptr to detach.
+  /// The Manager does not own `control`; it must outlive all operations.
+  void set_exec_control(const ExecControl* control) { control_ = control; }
 
   /// The projection function of variable `index` (lower index = nearer root).
   NodeRef var(unsigned index);
@@ -86,6 +92,8 @@ class Manager {
   std::unordered_map<Key, NodeRef, KeyHash> unique_;
   std::unordered_map<IteKey, NodeRef, IteKeyHash> computed_;
   std::size_t node_limit_;
+  const ExecControl* control_ = nullptr;
+  std::size_t allocations_ = 0;  // make() calls, for periodic control polls
 };
 
 /// Builds the BDDs of every net (terminal-driven in topological order);

@@ -31,7 +31,8 @@ BitPoly word_power_bits(const Gf2k& field, const Word& word, const BigUint& e) {
 
 IdealMembershipResult verify_by_ideal_membership(
     const Netlist& circuit, const Gf2k& field,
-    const std::function<MPoly(const Gf2k* field, VarPool& pool)>& spec_builder) {
+    const std::function<MPoly(const Gf2k* field, VarPool& pool)>& spec_builder,
+    const IdealMembershipOptions& options) {
   const Word* out_word = output_word(circuit);
   if (out_word == nullptr) throw std::invalid_argument("no output word declared");
 
@@ -48,13 +49,14 @@ IdealMembershipResult verify_by_ideal_membership(
     substitutable[n] = circuit.gate(n).type != GateType::kInput;
 
   IdealMembershipResult res;
-  BackwardRewriter rw(field, std::move(substitutable));
+  BackwardRewriter rw(field, std::move(substitutable), options.max_terms);
 
   // Miter polynomial f : Z + G(A, B, …), bit-blasted on both sides.
   for (std::size_t j = 0; j < out_word->bits.size(); ++j)
     rw.add(BitMono{out_word->bits[j]},
            field.alpha_pow(static_cast<std::uint64_t>(j)));
   for (const auto& [mono, coeff] : g.terms()) {
+    throw_if_stopped(options.control);
     BitPoly expanded = BitPoly::constant(&field, coeff);
     for (const auto& [v, e] : mono.factors()) {
       auto it = word_of_var.find(v);
@@ -69,6 +71,7 @@ IdealMembershipResult verify_by_ideal_membership(
   // Division chain: substitute every gate tail in RATO order.
   for (NetId n : rato_net_order(circuit)) {
     if (circuit.gate(n).type == GateType::kInput) continue;
+    throw_if_stopped(options.control);
     rw.substitute(n, gate_tail_bitpoly(field, circuit.gate(n)));
     ++res.substitutions;
     res.peak_terms = std::max(res.peak_terms, rw.num_terms());
@@ -79,15 +82,18 @@ IdealMembershipResult verify_by_ideal_membership(
   return res;
 }
 
-IdealMembershipResult verify_multiplier_by_ideal_membership(const Netlist& circuit,
-                                                            const Gf2k& field) {
+IdealMembershipResult verify_multiplier_by_ideal_membership(
+    const Netlist& circuit, const Gf2k& field,
+    const IdealMembershipOptions& options) {
   return verify_by_ideal_membership(
-      circuit, field, [](const Gf2k* f, VarPool& pool) {
+      circuit, field,
+      [](const Gf2k* f, VarPool& pool) {
         return MPoly::term(
             f, f->one(),
             Monomial::from_pairs(
                 {{pool.id("A"), BigUint(1)}, {pool.id("B"), BigUint(1)}}));
-      });
+      },
+      options);
 }
 
 }  // namespace gfa

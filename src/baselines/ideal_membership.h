@@ -17,8 +17,18 @@
 
 #include "circuit/netlist.h"
 #include "poly/mpoly.h"
+#include "util/exec_control.h"
 
 namespace gfa {
+
+struct IdealMembershipOptions {
+  /// Abort when the intermediate polynomial exceeds this many terms
+  /// (0 = unlimited). Tripping raises RewriteBudgetExceeded.
+  std::size_t max_terms = 0;
+  /// Deadline/cancellation, checkpointed per gate substitution in the
+  /// division chain; expiry unwinds via StatusError.
+  const ExecControl* control = nullptr;
+};
 
 struct IdealMembershipResult {
   bool is_member = false;       // true => circuit implements the spec
@@ -33,10 +43,12 @@ struct IdealMembershipResult {
 /// exponents in G must fit in 64 bits (true of any practical spec).
 IdealMembershipResult verify_by_ideal_membership(
     const Netlist& circuit, const Gf2k& field,
-    const std::function<MPoly(const Gf2k* field, VarPool& pool)>& spec_builder);
+    const std::function<MPoly(const Gf2k* field, VarPool& pool)>& spec_builder,
+    const IdealMembershipOptions& options = {});
 
 /// Convenience: the multiplication spec G = A·B.
-IdealMembershipResult verify_multiplier_by_ideal_membership(const Netlist& circuit,
-                                                            const Gf2k& field);
+IdealMembershipResult verify_multiplier_by_ideal_membership(
+    const Netlist& circuit, const Gf2k& field,
+    const IdealMembershipOptions& options = {});
 
 }  // namespace gfa

@@ -283,13 +283,15 @@ Solver::L Solver::pick_branch() {
   return UINT32_MAX;
 }
 
-Result Solver::solve(std::uint64_t conflict_limit) {
+Result Solver::solve(std::uint64_t conflict_limit, const ExecControl* control) {
   if (unsat_) return Result::kUnsat;
   std::uint64_t restart_threshold = 100;
   std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t loops = 0;
   std::vector<L> learned;
 
   for (;;) {
+    if ((++loops & 255u) == 0) throw_if_stopped(control);
     const std::int32_t conflict = propagate();
     if (conflict >= 0) {
       ++stats_.conflicts;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/exec_control.h"
+
 namespace gfa::sat {
 
 enum class Result { kSat, kUnsat, kUnknown };
@@ -31,8 +33,11 @@ class Solver {
   void add_clause(std::vector<int> lits);
 
   /// Solves; `conflict_limit` = 0 means no limit, otherwise returns kUnknown
-  /// once exceeded (the benches' 24-hour-timeout stand-in).
-  Result solve(std::uint64_t conflict_limit = 0);
+  /// once exceeded (the benches' 24-hour-timeout stand-in). `control` is
+  /// polled every few hundred search-loop iterations; expiry unwinds via
+  /// StatusError (kUnknown is reserved for the conflict budget).
+  Result solve(std::uint64_t conflict_limit = 0,
+               const ExecControl* control = nullptr);
 
   /// Value of a variable in the model (valid after kSat).
   bool model_value(int var) const;

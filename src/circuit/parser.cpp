@@ -184,4 +184,26 @@ void write_netlist_file(const Netlist& netlist, const std::string& path) {
   out << write_netlist(netlist);
 }
 
+Result<Netlist> try_parse_netlist(std::string_view text) {
+  try {
+    return parse_netlist(text);
+  } catch (const ParseError& e) {
+    return Status::parse_error(e.what());
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<Netlist> try_read_netlist_file(const std::string& path) {
+  try {
+    return read_netlist_file(path);
+  } catch (const ParseError& e) {
+    return Status::parse_error(path + ": " + e.what());
+  } catch (const std::runtime_error& e) {
+    return Status::invalid_argument(e.what());  // I/O failure
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
 }  // namespace gfa

@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "circuit/netlist.h"
+#include "util/status.h"
 
 namespace gfa {
 
@@ -43,5 +44,10 @@ std::string write_netlist(const Netlist& netlist);
 
 /// Writes the text format to a file; throws on I/O failure.
 void write_netlist_file(const Netlist& netlist, const std::string& path);
+
+/// Non-throwing variants: ParseError maps to Status kParseError (carrying the
+/// line-numbered message), I/O failure to kInvalidArgument.
+Result<Netlist> try_parse_netlist(std::string_view text);
+Result<Netlist> try_read_netlist_file(const std::string& path);
 
 }  // namespace gfa

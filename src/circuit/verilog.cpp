@@ -565,4 +565,26 @@ void write_verilog_file(const Netlist& netlist, const std::string& path) {
   out << write_verilog(netlist);
 }
 
+Result<Netlist> try_parse_verilog(std::string_view text) {
+  try {
+    return parse_verilog(text);
+  } catch (const VerilogError& e) {
+    return Status::parse_error(e.what());
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<Netlist> try_read_verilog_file(const std::string& path) {
+  try {
+    return read_verilog_file(path);
+  } catch (const VerilogError& e) {
+    return Status::parse_error(path + ": " + e.what());
+  } catch (const std::runtime_error& e) {
+    return Status::invalid_argument(e.what());  // I/O failure
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
 }  // namespace gfa

@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "circuit/netlist.h"
+#include "util/status.h"
 
 namespace gfa {
 
@@ -45,5 +46,10 @@ Netlist read_verilog_file(const std::string& path);
 std::string write_verilog(const Netlist& netlist);
 
 void write_verilog_file(const Netlist& netlist, const std::string& path);
+
+/// Non-throwing variants: VerilogError maps to Status kParseError (carrying
+/// the line-numbered message), I/O failure to kInvalidArgument.
+Result<Netlist> try_parse_verilog(std::string_view text);
+Result<Netlist> try_read_verilog_file(const std::string& path);
 
 }  // namespace gfa

@@ -1,0 +1,88 @@
+#pragma once
+// The unified verification-engine interface.
+//
+// Every way this repository can decide "spec ≡ impl over F_{2^k}" — the
+// paper's canonical abstraction, and the SAT / fraig / BDD / full-GB /
+// ideal-membership baselines it is measured against — implements EquivEngine,
+// so the CLI, the benches, and the cross-engine tests drive them through one
+// name-keyed registry (see registry.h) instead of six ad-hoc call sites.
+//
+// Error-reporting contract:
+//  - verify() returns a non-OK Status for *failures*: malformed instances
+//    (kInvalidArgument / kUnsupported), representation explosions past a hard
+//    budget (kResourceExhausted), an expired deadline (kDeadlineExceeded), or
+//    cancellation (kCancelled).
+//  - A *search-effort* budget running dry (SAT conflict limits, Buchberger
+//    reduction caps, fraig query budgets) is not a failure: the engine ran to
+//    plan and simply does not know — that is Ok(Verdict::kUnknown).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "circuit/netlist.h"
+#include "gf/gf2k.h"
+#include "util/exec_control.h"
+#include "util/status.h"
+
+namespace gfa::engine {
+
+enum class Verdict {
+  kEquivalent,
+  kNotEquivalent,
+  kUnknown,  // a search budget ran dry before a proof either way
+};
+
+/// Canonical lowercase spelling: "equivalent" / "not-equivalent" / "unknown".
+const char* verdict_name(Verdict v);
+
+struct RunOptions {
+  /// Deadline and cancellation, threaded into every engine's deep loops.
+  ExecControl control;
+  /// CDCL conflict budget for the sat and fraig engines (0 = unlimited).
+  std::uint64_t sat_conflict_limit = 0;
+  /// Hard node-table cap for the bdd engine (0 = unlimited); tripping it is
+  /// kResourceExhausted.
+  std::size_t bdd_node_limit = 0;
+  /// Intermediate-polynomial term cap for the abstraction and
+  /// ideal-membership engines (0 = unlimited); tripping it is
+  /// kResourceExhausted.
+  std::size_t max_terms = 0;
+  /// S-polynomial reduction budget for the full-gb engine (0 = unlimited);
+  /// running dry is Ok(kUnknown).
+  std::size_t gb_max_reductions = 0;
+  /// Per-polynomial term cap for the full-gb engine (0 = unlimited); running
+  /// dry is Ok(kUnknown) — Buchberger ends gracefully rather than unwinding.
+  std::size_t gb_max_poly_terms = 0;
+};
+
+struct VerifyResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Human-readable context: the coefficient diff for abstraction, a
+  /// counterexample sketch for SAT-backed engines, the dry budget for
+  /// kUnknown. Empty when there is nothing to add.
+  std::string detail;
+  /// Engine-specific counters (substitutions, conflicts, nodes, …), flat for
+  /// direct serialization into run reports.
+  std::map<std::string, double> stats;
+};
+
+class EquivEngine {
+ public:
+  virtual ~EquivEngine() = default;
+
+  /// Registry key, e.g. "abstraction", "sat", "bdd".
+  virtual std::string name() const = 0;
+
+  /// One-line description for `gfa_tool engines` listings.
+  virtual std::string description() const = 0;
+
+  /// Decides spec ≡ impl. Both netlists must declare matching input words of
+  /// width field.k(). Thread-compatible: engines hold no mutable state, so
+  /// one instance may serve concurrent verify() calls.
+  virtual Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                                      const Gf2k& field,
+                                      const RunOptions& options) const = 0;
+};
+
+}  // namespace gfa::engine

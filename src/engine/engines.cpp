@@ -1,0 +1,313 @@
+// The six built-in EquivEngine adapters. Each wraps one of the repository's
+// verification methods behind the uniform verify() contract (see engine.h for
+// the Status-vs-Unknown semantics) and threads RunOptions::control into the
+// method's deep loops.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "abstraction/equivalence.h"
+#include "abstraction/extractor.h"
+#include "abstraction/rewriter.h"
+#include "baselines/aig/aig.h"
+#include "baselines/bdd/bdd.h"
+#include "baselines/full_gb.h"
+#include "baselines/ideal_membership.h"
+#include "baselines/miter.h"
+#include "baselines/sat/solver.h"
+#include "engine/registry.h"
+
+namespace gfa::engine {
+
+namespace {
+
+/// Remaps `g` (over `from` variable ids) into `to` ids by variable name.
+/// Throws std::invalid_argument when a name is missing from `to`.
+MPoly remap_by_name(const MPoly& g, const VarPool& from, VarPool& to) {
+  MPoly out(&g.field());
+  for (const auto& [mono, coeff] : g.terms()) {
+    std::vector<std::pair<VarId, BigUint>> pairs;
+    pairs.reserve(mono.factors().size());
+    for (const auto& [v, e] : mono.factors()) {
+      const std::string& name = from.name(v);
+      if (!to.contains(name))
+        throw std::invalid_argument("implementation declares no word named '" +
+                                    name + "'");
+      pairs.emplace_back(to.id(name), e);
+    }
+    out.add_term(Monomial::from_pairs(std::move(pairs)), coeff);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// abstraction — the paper's flow: RATO-guided reduction + Frobenius lift,
+// then coefficient matching of the two canonical polynomials.
+
+class AbstractionEngine final : public EquivEngine {
+ public:
+  std::string name() const override { return "abstraction"; }
+  std::string description() const override {
+    return "word-level abstraction via guided Groebner bases (the paper's "
+           "method); canonical-form coefficient matching";
+  }
+  Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                              const Gf2k& field,
+                              const RunOptions& options) const override {
+    ExtractionOptions eo;
+    eo.max_terms = options.max_terms;
+    eo.control = &options.control;
+    Result<EquivalenceResult> r = try_check_equivalence(spec, impl, field, eo);
+    if (!r.ok()) return r.status();
+    VerifyResult out;
+    out.verdict =
+        r->equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
+    out.detail = r->difference;
+    out.stats["spec_substitutions"] =
+        static_cast<double>(r->spec.stats.substitutions);
+    out.stats["impl_substitutions"] =
+        static_cast<double>(r->impl.stats.substitutions);
+    out.stats["spec_peak_terms"] = static_cast<double>(r->spec.stats.peak_terms);
+    out.stats["impl_peak_terms"] = static_cast<double>(r->impl.stats.peak_terms);
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sat — Tseitin-encoded miter handed to the in-tree CDCL solver.
+
+class SatEngine final : public EquivEngine {
+ public:
+  std::string name() const override { return "sat"; }
+  std::string description() const override {
+    return "CDCL SAT on the Tseitin-encoded miter (contemporary CEC baseline)";
+  }
+  Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                              const Gf2k& /*field*/,
+                              const RunOptions& options) const override {
+    try {
+      const Netlist miter = make_miter(spec, impl);
+      const Cnf cnf = tseitin_encode(miter, miter.outputs()[0]);
+      sat::Solver solver;
+      for (const auto& clause : cnf.clauses) solver.add_clause(clause);
+      const sat::Result res =
+          solver.solve(options.sat_conflict_limit, &options.control);
+      VerifyResult out;
+      const sat::SolverStats& st = solver.stats();
+      out.stats["conflicts"] = static_cast<double>(st.conflicts);
+      out.stats["decisions"] = static_cast<double>(st.decisions);
+      out.stats["propagations"] = static_cast<double>(st.propagations);
+      out.stats["clauses"] = static_cast<double>(cnf.clauses.size());
+      switch (res) {
+        case sat::Result::kUnsat:
+          out.verdict = Verdict::kEquivalent;
+          break;
+        case sat::Result::kSat:
+          out.verdict = Verdict::kNotEquivalent;
+          out.detail = "miter satisfiable: some input distinguishes the circuits";
+          break;
+        case sat::Result::kUnknown:
+          out.verdict = Verdict::kUnknown;
+          out.detail = "conflict budget (" +
+                       std::to_string(options.sat_conflict_limit) +
+                       ") exhausted";
+          break;
+      }
+      return out;
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fraig — AIG sweeping with SAT-backed merging, then one final miter query.
+
+class FraigEngine final : public EquivEngine {
+ public:
+  std::string name() const override { return "fraig"; }
+  std::string description() const override {
+    return "AIG fraiging: simulate, merge SAT-proven internal equivalences, "
+           "final miter SAT query";
+  }
+  Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                              const Gf2k& /*field*/,
+                              const RunOptions& options) const override {
+    try {
+      aig::FraigOptions fo;
+      fo.final_conflicts = options.sat_conflict_limit;
+      fo.control = &options.control;
+      const aig::FraigResult r = aig::fraig_equivalence_check(spec, impl, fo);
+      VerifyResult out;
+      out.stats["merges"] = static_cast<double>(r.merges);
+      out.stats["sat_calls"] = static_cast<double>(r.sat_calls);
+      out.stats["refinements"] = static_cast<double>(r.refinements);
+      out.stats["final_conflicts"] = static_cast<double>(r.final_conflicts);
+      switch (r.status) {
+        case aig::FraigResult::Status::kEquivalent:
+          out.verdict = Verdict::kEquivalent;
+          break;
+        case aig::FraigResult::Status::kNotEquivalent:
+          out.verdict = Verdict::kNotEquivalent;
+          out.detail = "counterexample found over " +
+                       std::to_string(r.counterexample.size()) + " inputs";
+          break;
+        case aig::FraigResult::Status::kUnknown:
+          out.verdict = Verdict::kUnknown;
+          out.detail = "conflict budget (" +
+                       std::to_string(options.sat_conflict_limit) +
+                       ") exhausted";
+          break;
+      }
+      return out;
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// bdd — the miter output's ROBDD must be the false terminal.
+
+class BddEngine final : public EquivEngine {
+ public:
+  std::string name() const override { return "bdd"; }
+  std::string description() const override {
+    return "ROBDD of the miter output (canonical-DAG baseline); equivalent "
+           "iff it is the false terminal";
+  }
+  Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                              const Gf2k& /*field*/,
+                              const RunOptions& options) const override {
+    try {
+      const Netlist miter = make_miter(spec, impl);
+      bdd::Manager manager(options.bdd_node_limit);
+      manager.set_exec_control(&options.control);
+      std::vector<unsigned> vars(miter.inputs().size());
+      for (unsigned i = 0; i < vars.size(); ++i) vars[i] = i;
+      const std::vector<bdd::NodeRef> refs =
+          build_netlist_bdds(manager, miter, vars);
+      const bdd::NodeRef out_ref = refs[miter.outputs()[0]];
+      VerifyResult out;
+      out.stats["nodes"] = static_cast<double>(manager.num_nodes());
+      out.stats["miter_nodes"] = static_cast<double>(manager.count_nodes(out_ref));
+      out.verdict = out_ref == bdd::kFalse ? Verdict::kEquivalent
+                                           : Verdict::kNotEquivalent;
+      if (out.verdict == Verdict::kNotEquivalent)
+        out.detail = "miter BDD is not the false terminal";
+      return out;
+    } catch (const bdd::BddBudgetExceeded& e) {
+      return Status::resource_exhausted(e.what());
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// full-gb — unguided Buchberger on J + J_0 for both circuits, then compare
+// the extracted word polynomials.
+
+class FullGbEngine final : public EquivEngine {
+ public:
+  std::string name() const override { return "full-gb"; }
+  std::string description() const override {
+    return "unguided Buchberger over the full circuit ideal (the paper's "
+           "slimgb baseline); compares the two extracted word polynomials";
+  }
+  Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                              const Gf2k& field,
+                              const RunOptions& options) const override {
+    try {
+      BuchbergerOptions bo;
+      bo.max_reductions = options.gb_max_reductions;
+      bo.max_poly_terms = options.gb_max_poly_terms;
+      bo.control = &options.control;
+      const FullGbResult rs = abstract_by_full_groebner(spec, field, bo);
+      const FullGbResult ri = abstract_by_full_groebner(impl, field, bo);
+      VerifyResult out;
+      out.stats["spec_reductions"] = static_cast<double>(rs.reductions);
+      out.stats["impl_reductions"] = static_cast<double>(ri.reductions);
+      out.stats["spec_basis_size"] = static_cast<double>(rs.basis_size);
+      out.stats["impl_basis_size"] = static_cast<double>(ri.basis_size);
+      if (!rs.completed || !ri.completed || !rs.found || !ri.found) {
+        out.verdict = Verdict::kUnknown;
+        out.detail = "Buchberger budget exhausted before a word polynomial "
+                     "was isolated";
+        return out;
+      }
+      VarPool pool = rs.pool;
+      const MPoly gi = remap_by_name(ri.g, ri.pool, pool);
+      out.verdict =
+          rs.g == gi ? Verdict::kEquivalent : Verdict::kNotEquivalent;
+      if (out.verdict == Verdict::kNotEquivalent)
+        out.detail = "extracted word polynomials differ";
+      return out;
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ideal-membership — Lv et al.: the method needs the spec *polynomial*, so
+// this adapter first abstracts the spec circuit (the cheap, guided flow),
+// then tests Z + G_spec ∈ J(impl) + J_0 by backward division.
+
+class IdealMembershipEngine final : public EquivEngine {
+ public:
+  std::string name() const override { return "ideal-membership"; }
+  std::string description() const override {
+    return "Lv-Kalla-Enescu ideal-membership test of the miter polynomial "
+           "against the implementation's circuit ideal";
+  }
+  Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
+                              const Gf2k& field,
+                              const RunOptions& options) const override {
+    ExtractionOptions eo;
+    eo.max_terms = options.max_terms;
+    eo.control = &options.control;
+    Result<WordFunction> spec_fn = try_extract_word_function(spec, field, eo);
+    if (!spec_fn.ok()) return spec_fn.status();
+    try {
+      IdealMembershipOptions io;
+      io.max_terms = options.max_terms;
+      io.control = &options.control;
+      const IdealMembershipResult r = verify_by_ideal_membership(
+          impl, field,
+          [&](const Gf2k*, VarPool& pool) {
+            return remap_by_name(spec_fn->g, spec_fn->pool, pool);
+          },
+          io);
+      VerifyResult out;
+      out.stats["substitutions"] = static_cast<double>(r.substitutions);
+      out.stats["peak_terms"] = static_cast<double>(r.peak_terms);
+      out.stats["residual_terms"] = static_cast<double>(r.residual_terms);
+      out.verdict =
+          r.is_member ? Verdict::kEquivalent : Verdict::kNotEquivalent;
+      if (out.verdict == Verdict::kNotEquivalent)
+        out.detail = "miter polynomial leaves a residual of " +
+                     std::to_string(r.residual_terms) + " term(s)";
+      return out;
+    } catch (const RewriteBudgetExceeded& e) {
+      return Status::resource_exhausted(e.what());
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+};
+
+}  // namespace
+
+void register_builtin_engines(EngineRegistry& registry) {
+  registry.add(std::make_unique<AbstractionEngine>());
+  registry.add(std::make_unique<SatEngine>());
+  registry.add(std::make_unique<FraigEngine>());
+  registry.add(std::make_unique<BddEngine>());
+  registry.add(std::make_unique<FullGbEngine>());
+  registry.add(std::make_unique<IdealMembershipEngine>());
+}
+
+}  // namespace gfa::engine

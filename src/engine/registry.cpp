@@ -1,0 +1,67 @@
+#include "engine/registry.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gfa::engine {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kEquivalent:
+      return "equivalent";
+    case Verdict::kNotEquivalent:
+      return "not-equivalent";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+const EngineRegistry& EngineRegistry::global() {
+  static const EngineRegistry* instance = [] {
+    auto* r = new EngineRegistry();
+    register_builtin_engines(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+const EquivEngine* EngineRegistry::find(std::string_view name) const {
+  for (const auto& e : engines_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+Result<const EquivEngine*> EngineRegistry::require(std::string_view name) const {
+  if (const EquivEngine* e = find(name)) return e;
+  std::string known;
+  for (const auto& e : engines_) {
+    if (!known.empty()) known += ", ";
+    known += e->name();
+  }
+  return Status::invalid_argument("unknown engine '" + std::string(name) +
+                                  "' (known: " + known + ")");
+}
+
+std::vector<const EquivEngine*> EngineRegistry::engines() const {
+  std::vector<const EquivEngine*> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) out.push_back(e.get());
+  return out;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) out.push_back(e->name());
+  return out;
+}
+
+void EngineRegistry::add(std::unique_ptr<EquivEngine> engine) {
+  assert(engine != nullptr);
+  assert(find(engine->name()) == nullptr && "duplicate engine name");
+  engines_.push_back(std::move(engine));
+}
+
+}  // namespace gfa::engine

@@ -1,0 +1,48 @@
+#pragma once
+// Name-keyed registry of every built-in verification engine.
+//
+// The global() registry is constructed once, on first use, with the six
+// built-ins: abstraction (the paper's flow), sat, fraig, bdd, full-gb, and
+// ideal-membership. Front ends resolve `--engine=<name>` through require();
+// tests and benches iterate engines() to run the whole fleet.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace gfa::engine {
+
+class EngineRegistry {
+ public:
+  /// The process-wide registry holding the built-in engines. Thread-safe
+  /// (constructed under the C++ static-initialization guarantee, immutable
+  /// afterwards).
+  static const EngineRegistry& global();
+
+  /// The engine registered under `name`, or nullptr.
+  const EquivEngine* find(std::string_view name) const;
+
+  /// Like find(), but an unknown name becomes kInvalidArgument with a message
+  /// listing every registered engine.
+  Result<const EquivEngine*> require(std::string_view name) const;
+
+  /// All engines, in registration order (abstraction first).
+  std::vector<const EquivEngine*> engines() const;
+
+  /// Registration-ordered names, e.g. for usage strings.
+  std::vector<std::string> names() const;
+
+  /// Adds an engine (takes ownership). The name must be unique.
+  void add(std::unique_ptr<EquivEngine> engine);
+
+ private:
+  std::vector<std::unique_ptr<EquivEngine>> engines_;
+};
+
+/// Installs the six built-in engines into `registry` (called by global();
+/// exposed for tests that want a private registry).
+void register_builtin_engines(EngineRegistry& registry);
+
+}  // namespace gfa::engine

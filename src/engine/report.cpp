@@ -1,0 +1,64 @@
+#include "engine/report.h"
+
+#include <chrono>
+
+#include "util/json_writer.h"
+
+namespace gfa::engine {
+
+EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
+                     const Netlist& impl, const Gf2k& field,
+                     const RunOptions& options) {
+  EngineRun run;
+  run.engine = engine.name();
+  const auto start = std::chrono::steady_clock::now();
+  Result<VerifyResult> r = [&]() -> Result<VerifyResult> {
+    try {
+      return engine.verify(spec, impl, field, options);
+    } catch (...) {
+      // Engines return Status rather than throw, but a belt-and-braces
+      // boundary keeps one misbehaving engine from killing a compare batch.
+      return status_from_current_exception();
+    }
+  }();
+  const auto end = std::chrono::steady_clock::now();
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  if (r.ok()) {
+    run.verdict = r->verdict;
+    run.detail = std::move(r->detail);
+    run.stats = std::move(r->stats);
+  } else {
+    run.status = r.status();
+    run.detail = r.status().message();
+  }
+  return run;
+}
+
+void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
+                      const std::vector<EngineRun>& runs) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("tool", tool);
+  w.member("k", k);
+  w.key("runs");
+  w.begin_array();
+  for (const EngineRun& run : runs) {
+    w.begin_object();
+    w.member("engine", run.engine);
+    w.member("status", status_code_name(run.status.code()));
+    if (run.status.ok()) w.member("verdict", verdict_name(run.verdict));
+    w.member("detail", run.detail);
+    w.member("wall_ms", run.wall_ms);
+    w.key("stats");
+    w.begin_object();
+    for (const auto& [key, value] : run.stats) w.member(key, value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace gfa::engine

@@ -1,0 +1,43 @@
+#pragma once
+// Structured run reports for the engine layer.
+//
+// run_engine() executes one engine under wall-clock timing and flattens the
+// outcome — Status, verdict, detail, stats — into an EngineRun record;
+// write_run_report() serializes a batch of records as JSON (via
+// util/json_writer.h), the format shared by `gfa_tool verify --report` and
+// `gfa_tool compare --report`.
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace gfa::engine {
+
+struct EngineRun {
+  std::string engine;
+  /// OK when the engine produced a verdict (including kUnknown); otherwise
+  /// why it failed (kDeadlineExceeded, kResourceExhausted, …).
+  Status status;
+  /// Meaningful only when status.ok().
+  Verdict verdict = Verdict::kUnknown;
+  std::string detail;
+  std::map<std::string, double> stats;
+  double wall_ms = 0.0;
+};
+
+/// Runs `engine` on the instance, timing the call. Never throws: failures are
+/// reported through EngineRun::status.
+EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
+                     const Netlist& impl, const Gf2k& field,
+                     const RunOptions& options);
+
+/// Writes the batch as a JSON document:
+///   {"tool": <tool>, "k": <k>, "runs": [{"engine", "status", "verdict",
+///    "detail", "wall_ms", "stats": {...}}, ...]}
+void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
+                      const std::vector<EngineRun>& runs);
+
+}  // namespace gfa::engine

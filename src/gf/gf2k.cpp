@@ -21,6 +21,24 @@ Gf2k::Gf2k(Gf2Poly modulus, bool check_irreducible) : modulus_(std::move(modulus
 
 Gf2k Gf2k::make(unsigned k) { return Gf2k(default_irreducible(k)); }
 
+Result<Gf2k> Gf2k::try_make(unsigned k) {
+  // default_irreducible asserts k >= 2 (release builds would misbehave), so
+  // validate here rather than rely on the assert.
+  if (k < 2)
+    return Status::invalid_argument("field size k must be >= 2, got " +
+                                    std::to_string(k));
+  auto modulus = nist_polynomial(k);
+  if (!modulus) modulus = find_low_weight_irreducible(k);
+  if (!modulus)
+    return Status::invalid_argument("no low-weight irreducible of degree " +
+                                    std::to_string(k) + " found");
+  try {
+    return Gf2k(std::move(*modulus));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
 Gf2k::Elem Gf2k::from_bits(std::uint64_t bits) const {
   return Gf2Poly::from_bits(bits).mod(modulus_);
 }

@@ -20,6 +20,7 @@
 #include "gf/biguint.h"
 #include "gf/gf2k_kernels.h"
 #include "gf2/gf2_poly.h"
+#include "util/status.h"
 
 namespace gfa {
 
@@ -35,6 +36,10 @@ class Gf2k {
 
   /// Field F_{2^k} with the default (NIST or lowest-weight) modulus.
   static Gf2k make(unsigned k);
+
+  /// Non-throwing variant: k < 2 (no field) or k with no known low-weight
+  /// irreducible maps to kInvalidArgument instead of an assert/throw.
+  static Result<Gf2k> try_make(unsigned k);
 
   unsigned k() const { return k_; }
   const Gf2Poly& modulus() const { return modulus_; }

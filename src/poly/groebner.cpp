@@ -14,10 +14,13 @@ BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& orde
     if (!g.is_zero()) res.basis.push_back(std::move(g));
   }
   std::deque<std::pair<std::size_t, std::size_t>> pairs;
-  for (std::size_t i = 0; i < res.basis.size(); ++i)
+  for (std::size_t i = 0; i < res.basis.size(); ++i) {
+    throw_if_stopped(options.control);  // pair enumeration is O(n²) itself
     for (std::size_t j = i + 1; j < res.basis.size(); ++j) pairs.emplace_back(i, j);
+  }
 
   while (!pairs.empty()) {
+    throw_if_stopped(options.control);
     auto [i, j] = pairs.front();
     pairs.pop_front();
     const MPoly& f = res.basis[i];
@@ -28,7 +31,7 @@ BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& orde
       ++res.pairs_skipped;
       continue;
     }
-    MPoly r = normal_form(spoly(f, g, order), res.basis, order);
+    MPoly r = normal_form(spoly(f, g, order), res.basis, order, options.control);
     ++res.reductions;
     res.max_terms_seen = std::max(res.max_terms_seen, r.num_terms());
     if (!r.is_zero()) {

@@ -24,6 +24,10 @@ struct BuchbergerOptions {
   std::size_t max_poly_terms = 0;
   /// Abort after this many S-polynomial reductions (0 = unlimited).
   std::size_t max_reductions = 0;
+  /// Deadline/cancellation checkpointed per critical pair and inside every
+  /// normal-form division; expiry unwinds via StatusError (the budgets above
+  /// instead end the run gracefully with completed = false).
+  const ExecControl* control = nullptr;
 };
 
 struct BuchbergerResult {

@@ -193,7 +193,7 @@ std::string MPoly::to_string(const VarPool& pool, const TermOrder& order) const 
 }
 
 MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
-                  const TermOrder& order) {
+                  const TermOrder& order, const ExecControl* control) {
   // Leading terms of the basis are fixed throughout the division; compute
   // them (and the inverses of their coefficients) once instead of rescanning
   // every divisor on every reduction step.
@@ -221,7 +221,9 @@ MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
   for (const auto& [m, c] : f.terms()) work.emplace(m, c);
 
   MPoly r(&f.field());
+  std::size_t steps = 0;
   while (!work.empty()) {
+    if ((++steps & 63u) == 0) throw_if_stopped(control);
     const auto head = work.begin();
     const Monomial mono = head->first;
     const Gf2k::Elem coeff = head->second;

@@ -21,6 +21,7 @@
 #include "gf/gf2k.h"
 #include "poly/monomial.h"
 #include "poly/varpool.h"
+#include "util/exec_control.h"
 
 namespace gfa {
 
@@ -106,8 +107,9 @@ class MPoly {
 
 /// One step chain of the division algorithm: the remainder of f divided by the
 /// set F under `order` (f ->_F+ r); no term of r is divisible by any lm(f_i).
+/// `control` is polled periodically; expiry unwinds via StatusError.
 MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
-                  const TermOrder& order);
+                  const TermOrder& order, const ExecControl* control = nullptr);
 
 /// S-polynomial Spoly(f, g) = (L / lt(f))·f - (L / lt(g))·g, L = lcm of the
 /// leading monomials. Over characteristic 2 the minus is a plus.

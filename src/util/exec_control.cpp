@@ -1,0 +1,19 @@
+#include "util/exec_control.h"
+
+#include <limits>
+
+namespace gfa {
+
+Deadline Deadline::after(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto delta = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+  return Deadline(Clock::now() + delta);
+}
+
+double Deadline::remaining_seconds() const {
+  if (is_infinite()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+}  // namespace gfa

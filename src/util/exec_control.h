@@ -1,0 +1,85 @@
+#pragma once
+// Deadlines and cooperative cancellation for long-running verification jobs.
+//
+// A Deadline is a monotonic-clock cutoff (default: never); a CancelToken is a
+// shared flag any thread may fire. An ExecControl bundles the two and is
+// threaded — by pointer, nullptr meaning "unbounded" — through RunOptions
+// into every computation loop deep enough to hang at large k: the extractor's
+// substitution chain, normal_form division, Buchberger's pair loop, the SAT
+// conflict loop, BDD node allocation, and parallel_for chunk dispatch.
+//
+// Loops poll throw_if_stopped(control) at checkpoints; expiry unwinds via
+// StatusError (caught at the API boundary and returned as kDeadlineExceeded /
+// kCancelled), so a 24-hour-timeout methodology (paper Tables 1–2) can run
+// in-process without killing the host.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace gfa {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default: never expires.
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  static Deadline infinite() { return Deadline(); }
+  static Deadline at(Clock::time_point when) { return Deadline(when); }
+  /// Expires `seconds` from now (clamped to >= 0).
+  static Deadline after(double seconds);
+
+  bool is_infinite() const { return when_ == Clock::time_point::max(); }
+  bool expired() const { return !is_infinite() && Clock::now() >= when_; }
+
+  /// Seconds until expiry; negative once expired, +inf when infinite.
+  double remaining_seconds() const;
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+  Clock::time_point when_;
+};
+
+/// Copyable handle on a shared cancellation flag; all copies observe the same
+/// request_cancel(). Safe to fire from any thread.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct ExecControl {
+  Deadline deadline;
+  CancelToken cancel;
+
+  /// kCancelled wins over kDeadlineExceeded (an explicit user action beats a
+  /// timer); OK while neither has fired.
+  Status check() const {
+    if (cancel.cancelled()) return Status::cancelled();
+    if (deadline.expired()) return Status::deadline_exceeded();
+    return Status();
+  }
+
+  bool should_stop() const { return cancel.cancelled() || deadline.expired(); }
+};
+
+/// Checkpoint: no-op on nullptr or while running; throws StatusError carrying
+/// kCancelled / kDeadlineExceeded once the control fires.
+inline void throw_if_stopped(const ExecControl* control) {
+  if (control == nullptr) return;
+  Status s = control->check();
+  if (!s.ok()) throw StatusError(std::move(s));
+}
+
+}  // namespace gfa

@@ -1,0 +1,145 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace gfa {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i)
+    out_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    assert(root_values_ == 0 && "multiple top-level JSON values");
+    ++root_values_;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    assert(top.key_pending && "object value requires a preceding key()");
+    top.key_pending = false;
+    return;  // comma/indent were written by key()
+  }
+  if (top.count > 0) out_ << ',';
+  newline_indent();
+  ++top.count;
+}
+
+void JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject &&
+         "key() outside an object");
+  Level& top = stack_.back();
+  assert(!top.key_pending && "two keys in a row");
+  if (top.count > 0) out_ << ',';
+  newline_indent();
+  ++top.count;
+  top.key_pending = true;
+  out_ << '"' << escape(k) << "\":";
+  if (indent_ > 0) out_ << ' ';
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({Scope::kObject});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  assert(!stack_.back().key_pending && "key() without a value");
+  const bool had_elements = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_elements) newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({Scope::kArray});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kArray);
+  const bool had_elements = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_elements) newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ << '"' << escape(v) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest round-trip form.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.15g", v);
+  double back = 0;
+  std::sscanf(shorter, "%lf", &back);
+  out_ << (back == v ? shorter : buf);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+}  // namespace gfa

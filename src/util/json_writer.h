@@ -1,0 +1,80 @@
+#pragma once
+// Minimal streaming JSON writer: nested objects/arrays, correct string
+// escaping, locale-independent number formatting.
+//
+// Shared by the bench reporters (BENCH_<name>.json) and the engine layer's
+// run reports (gfa_tool --report=<file>), replacing the ad-hoc writer that
+// used to live in bench/bench_util.h and could emit invalid JSON for any
+// string containing a quote or backslash.
+//
+// Usage:
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.member("engine", "sat");
+//   w.member("wall_ms", 12.5);
+//   w.key("stats"); w.begin_array(); w.value(1.0); w.end_array();
+//   w.end_object();
+//
+// Commas, newlines, and indentation are handled by the writer; mismatched
+// begin/end or a value without a key inside an object assert.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gfa {
+
+class JsonWriter {
+ public:
+  /// Writes onto `out`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void member(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// JSON string-escapes `s` (without the surrounding quotes): ", \, control
+  /// characters; other bytes pass through (UTF-8 stays UTF-8).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Level {
+    Scope scope;
+    std::size_t count = 0;   // elements emitted at this level
+    bool key_pending = false;  // object: key() written, value not yet
+  };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Level> stack_;
+  std::size_t root_values_ = 0;
+};
+
+}  // namespace gfa

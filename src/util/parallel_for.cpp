@@ -3,11 +3,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/parse_number.h"
 
 namespace gfa {
 
@@ -19,10 +22,15 @@ thread_local bool tls_in_parallel = false;
 
 unsigned decide_thread_count() {
   if (const char* env = std::getenv("GFA_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
-      return static_cast<unsigned>(v);
+    const Result<unsigned> v = parse_unsigned(env, 1, 1024);
+    if (!v.ok()) {
+      std::fprintf(stderr,
+                   "GFA_THREADS must be an integer in [1, 1024], got '%s' "
+                   "(%s)\n",
+                   env, v.status().to_string().c_str());
+      std::exit(2);
+    }
+    return *v;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? hw : 1;
@@ -31,6 +39,7 @@ unsigned decide_thread_count() {
 /// One loop in flight at a time; workers claim chunks off an atomic cursor.
 struct Job {
   const std::function<void(std::size_t)>* fn = nullptr;
+  const ExecControl* control = nullptr;
   std::size_t n = 0;
   std::size_t chunk = 1;
   std::atomic<std::size_t> next{0};
@@ -44,6 +53,7 @@ struct Job {
       if (begin >= n) return;
       const std::size_t end = begin + chunk < n ? begin + chunk : n;
       try {
+        throw_if_stopped(control);  // deadline/cancel checkpoint per chunk
         for (std::size_t i = begin; i < end; ++i) (*fn)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -63,9 +73,11 @@ class Pool {
 
   unsigned thread_count() const { return static_cast<unsigned>(threads_.size()) + 1; }
 
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           const ExecControl* control) {
     Job job;
     job.fn = &fn;
+    job.control = control;
     job.n = n;
     job.chunk = n / (thread_count() * 8) + 1;
     {
@@ -138,7 +150,8 @@ class Pool {
 
 unsigned parallel_thread_count() { return Pool::instance().thread_count(); }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  const ExecControl* control) {
   if (n == 0) return;
   Pool& pool = Pool::instance();
   const bool serial = n == 1 || tls_in_parallel || pool.thread_count() == 1 ||
@@ -147,7 +160,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     const bool was = tls_in_parallel;
     tls_in_parallel = true;
     try {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        throw_if_stopped(control);
+        fn(i);
+      }
     } catch (...) {
       tls_in_parallel = was;
       throw;
@@ -159,7 +175,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   const bool was = tls_in_parallel;
   tls_in_parallel = true;
   try {
-    pool.run(n, fn);
+    pool.run(n, fn, control);
   } catch (...) {
     tls_in_parallel = was;
     throw;
@@ -168,8 +184,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
 }
 
 void parallel_invoke(const std::function<void()>& a,
-                     const std::function<void()>& b) {
-  parallel_for(2, [&](std::size_t i) { i == 0 ? a() : b(); });
+                     const std::function<void()>& b,
+                     const ExecControl* control) {
+  parallel_for(2, [&](std::size_t i) { i == 0 ? a() : b(); }, control);
 }
 
 }  // namespace gfa

@@ -13,12 +13,20 @@
 //     construction, never deadlocking.
 //   * The first exception thrown by fn is captured and rethrown on the
 //     calling thread once the loop has drained.
+//   * An optional ExecControl is polled between chunks (and between serial
+//     iterations); expiry throws StatusError(kDeadlineExceeded/kCancelled)
+//     on the calling thread, so time-bounded engines stop promptly even
+//     inside pooled loops.
 //
-// The pool is sized to GFA_THREADS when that environment variable holds a
-// positive integer, otherwise std::thread::hardware_concurrency().
+// The pool is sized to GFA_THREADS when that environment variable is set. A
+// malformed value (non-numeric, zero, > 1024, trailing garbage) is rejected
+// with a diagnostic and exit(2) rather than silently falling back — the same
+// policy as GFA_BENCH_MAX_K. Unset means std::thread::hardware_concurrency().
 
 #include <cstddef>
 #include <functional>
+
+#include "util/exec_control.h"
 
 namespace gfa {
 
@@ -27,10 +35,12 @@ namespace gfa {
 unsigned parallel_thread_count();
 
 /// Runs fn(i) for i in [0, n); see the header comment for guarantees.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  const ExecControl* control = nullptr);
 
 /// Runs a and b, potentially concurrently; rethrows the first exception.
 void parallel_invoke(const std::function<void()>& a,
-                     const std::function<void()>& b);
+                     const std::function<void()>& b,
+                     const ExecControl* control = nullptr);
 
 }  // namespace gfa

@@ -1,0 +1,65 @@
+#include "util/parse_number.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace gfa {
+
+namespace {
+
+std::string quoted(std::string_view text) {
+  return "'" + std::string(text) + "'";
+}
+
+}  // namespace
+
+Result<std::uint64_t> parse_u64(std::string_view text, std::uint64_t min,
+                                std::uint64_t max) {
+  if (text.empty())
+    return Status::parse_error("expected a number, got empty string");
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      return Status::parse_error("expected an unsigned integer, got " +
+                                 quoted(text));
+  }
+  // All-digit input: only overflow can fail now.
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(owned.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0')
+    return Status::parse_error("number out of range: " + quoted(text));
+  if (v < min || v > max)
+    return Status::parse_error(quoted(text) + " is outside [" +
+                               std::to_string(min) + ", " +
+                               std::to_string(max) + "]");
+  return static_cast<std::uint64_t>(v);
+}
+
+Result<unsigned> parse_unsigned(std::string_view text, unsigned min,
+                                unsigned max) {
+  Result<std::uint64_t> r = parse_u64(text, min, max);
+  if (!r.ok()) return r.status();
+  return static_cast<unsigned>(*r);
+}
+
+Result<double> parse_double(std::string_view text, double min, double max) {
+  if (text.empty())
+    return Status::parse_error("expected a number, got empty string");
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v))
+    return Status::parse_error("expected a finite number, got " + quoted(text));
+  if (v < min || v > max)
+    return Status::parse_error(quoted(text) + " is outside [" +
+                               std::to_string(min) + ", " +
+                               std::to_string(max) + "]");
+  return v;
+}
+
+}  // namespace gfa

@@ -1,0 +1,30 @@
+#pragma once
+// Validated numeric parsing for CLI arguments and environment variables.
+//
+// std::atoi returns 0 on garbage and ignores trailing junk, which turned
+// `gfa_tool extract foo.net abc` into a silent F_2^0 run. These helpers
+// reject empty input, non-numeric text, trailing garbage, out-of-range
+// values, and (for parse_unsigned) values outside [min, max], reporting each
+// failure as a kParseError Status naming the offending text.
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gfa {
+
+/// Parses a base-10 unsigned integer in [min, max]. No sign, no whitespace,
+/// no trailing characters.
+Result<std::uint64_t> parse_u64(std::string_view text,
+                                std::uint64_t min = 0,
+                                std::uint64_t max = UINT64_MAX);
+
+/// parse_u64 narrowed to unsigned.
+Result<unsigned> parse_unsigned(std::string_view text, unsigned min = 0,
+                                unsigned max = UINT32_MAX);
+
+/// Parses a finite decimal double in [min, max] (e.g. "--timeout=0.001").
+Result<double> parse_double(std::string_view text, double min, double max);
+
+}  // namespace gfa

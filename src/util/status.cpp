@@ -1,0 +1,61 @@
+#include "util/status.h"
+
+#include <new>
+
+namespace gfa {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+    case StatusCode::kParseError: return "kParseError";
+    case StatusCode::kDeadlineExceeded: return "kDeadlineExceeded";
+    case StatusCode::kCancelled: return "kCancelled";
+    case StatusCode::kUnsupported: return "kUnsupported";
+    case StatusCode::kResourceExhausted: return "kResourceExhausted";
+    case StatusCode::kInternal: return "kInternal";
+  }
+  return "k?";
+}
+
+int exit_code_for(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInternal: return 2;
+    case StatusCode::kParseError: return 65;
+    case StatusCode::kInvalidArgument: return 66;
+    case StatusCode::kUnsupported: return 69;
+    case StatusCode::kResourceExhausted: return 70;
+    case StatusCode::kCancelled: return 74;
+    case StatusCode::kDeadlineExceeded: return 75;
+  }
+  return 2;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const StatusError& e) {
+    return e.status;
+  } catch (const std::bad_alloc&) {
+    return Status::resource_exhausted("out of memory");
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  } catch (...) {
+    return Status::internal("unknown exception");
+  }
+}
+
+}  // namespace gfa

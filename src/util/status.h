@@ -1,0 +1,153 @@
+#pragma once
+// The library-wide error model: gfa::Status and gfa::Result<T>.
+//
+// Every user-facing entry point (parsers, field construction, the
+// verification engines, the CLI) reports recoverable failures as a Status
+// instead of throwing: a code from the closed set below plus a human-readable
+// message. Exceptions remain in use *inside* the library for invariant
+// violations and as the transport that unwinds deep computation loops
+// (deadline expiry, budget trips); they are converted to Status at the public
+// boundary — see capture_result() and StatusError.
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gfa {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller error: bad k, mismatched words, unknown name
+  kParseError,         // malformed netlist / Verilog / number text
+  kDeadlineExceeded,   // RunOptions deadline expired mid-computation
+  kCancelled,          // CancelToken fired
+  kUnsupported,        // the engine cannot handle this instance shape
+  kResourceExhausted,  // a memory-shaped budget tripped (terms, BDD nodes)
+  kInternal,           // escape hatch: unexpected exception at the boundary
+};
+
+/// Canonical spelling, e.g. "kDeadlineExceeded".
+const char* status_code_name(StatusCode code);
+
+/// The documented CLI exit code for each Status code (see README):
+///   kOk 0, kInternal 2, usage 64 (not a Status), kParseError 65,
+///   kInvalidArgument 66, kUnsupported 69, kResourceExhausted 70,
+///   kCancelled 74, kDeadlineExceeded 75.
+int exit_code_for(StatusCode code);
+
+class Status {
+ public:
+  /// Default = OK.
+  Status() = default;
+
+  static Status invalid_argument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status parse_error(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status deadline_exceeded(std::string message = "deadline exceeded") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status cancelled(std::string message = "cancelled") {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status resource_exhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "kParseError: line 3: unknown gate type 'nandd'" ("OK" when ok).
+  std::string to_string() const;
+
+  bool operator==(const Status& rhs) const {
+    return code_ == rhs.code_ && message_ == rhs.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Internal exception carrying a Status out of deep computation loops
+/// (deadline checkpoints, cancellation). Thrown by throw_if_stopped() and
+/// converted back to its Status by capture_result() at the API boundary.
+struct StatusError : std::runtime_error {
+  explicit StatusError(Status s)
+      : std::runtime_error(s.to_string()), status(std::move(s)) {}
+  Status status;
+};
+
+/// A value or a non-OK Status. Accessing value() on an error (or status() on
+/// a default-constructed Result) is a programming error, checked by assert.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() on an error Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() on an error Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() on an error Result");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Maps an in-flight exception (caught via catch (...)) to a Status:
+/// StatusError -> its payload, std::bad_alloc -> kResourceExhausted,
+/// std::invalid_argument -> kInvalidArgument, any other std::exception ->
+/// kInternal. Callers wanting finer mapping (e.g. ParseError) catch those
+/// types first.
+Status status_from_current_exception();
+
+/// Runs `fn` and wraps its return value in a Result, converting exceptions
+/// via status_from_current_exception(). The standard adapter from the
+/// library's internal exception style to the public Status style.
+template <typename Fn>
+auto capture_result(Fn&& fn) -> Result<decltype(fn())> {
+  try {
+    return fn();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+}  // namespace gfa

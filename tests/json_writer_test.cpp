@@ -1,0 +1,129 @@
+// Units for the shared streaming JSON writer (util/json_writer.h), with the
+// escaping cases that motivated extracting it from bench_util.h: the old
+// ad-hoc writer emitted invalid JSON for any string containing a quote,
+// backslash, or control character.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/json_writer.h"
+
+namespace gfa {
+namespace {
+
+TEST(JsonWriterEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+}
+
+TEST(JsonWriterEscape, NamedControlCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::escape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonWriter::escape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonWriter::escape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonWriter::escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonWriterEscape, OtherControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonWriterEscape, Utf8PassesThrough) {
+  // "Gröbner" in UTF-8: no bytes below 0x20, none escaped.
+  const std::string s = "Gr\xc3\xb6" "bner";
+  EXPECT_EQ(JsonWriter::escape(s), s);
+}
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.member("engine", "sat");
+  w.member("wall_ms", 12.5);
+  w.member("proved", true);
+  w.end_object();
+  EXPECT_EQ(out.str(), R"({"engine":"sat","wall_ms":12.5,"proved":true})");
+}
+
+TEST(JsonWriter, CompactNestedArray) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(1);
+  w.begin_object();
+  w.key("xs");
+  w.begin_array();
+  w.value(2u);
+  w.value(std::int64_t{-3});
+  w.end_array();
+  w.end_object();
+  w.null();
+  w.end_array();
+  EXPECT_EQ(out.str(), R"([1,{"xs":[2,-3]},null])");
+}
+
+TEST(JsonWriter, IndentedOutputShape) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.member("k", 8u);
+  w.key("runs");
+  w.begin_array();
+  w.value("a");
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n  \"k\": 8,\n  \"runs\": [\n    \"a\"\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("stats");
+  w.begin_object();
+  w.end_object();
+  w.key("runs");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"stats\": {},\n  \"runs\": []\n}");
+}
+
+TEST(JsonWriter, KeysAreEscapedToo) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.member("a\"b", 1);
+  w.end_object();
+  EXPECT_EQ(out.str(), R"({"a\"b":1})");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndIntegersStayExact) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(0.001);
+  w.value(1.0);
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.end_array();
+  EXPECT_EQ(out.str(), "[0.001,1,18446744073709551615]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+}  // namespace
+}  // namespace gfa

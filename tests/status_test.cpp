@@ -1,0 +1,235 @@
+// Units for the library-wide error model (util/status.h), the deadline /
+// cancellation plumbing (util/exec_control.h), and the validated numeric
+// parsing that replaced atoi in the CLI and env handling
+// (util/parse_number.h).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "util/exec_control.h"
+#include "util/parse_number.h"
+#include "util/status.h"
+
+namespace gfa {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::invalid_argument("bad k").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::parse_error("junk").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::deadline_exceeded().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::cancelled().code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::unsupported("no words").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::resource_exhausted("terms").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::internal("oops").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::parse_error("junk").message(), "junk");
+}
+
+TEST(Status, ToStringPrependsCodeName) {
+  EXPECT_EQ(Status::parse_error("line 3").to_string(), "kParseError: line 3");
+  EXPECT_EQ(Status::deadline_exceeded().to_string(),
+            "kDeadlineExceeded: deadline exceeded");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "kOk");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "kInvalidArgument");
+  EXPECT_STREQ(status_code_name(StatusCode::kParseError), "kParseError");
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded),
+               "kDeadlineExceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "kCancelled");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnsupported), "kUnsupported");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted),
+               "kResourceExhausted");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "kInternal");
+}
+
+TEST(Status, DocumentedExitCodes) {
+  EXPECT_EQ(exit_code_for(StatusCode::kOk), 0);
+  EXPECT_EQ(exit_code_for(StatusCode::kInternal), 2);
+  EXPECT_EQ(exit_code_for(StatusCode::kParseError), 65);
+  EXPECT_EQ(exit_code_for(StatusCode::kInvalidArgument), 66);
+  EXPECT_EQ(exit_code_for(StatusCode::kUnsupported), 69);
+  EXPECT_EQ(exit_code_for(StatusCode::kResourceExhausted), 70);
+  EXPECT_EQ(exit_code_for(StatusCode::kCancelled), 74);
+  EXPECT_EQ(exit_code_for(StatusCode::kDeadlineExceeded), 75);
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status(), Status());
+  EXPECT_EQ(Status::parse_error("x"), Status::parse_error("x"));
+  EXPECT_FALSE(Status::parse_error("x") == Status::parse_error("y"));
+  EXPECT_FALSE(Status::parse_error("x") == Status::internal("x"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 41);
+  *r += 1;
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status::unsupported("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(CaptureResult, WrapsReturnValue) {
+  const Result<int> r = capture_result([] { return 5; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(CaptureResult, StatusErrorPassesThroughItsPayload) {
+  const Result<int> r = capture_result(
+      []() -> int { throw StatusError(Status::deadline_exceeded()); });
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CaptureResult, InvalidArgumentMapsToKInvalidArgument) {
+  const Result<int> r = capture_result(
+      []() -> int { throw std::invalid_argument("bad word width"); });
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "bad word width");
+}
+
+TEST(CaptureResult, OtherExceptionsMapToKInternal) {
+  const Result<int> r =
+      capture_result([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / CancelToken / ExecControl
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e9);
+}
+
+TEST(Deadline, AfterZeroIsAlreadyExpired) {
+  const Deadline d = Deadline::after(0.0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, AfterLongIsNotYetExpired) {
+  const Deadline d = Deadline::after(3600.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+}
+
+TEST(CancelToken, CopiesShareTheFlag) {
+  CancelToken a;
+  CancelToken b = a;
+  EXPECT_FALSE(b.cancelled());
+  a.request_cancel();
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(ExecControl, OkWhileNeitherFired) {
+  ExecControl control;
+  EXPECT_TRUE(control.check().ok());
+  EXPECT_FALSE(control.should_stop());
+  EXPECT_NO_THROW(throw_if_stopped(&control));
+}
+
+TEST(ExecControl, ExpiredDeadlineIsDeadlineExceeded) {
+  ExecControl control;
+  control.deadline = Deadline::after(0.0);
+  EXPECT_EQ(control.check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(control.should_stop());
+}
+
+TEST(ExecControl, CancellationWinsOverDeadline) {
+  ExecControl control;
+  control.deadline = Deadline::after(0.0);
+  control.cancel.request_cancel();
+  EXPECT_EQ(control.check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecControl, ThrowIfStoppedIsNoopOnNull) {
+  EXPECT_NO_THROW(throw_if_stopped(nullptr));
+}
+
+TEST(ExecControl, ThrowIfStoppedUnwindsViaStatusError) {
+  ExecControl control;
+  control.deadline = Deadline::after(0.0);
+  try {
+    throw_if_stopped(&control);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parse_number
+
+TEST(ParseNumber, ParsesPlainUnsigned) {
+  const Result<unsigned> r = parse_unsigned("163", 2, 100000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 163u);
+}
+
+TEST(ParseNumber, RejectsGarbage) {
+  EXPECT_EQ(parse_unsigned("abc").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_unsigned("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_unsigned("12x").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_unsigned(" 12").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_unsigned("-5").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseNumber, EnforcesRange) {
+  EXPECT_EQ(parse_unsigned("1", 2, 8).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_unsigned("9", 2, 8).status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(parse_unsigned("8", 2, 8).ok());
+}
+
+TEST(ParseNumber, U64HandlesLargeValuesAndOverflow) {
+  const Result<std::uint64_t> big = parse_u64("18446744073709551615");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*big, UINT64_MAX);
+  EXPECT_EQ(parse_u64("18446744073709551616").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParseNumber, ParsesDouble) {
+  const Result<double> r = parse_double("0.001", 0.0, 1e9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.001);
+  EXPECT_EQ(parse_double("nan", 0.0, 1.0).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse_double("1e99", 0.0, 1.0).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse_double("zero", 0.0, 1.0).status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -2,20 +2,33 @@
 //
 //   gfa_tool gen <arch> <k> <file>         generate a circuit
 //       arch: mastrovito | montgomery | karatsuba | squarer | adder | mac
-//   gfa_tool extract <file> <k>            derive Z = F(A, B, …)
-//   gfa_tool verify <spec> <impl> <k>      canonical-form equivalence
-//   gfa_tool sat <spec> <impl> <k> [N]     CDCL miter check (N = conflict cap)
+//   gfa_tool extract <file> <k> [--timeout=<s>]
+//   gfa_tool verify <spec> <impl> <k> [--engine=<name>] [--timeout=<s>]
+//                   [--report=<file>]
+//   gfa_tool compare <spec> <impl> <k> [--engines=<a,b,…>] [--timeout=<s>]
+//                    [--report=<file>]
+//   gfa_tool engines                       list registered engines
+//   gfa_tool sat <spec> <impl> <k> [N]     legacy CDCL miter check
 //   gfa_tool stats <file>                  netlist statistics
 //
 // Circuit files may be the native netlist format (.net, see
 // src/circuit/parser.h) or the structural Verilog subset (.v).
+//
+// Exit codes (see util/status.h):
+//   0  OK / EQUIVALENT             65 parse error (file or number)
+//   1  NOT EQUIVALENT              66 invalid argument
+//   2  internal error              69 unsupported instance
+//   3  UNKNOWN verdict             70 resource budget exhausted
+//   64 usage                       74 cancelled
+//                                  75 deadline (--timeout) exceeded
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
-#include "abstraction/equivalence.h"
+#include "abstraction/extractor.h"
 #include "baselines/miter.h"
 #include "baselines/sat/solver.h"
 #include "circuit/arith_extras.h"
@@ -24,19 +37,32 @@
 #include "circuit/montgomery.h"
 #include "circuit/parser.h"
 #include "circuit/verilog.h"
+#include "engine/registry.h"
+#include "engine/report.h"
+#include "util/parse_number.h"
 
 namespace {
 
 using namespace gfa;
+
+constexpr int kUsage = 64;
+constexpr int kVerdictNotEquivalent = 1;
+constexpr int kVerdictUnknown = 3;
+
+/// Prints the status one-line and converts it to the documented exit code.
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return exit_code_for(status.code());
+}
 
 bool has_suffix(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-Netlist load(const std::string& path) {
-  return has_suffix(path, ".v") ? read_verilog_file(path)
-                                : read_netlist_file(path);
+Result<Netlist> load(const std::string& path) {
+  return has_suffix(path, ".v") ? try_read_verilog_file(path)
+                                : try_read_netlist_file(path);
 }
 
 void save(const Netlist& nl, const std::string& path) {
@@ -46,34 +72,108 @@ void save(const Netlist& nl, const std::string& path) {
     write_netlist_file(nl, path);
 }
 
-int cmd_gen(int argc, char** argv) {
-  if (argc != 3) return 64;
-  const std::string arch = argv[0];
-  const unsigned k = static_cast<unsigned>(std::atoi(argv[1]));
-  if (k < 2) return 64;
-  const Gf2k field = Gf2k::make(k);
-  Netlist nl;
-  if (arch == "mastrovito") nl = make_mastrovito_multiplier(field);
-  else if (arch == "montgomery") nl = make_montgomery_multiplier_flat(field);
-  else if (arch == "karatsuba") nl = make_karatsuba_multiplier(field);
-  else if (arch == "squarer") nl = make_squarer(field);
-  else if (arch == "adder") nl = make_adder(field);
-  else if (arch == "mac") nl = make_multiply_accumulate(field);
-  else {
-    std::fprintf(stderr, "unknown architecture '%s'\n", arch.c_str());
-    return 64;
+/// `--engine=x` / `--timeout=1.5` / `--report=out.json` / `--engines=a,b`.
+/// Positional arguments land in `positional` in order.
+struct Flags {
+  std::vector<std::string> positional;
+  std::string engine = "abstraction";
+  std::string engines;  // compare: comma-separated subset, empty = all
+  double timeout_seconds = 0;  // 0 = unbounded
+  std::string report;
+};
+
+Result<Flags> parse_flags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional.emplace_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos)
+      return Status::invalid_argument("flag '" + std::string(arg) +
+                                      "' expects --name=value");
+    const std::string_view name = arg.substr(0, eq);
+    const std::string_view value = arg.substr(eq + 1);
+    if (name == "--engine") {
+      flags.engine = value;
+    } else if (name == "--engines") {
+      flags.engines = value;
+    } else if (name == "--timeout") {
+      Result<double> t = parse_double(value, 0.0, 1e9);
+      if (!t.ok()) return t.status();
+      flags.timeout_seconds = *t;
+    } else if (name == "--report") {
+      flags.report = value;
+    } else {
+      return Status::invalid_argument("unknown flag '" + std::string(name) +
+                                      "'");
+    }
   }
-  save(nl, argv[2]);
-  std::printf("wrote %s: %zu gates over F_2^%u (P = %s)\n", argv[2],
-              nl.num_logic_gates(), k, field.modulus().to_string().c_str());
+  return flags;
+}
+
+engine::RunOptions run_options_from(const Flags& flags) {
+  engine::RunOptions options;
+  if (flags.timeout_seconds > 0)
+    options.control.deadline = Deadline::after(flags.timeout_seconds);
+  return options;
+}
+
+/// Writes the report file when --report was given; warns on I/O failure
+/// without changing the exit code (the verdict already happened).
+void maybe_write_report(const Flags& flags, const std::string& tool, unsigned k,
+                        const std::vector<engine::EngineRun>& runs) {
+  if (flags.report.empty()) return;
+  std::ofstream out(flags.report);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write report file '%s'\n",
+                 flags.report.c_str());
+    return;
+  }
+  engine::write_run_report(out, tool, k, runs);
+}
+
+int cmd_gen(const Flags& flags) {
+  if (flags.positional.size() != 3) return kUsage;
+  const std::string& arch = flags.positional[0];
+  const Result<unsigned> k = parse_unsigned(flags.positional[1], 2, 100000);
+  if (!k.ok()) return fail(k.status());
+  const Result<Gf2k> field = Gf2k::try_make(*k);
+  if (!field.ok()) return fail(field.status());
+  Netlist nl;
+  if (arch == "mastrovito") nl = make_mastrovito_multiplier(*field);
+  else if (arch == "montgomery") nl = make_montgomery_multiplier_flat(*field);
+  else if (arch == "karatsuba") nl = make_karatsuba_multiplier(*field);
+  else if (arch == "squarer") nl = make_squarer(*field);
+  else if (arch == "adder") nl = make_adder(*field);
+  else if (arch == "mac") nl = make_multiply_accumulate(*field);
+  else
+    return fail(Status::invalid_argument("unknown architecture '" + arch +
+                                         "'"));
+  save(nl, flags.positional[2]);
+  std::printf("wrote %s: %zu gates over F_2^%u (P = %s)\n",
+              flags.positional[2].c_str(), nl.num_logic_gates(), *k,
+              field->modulus().to_string().c_str());
   return 0;
 }
 
-int cmd_extract(int argc, char** argv) {
-  if (argc != 2) return 64;
-  const Netlist nl = load(argv[0]);
-  const Gf2k field = Gf2k::make(static_cast<unsigned>(std::atoi(argv[1])));
-  for (const WordFunction& fn : extract_all_word_functions(nl, field)) {
+int cmd_extract(const Flags& flags) {
+  if (flags.positional.size() != 2) return kUsage;
+  const Result<Netlist> nl = load(flags.positional[0]);
+  if (!nl.ok()) return fail(nl.status());
+  const Result<unsigned> k = parse_unsigned(flags.positional[1], 2, 100000);
+  if (!k.ok()) return fail(k.status());
+  const Result<Gf2k> field = Gf2k::try_make(*k);
+  if (!field.ok()) return fail(field.status());
+  const engine::RunOptions run = run_options_from(flags);
+  ExtractionOptions options;
+  options.control = &run.control;
+  const Result<std::vector<WordFunction>> fns =
+      try_extract_all_word_functions(*nl, *field, options);
+  if (!fns.ok()) return fail(fns.status());
+  for (const WordFunction& fn : *fns) {
     std::printf("%s = %s\n", fn.output_word.c_str(),
                 fn.g.to_string(fn.pool).c_str());
     std::printf("  [%zu substitutions, peak %zu terms, remainder %zu terms]\n",
@@ -83,31 +183,131 @@ int cmd_extract(int argc, char** argv) {
   return 0;
 }
 
-int cmd_verify(int argc, char** argv) {
-  if (argc != 3) return 64;
-  const Netlist spec = load(argv[0]);
-  const Netlist impl = load(argv[1]);
-  const Gf2k field = Gf2k::make(static_cast<unsigned>(std::atoi(argv[2])));
-  const EquivalenceResult res = check_equivalence(spec, impl, field);
-  std::printf("spec: %s = %s\n", res.spec.output_word.c_str(),
-              res.spec.g.to_string(res.spec.pool).c_str());
-  std::printf("impl: %s = %s\n", res.impl.output_word.c_str(),
-              res.impl.g.to_string(res.impl.pool).c_str());
-  if (res.equivalent) {
-    std::printf("EQUIVALENT\n");
-    return 0;
+int cmd_verify(const Flags& flags) {
+  if (flags.positional.size() != 3) return kUsage;
+  const Result<Netlist> spec = load(flags.positional[0]);
+  if (!spec.ok()) return fail(spec.status());
+  const Result<Netlist> impl = load(flags.positional[1]);
+  if (!impl.ok()) return fail(impl.status());
+  const Result<unsigned> k = parse_unsigned(flags.positional[2], 2, 100000);
+  if (!k.ok()) return fail(k.status());
+  const Result<Gf2k> field = Gf2k::try_make(*k);
+  if (!field.ok()) return fail(field.status());
+  const Result<const engine::EquivEngine*> eng =
+      engine::EngineRegistry::global().require(flags.engine);
+  if (!eng.ok()) return fail(eng.status());
+
+  const engine::RunOptions options = run_options_from(flags);
+  const engine::EngineRun run =
+      engine::run_engine(**eng, *spec, *impl, *field, options);
+  maybe_write_report(flags, "verify", *k, {run});
+  if (!run.status.ok()) return fail(run.status);
+  for (const auto& [key, value] : run.stats)
+    std::printf("  %s = %.0f\n", key.c_str(), value);
+  switch (run.verdict) {
+    case engine::Verdict::kEquivalent:
+      std::printf("EQUIVALENT [engine %s, %.2f ms]\n", run.engine.c_str(),
+                  run.wall_ms);
+      return 0;
+    case engine::Verdict::kNotEquivalent:
+      std::printf("NOT EQUIVALENT [engine %s, %.2f ms]%s%s\n",
+                  run.engine.c_str(), run.wall_ms,
+                  run.detail.empty() ? "" : ": ", run.detail.c_str());
+      return kVerdictNotEquivalent;
+    case engine::Verdict::kUnknown:
+      break;
   }
-  std::printf("NOT EQUIVALENT: %s\n", res.difference.c_str());
-  return 1;
+  std::printf("UNKNOWN [engine %s, %.2f ms]%s%s\n", run.engine.c_str(),
+              run.wall_ms, run.detail.empty() ? "" : ": ",
+              run.detail.c_str());
+  return kVerdictUnknown;
 }
 
-int cmd_sat(int argc, char** argv) {
-  if (argc != 3 && argc != 4) return 64;
-  const Netlist spec = load(argv[0]);
-  const Netlist impl = load(argv[1]);
-  const std::uint64_t limit =
-      argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 0;
-  const Netlist miter = make_miter(spec, impl);
+int cmd_compare(const Flags& flags) {
+  if (flags.positional.size() != 3) return kUsage;
+  const Result<Netlist> spec = load(flags.positional[0]);
+  if (!spec.ok()) return fail(spec.status());
+  const Result<Netlist> impl = load(flags.positional[1]);
+  if (!impl.ok()) return fail(impl.status());
+  const Result<unsigned> k = parse_unsigned(flags.positional[2], 2, 100000);
+  if (!k.ok()) return fail(k.status());
+  const Result<Gf2k> field = Gf2k::try_make(*k);
+  if (!field.ok()) return fail(field.status());
+
+  const engine::EngineRegistry& registry = engine::EngineRegistry::global();
+  std::vector<const engine::EquivEngine*> engines;
+  if (flags.engines.empty()) {
+    engines = registry.engines();
+  } else {
+    std::string_view rest = flags.engines;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view name = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      Result<const engine::EquivEngine*> eng = registry.require(name);
+      if (!eng.ok()) return fail(eng.status());
+      engines.push_back(*eng);
+    }
+  }
+
+  std::vector<engine::EngineRun> runs;
+  runs.reserve(engines.size());
+  for (const engine::EquivEngine* eng : engines) {
+    // Fresh deadline per engine: --timeout bounds each method individually
+    // (the paper's per-method timeout), not the whole batch.
+    const engine::RunOptions options = run_options_from(flags);
+    runs.push_back(engine::run_engine(*eng, *spec, *impl, *field, options));
+  }
+  maybe_write_report(flags, "compare", *k, runs);
+
+  std::printf("%-18s %-16s %10s  %s\n", "engine", "verdict", "wall_ms",
+              "detail");
+  bool saw_equivalent = false, saw_not_equivalent = false;
+  for (const engine::EngineRun& run : runs) {
+    const char* verdict = run.status.ok()
+                              ? engine::verdict_name(run.verdict)
+                              : status_code_name(run.status.code());
+    std::printf("%-18s %-16s %10.2f  %s\n", run.engine.c_str(), verdict,
+                run.wall_ms, run.detail.c_str());
+    if (run.status.ok() && run.verdict == engine::Verdict::kEquivalent)
+      saw_equivalent = true;
+    if (run.status.ok() && run.verdict == engine::Verdict::kNotEquivalent)
+      saw_not_equivalent = true;
+  }
+  if (saw_equivalent && saw_not_equivalent) {
+    std::fprintf(stderr,
+                 "CONTRADICTION: engines disagree on a definitive verdict\n");
+    return kVerdictNotEquivalent;
+  }
+  if (saw_not_equivalent) return kVerdictNotEquivalent;
+  if (saw_equivalent) return 0;
+  return kVerdictUnknown;  // nobody reached a definitive verdict
+}
+
+int cmd_engines(const Flags& flags) {
+  if (!flags.positional.empty()) return kUsage;
+  for (const engine::EquivEngine* eng :
+       engine::EngineRegistry::global().engines())
+    std::printf("%-18s %s\n", eng->name().c_str(),
+                eng->description().c_str());
+  return 0;
+}
+
+int cmd_sat(const Flags& flags) {
+  if (flags.positional.size() != 3 && flags.positional.size() != 4)
+    return kUsage;
+  const Result<Netlist> spec = load(flags.positional[0]);
+  if (!spec.ok()) return fail(spec.status());
+  const Result<Netlist> impl = load(flags.positional[1]);
+  if (!impl.ok()) return fail(impl.status());
+  std::uint64_t limit = 0;
+  if (flags.positional.size() == 4) {
+    const Result<std::uint64_t> parsed = parse_u64(flags.positional[3]);
+    if (!parsed.ok()) return fail(parsed.status());
+    limit = *parsed;
+  }
+  const Netlist miter = make_miter(*spec, *impl);
   const Cnf cnf = tseitin_encode(miter, miter.outputs()[0]);
   sat::Solver solver;
   for (const auto& clause : cnf.clauses) solver.add_clause(clause);
@@ -124,12 +324,16 @@ int cmd_sat(int argc, char** argv) {
                   solver.model_value(static_cast<int>(n) + 1) ? 1 : 0);
     std::printf("\n");
   }
-  return r == sat::Result::kUnsat ? 0 : 1;
+  return r == sat::Result::kUnsat ? 0
+         : r == sat::Result::kSat ? kVerdictNotEquivalent
+                                  : kVerdictUnknown;
 }
 
-int cmd_stats(int argc, char** argv) {
-  if (argc != 1) return 64;
-  const Netlist nl = load(argv[0]);
+int cmd_stats(const Flags& flags) {
+  if (flags.positional.size() != 1) return kUsage;
+  const Result<Netlist> loaded = load(flags.positional[0]);
+  if (!loaded.ok()) return fail(loaded.status());
+  const Netlist& nl = *loaded;
   const std::string problem = nl.validate();
   std::printf("module %s: %zu nets, %zu gates, %zu inputs, %zu outputs\n",
               nl.name().c_str(), nl.num_nets(), nl.num_logic_gates(),
@@ -145,17 +349,22 @@ int cmd_stats(int argc, char** argv) {
                 by_type[t]);
   }
   std::printf("validate: %s\n", problem.empty() ? "ok" : problem.c_str());
-  return problem.empty() ? 0 : 1;
+  return problem.empty() ? 0 : kVerdictNotEquivalent;
 }
 
 void usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  gfa_tool gen <arch> <k> <file>\n"
-               "  gfa_tool extract <file> <k>\n"
-               "  gfa_tool verify <spec> <impl> <k>\n"
-               "  gfa_tool sat <spec> <impl> <k> [conflict-limit]\n"
-               "  gfa_tool stats <file>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gfa_tool gen <arch> <k> <file>\n"
+      "  gfa_tool extract <file> <k> [--timeout=<s>]\n"
+      "  gfa_tool verify <spec> <impl> <k> [--engine=<name>] [--timeout=<s>]"
+      " [--report=<file>]\n"
+      "  gfa_tool compare <spec> <impl> <k> [--engines=<a,b,...>]"
+      " [--timeout=<s>] [--report=<file>]\n"
+      "  gfa_tool engines\n"
+      "  gfa_tool sat <spec> <impl> <k> [conflict-limit]\n"
+      "  gfa_tool stats <file>\n");
 }
 
 }  // namespace
@@ -163,17 +372,21 @@ void usage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
-    return 64;
+    return kUsage;
   }
   const std::string cmd = argv[1];
+  const Result<Flags> flags = parse_flags(argc - 2, argv + 2);
+  if (!flags.ok()) return fail(flags.status());
   try {
-    int rc = 64;
-    if (cmd == "gen") rc = cmd_gen(argc - 2, argv + 2);
-    else if (cmd == "extract") rc = cmd_extract(argc - 2, argv + 2);
-    else if (cmd == "verify") rc = cmd_verify(argc - 2, argv + 2);
-    else if (cmd == "sat") rc = cmd_sat(argc - 2, argv + 2);
-    else if (cmd == "stats") rc = cmd_stats(argc - 2, argv + 2);
-    if (rc == 64) usage();
+    int rc = kUsage;
+    if (cmd == "gen") rc = cmd_gen(*flags);
+    else if (cmd == "extract") rc = cmd_extract(*flags);
+    else if (cmd == "verify") rc = cmd_verify(*flags);
+    else if (cmd == "compare") rc = cmd_compare(*flags);
+    else if (cmd == "engines") rc = cmd_engines(*flags);
+    else if (cmd == "sat") rc = cmd_sat(*flags);
+    else if (cmd == "stats") rc = cmd_stats(*flags);
+    if (rc == kUsage) usage();
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
