@@ -18,6 +18,7 @@
 #include "abstraction/extractor.h"
 #include "abstraction/word_lift.h"
 #include "circuit/mastrovito.h"
+#include "obs/trace.h"
 #include "bench_util.h"
 
 namespace {
@@ -38,7 +39,9 @@ void BM_MastrovitoAbstraction(benchmark::State& state) {
   gfa::ExtractionStats stats;
   double wall_ms = 0;
   bool is_ab = false;
+  std::vector<std::pair<std::string, double>> phases;
   for (auto _ : state) {
+    gfa::obs::Tracer::instance().clear();
     const auto t0 = std::chrono::steady_clock::now();
     const gfa::WordFunction fn =
         gfa::extract_word_function(netlist, field, options);
@@ -46,6 +49,7 @@ void BM_MastrovitoAbstraction(benchmark::State& state) {
                   std::chrono::steady_clock::now() - t0)
                   .count();
     stats = fn.stats;
+    phases = gfa::bench::drain_phase_times();
     // Sanity: polynomial must be exactly A·B.
     const gfa::MPoly ab = gfa::MPoly::variable(&field, fn.pool.id("A")) *
                           gfa::MPoly::variable(&field, fn.pool.id("B"));
@@ -63,12 +67,16 @@ void BM_MastrovitoAbstraction(benchmark::State& state) {
   rec.peak_terms = stats.peak_terms;
   rec.substitutions = stats.substitutions;
   rec.extra = {{"gates", static_cast<double>(netlist.num_logic_gates())}};
+  rec.phases = std::move(phases);
   reporter().add(rec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Record per-phase times (rato_sort / reduction_chain / case2_lift / ...)
+  // into BENCH_table1_mastrovito.json alongside the wall totals.
+  gfa::obs::set_trace_enabled(true);
   benchmark::AddCustomContext("table", "Paper Table 1: Mastrovito abstraction");
   benchmark::AddCustomContext(
       "paper_reference",

@@ -20,6 +20,7 @@
 #include "abstraction/hierarchy.h"
 #include "abstraction/word_lift.h"
 #include "circuit/montgomery.h"
+#include "obs/trace.h"
 #include "bench_util.h"
 
 namespace {
@@ -64,7 +65,9 @@ void BM_MontgomeryBlock(benchmark::State& state) {
   options.shared_lift = &pf.lift;
   gfa::ExtractionStats stats;
   double wall_ms = 0;
+  std::vector<std::pair<std::string, double>> phases;
   for (auto _ : state) {
+    gfa::obs::Tracer::instance().clear();
     const auto t0 = std::chrono::steady_clock::now();
     const gfa::WordFunction fn =
         gfa::extract_word_function(blk, pf.field, options);
@@ -72,6 +75,7 @@ void BM_MontgomeryBlock(benchmark::State& state) {
                   std::chrono::steady_clock::now() - t0)
                   .count();
     stats = fn.stats;
+    phases = gfa::bench::drain_phase_times();
     benchmark::DoNotOptimize(fn.g.num_terms());
   }
   state.counters["gates"] = static_cast<double>(blk.num_logic_gates());
@@ -83,6 +87,7 @@ void BM_MontgomeryBlock(benchmark::State& state) {
   rec.peak_terms = stats.peak_terms;
   rec.substitutions = stats.substitutions;
   rec.extra = {{"gates", static_cast<double>(blk.num_logic_gates())}};
+  rec.phases = std::move(phases);
   reporter().add(rec);
 }
 
@@ -94,13 +99,16 @@ void BM_MontgomeryTotal(benchmark::State& state) {
   options.shared_lift = &pf.lift;
   bool is_ab = false;
   double wall_ms = 0;
+  std::vector<std::pair<std::string, double>> phases;
   for (auto _ : state) {
+    gfa::obs::Tracer::instance().clear();
     const auto t0 = std::chrono::steady_clock::now();
     const gfa::HierarchicalAbstraction ha =
         abstract_montgomery(pf.hierarchy, pf.field, options);
     wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
+    phases = gfa::bench::drain_phase_times();
     const gfa::MPoly ab =
         gfa::MPoly::variable(&pf.field, ha.composed.pool.id("A")) *
         gfa::MPoly::variable(&pf.field, ha.composed.pool.id("B"));
@@ -118,12 +126,16 @@ void BM_MontgomeryTotal(benchmark::State& state) {
   rec.k = static_cast<unsigned>(state.range(0));
   rec.wall_ms = wall_ms;
   rec.extra = {{"gates", static_cast<double>(total_gates)}};
+  rec.phases = std::move(phases);
   reporter().add(rec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Record per-phase times (rato_sort / reduction_chain / case2_lift / ...)
+  // into BENCH_table2_montgomery.json alongside the wall totals.
+  gfa::obs::set_trace_enabled(true);
   benchmark::AddCustomContext("table", "Paper Table 2: Montgomery blocks");
   benchmark::AddCustomContext(
       "paper_reference",

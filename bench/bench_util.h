@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/json_writer.h"
 #include "util/parse_number.h"
 
@@ -67,7 +69,23 @@ struct BenchRecord {
   std::size_t substitutions = 0; // RATO substitution count (0 if n/a)
   /// Bench-specific numeric extras, e.g. {"speedup", 32.5}.
   std::vector<std::pair<std::string, double>> extra;
+  /// Elapsed per-phase milliseconds (from the obs tracer), e.g.
+  /// {"reduction_chain", 812.4} — written as a "phases" object so
+  /// BENCH_*.json records where the time went, not just the total.
+  std::vector<std::pair<std::string, double>> phases;
 };
+
+/// Folds the tracer's span buffer into BenchRecord::phases (total ms per
+/// phase name) and clears the buffer so the next measurement starts clean.
+/// Call with tracing enabled (set_trace_enabled(true)) around the measured
+/// region.
+inline std::vector<std::pair<std::string, double>> drain_phase_times() {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, total] : obs::Tracer::instance().aggregate())
+    out.emplace_back(name, total.total_ms);
+  obs::Tracer::instance().clear();
+  return out;
+}
 
 /// Accumulates records and writes BENCH_<name>.json (an array of objects) on
 /// destruction or on an explicit write().
@@ -92,7 +110,7 @@ class JsonReporter {
   void write() const {
     std::ofstream out(path_);
     if (!out) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      GFA_LOG_WARN("bench", "cannot write " << path_);
       return;
     }
     JsonWriter w(out);
@@ -105,6 +123,12 @@ class JsonReporter {
       w.member("peak_terms", static_cast<std::uint64_t>(r.peak_terms));
       w.member("substitutions", static_cast<std::uint64_t>(r.substitutions));
       for (const auto& [key, value] : r.extra) w.member(key, value);
+      if (!r.phases.empty()) {
+        w.key("phases");
+        w.begin_object();
+        for (const auto& [phase, ms] : r.phases) w.member(phase, ms);
+        w.end_object();
+      }
       w.end_object();
     }
     w.end_array();

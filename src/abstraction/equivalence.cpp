@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "abstraction/word_lift.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel_for.h"
 
 namespace gfa {
@@ -89,6 +91,8 @@ EquivalenceResult check_equivalence(const Netlist& spec, const Netlist& impl,
       [&] { spec_fn = extract_word_function(spec, field, local); },
       [&] { impl_fn = extract_word_function(impl, field, local); },
       local.control);
+  GFA_COUNT("equivalence.checks", 1);
+  const obs::TraceSpan match_span("coefficient_match", "abstraction");
   std::string diff;
   const bool eq = same_word_function(spec_fn, impl_fn, &diff);
   return EquivalenceResult{eq, std::move(spec_fn), std::move(impl_fn),

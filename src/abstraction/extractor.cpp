@@ -9,6 +9,8 @@
 #include "abstraction/rato.h"
 #include "abstraction/rewriter.h"
 #include "abstraction/word_lift.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel_for.h"
 
 namespace gfa {
@@ -18,6 +20,7 @@ namespace {
 WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
                               const Word* out_word,
                               const ExtractionOptions& options) {
+  const obs::TraceSpan extract_span("extract_word", "abstraction");
   const unsigned k = field.k();
   const std::vector<const Word*> in_words = input_words(netlist);
   if (in_words.empty()) throw std::invalid_argument("no input words declared");
@@ -45,10 +48,18 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   BackwardRewriter rw(field, std::move(substitutable), options.max_terms);
   ExtractionStats stats;
   try {
+    std::vector<NetId> rato;
+    {
+      // The paper's RATO: the reverse-topological order that makes backward
+      // substitution *be* the Gröbner reduction chain.
+      const obs::TraceSpan sort_span("rato_sort", "abstraction");
+      rato = rato_net_order(netlist);
+    }
+    const obs::TraceSpan chain_span("reduction_chain", "abstraction");
     for (unsigned j = 0; j < k; ++j)
       rw.add(BitMono{out_word->bits[j]}, basis_elem(j));
     stats.peak_terms = rw.num_terms();
-    for (NetId n : rato_net_order(netlist)) {
+    for (NetId n : rato) {
       if (is_input[n]) continue;
       throw_if_stopped(options.control);
       rw.substitute(n, gate_tail_bitpoly(field, netlist.gate(n)));
@@ -58,6 +69,10 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   } catch (const RewriteBudgetExceeded& e) {
     throw ExtractionBudgetExceeded(e.what());
   }
+  GFA_COUNT("extract.words", 1);
+  GFA_COUNT("extract.substitutions", stats.substitutions);
+  GFA_COUNT("reduction_steps", stats.substitutions);
+  GFA_GAUGE_MAX("extract.peak_terms", stats.peak_terms);
 
   // The remainder now mentions only primary-input bits.
   stats.remainder_terms = rw.terms().size();
@@ -104,6 +119,7 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   }
 
   // Step 2: the Case-2 lift (a no-op beyond copying constants for Case 1).
+  const obs::TraceSpan lift_span("case2_lift", "abstraction");
   if (stats.case1) {
     result.g = MPoly::constant(&field, r.coeff(BitMono{}));
   } else if (options.shared_lift != nullptr) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/parallel_for.h"
 
 namespace gfa {
@@ -50,6 +51,7 @@ std::vector<std::vector<Gf2k::Elem>> invert(
 WordLift::WordLift(const Gf2k* field, const std::vector<Elem>* basis,
                    const ExecControl* control)
     : field_(field) {
+  const obs::TraceSpan span("frobenius_basis_change", "abstraction");
   const unsigned k = field_->k();
   if (basis != nullptr) {
     assert(basis->size() == k && "word basis must have k elements");

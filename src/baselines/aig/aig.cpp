@@ -6,6 +6,8 @@
 
 #include "abstraction/rato.h"
 #include "baselines/sat/solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gfa::aig {
 
@@ -183,7 +185,18 @@ class ConeEncoder {
 
 FraigResult fraig_equivalence_check(const Netlist& c1, const Netlist& c2,
                                     const FraigOptions& options) {
+  const obs::TraceSpan span("fraig_sweep", "fraig");
   FraigResult result;
+  // Flush the sweep counters into the global metrics on every exit path
+  // (there are several returns, plus StatusError unwinds on deadlines).
+  struct Flush {
+    const FraigResult* r;
+    ~Flush() {
+      GFA_COUNT("fraig.merges", r->merges);
+      GFA_COUNT("fraig.sat_calls", r->sat_calls);
+      GFA_COUNT("fraig.refinements", r->refinements);
+    }
+  } flush{&result};
   Aig aig;
 
   // Shared inputs, matched by input-word names (as in make_miter).

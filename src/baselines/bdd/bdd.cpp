@@ -5,6 +5,9 @@
 #include <limits>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gfa::bdd {
 
 namespace {
@@ -46,7 +49,11 @@ NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
   if (g == kTrue && h == kFalse) return f;
 
   const IteKey key{f, g, h};
-  if (auto it = computed_.find(key); it != computed_.end()) return it->second;
+  ++cache_lookups_;
+  if (auto it = computed_.find(key); it != computed_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
 
   const unsigned v =
       std::min({top_var(f), top_var(g), top_var(h)});
@@ -83,6 +90,10 @@ bool Manager::eval(NodeRef f, const std::vector<bool>& assignment) const {
 
 std::vector<NodeRef> build_netlist_bdds(Manager& manager, const Netlist& netlist,
                                         const std::vector<unsigned>& input_vars) {
+  const obs::TraceSpan span("bdd_build", "bdd");
+  const std::size_t nodes_before = manager.num_nodes();
+  const std::size_t lookups_before = manager.cache_lookups();
+  const std::size_t hits_before = manager.cache_hits();
   assert(input_vars.size() == netlist.inputs().size());
   std::vector<NodeRef> value(netlist.num_nets(), kFalse);
   for (std::size_t i = 0; i < netlist.inputs().size(); ++i)
@@ -128,6 +139,9 @@ std::vector<NodeRef> build_netlist_bdds(Manager& manager, const Netlist& netlist
       }
     }
   }
+  GFA_COUNT("bdd.nodes_allocated", manager.num_nodes() - nodes_before);
+  GFA_COUNT("bdd.cache_lookups", manager.cache_lookups() - lookups_before);
+  GFA_COUNT("bdd.cache_hits", manager.cache_hits() - hits_before);
   return value;
 }
 

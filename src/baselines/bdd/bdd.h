@@ -47,6 +47,10 @@ class Manager {
 
   std::size_t num_nodes() const { return nodes_.size(); }
 
+  /// Computed-table (ITE memoization) statistics since construction.
+  std::size_t cache_lookups() const { return cache_lookups_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+
   /// Nodes in the DAG rooted at f (terminals included).
   std::size_t count_nodes(NodeRef f) const;
 
@@ -94,6 +98,8 @@ class Manager {
   std::size_t node_limit_;
   const ExecControl* control_ = nullptr;
   std::size_t allocations_ = 0;  // make() calls, for periodic control polls
+  std::size_t cache_lookups_ = 0;
+  std::size_t cache_hits_ = 0;
 };
 
 /// Builds the BDDs of every net (terminal-driven in topological order);

@@ -6,6 +6,8 @@
 
 #include "abstraction/rato.h"
 #include "abstraction/rewriter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gfa {
 
@@ -33,6 +35,8 @@ IdealMembershipResult verify_by_ideal_membership(
     const Netlist& circuit, const Gf2k& field,
     const std::function<MPoly(const Gf2k* field, VarPool& pool)>& spec_builder,
     const IdealMembershipOptions& options) {
+  const obs::TraceSpan span("ideal_membership", "baseline");
+  GFA_COUNT("ideal_membership.runs", 1);
   const Word* out_word = output_word(circuit);
   if (out_word == nullptr) throw std::invalid_argument("no output word declared");
 
@@ -69,13 +73,17 @@ IdealMembershipResult verify_by_ideal_membership(
   res.peak_terms = rw.num_terms();
 
   // Division chain: substitute every gate tail in RATO order.
-  for (NetId n : rato_net_order(circuit)) {
-    if (circuit.gate(n).type == GateType::kInput) continue;
-    throw_if_stopped(options.control);
-    rw.substitute(n, gate_tail_bitpoly(field, circuit.gate(n)));
-    ++res.substitutions;
-    res.peak_terms = std::max(res.peak_terms, rw.num_terms());
+  {
+    const obs::TraceSpan chain_span("reduction_chain", "baseline");
+    for (NetId n : rato_net_order(circuit)) {
+      if (circuit.gate(n).type == GateType::kInput) continue;
+      throw_if_stopped(options.control);
+      rw.substitute(n, gate_tail_bitpoly(field, circuit.gate(n)));
+      ++res.substitutions;
+      res.peak_terms = std::max(res.peak_terms, rw.num_terms());
+    }
   }
+  GFA_COUNT("reduction_steps", res.substitutions);
 
   res.residual_terms = rw.num_terms();
   res.is_member = rw.terms().empty();

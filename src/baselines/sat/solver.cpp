@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gfa::sat {
 
 void Solver::ensure_var(std::uint32_t v) {
@@ -284,6 +287,24 @@ Solver::L Solver::pick_branch() {
 }
 
 Result Solver::solve(std::uint64_t conflict_limit, const ExecControl* control) {
+  const obs::TraceSpan span("sat_solve", "sat");
+  // Flush the per-solve stats delta into the global metrics on every exit
+  // path (stats_ itself accumulates across repeated solve() calls).
+  const SolverStats before = stats_;
+  struct Flush {
+    const Solver* solver;
+    SolverStats before;
+    ~Flush() {
+      const SolverStats& now = solver->stats();
+      GFA_COUNT("sat.solves", 1);
+      GFA_COUNT("sat.conflicts", now.conflicts - before.conflicts);
+      GFA_COUNT("sat.decisions", now.decisions - before.decisions);
+      GFA_COUNT("sat.propagations", now.propagations - before.propagations);
+      GFA_COUNT("sat.restarts", now.restarts - before.restarts);
+      GFA_COUNT("sat.learned", now.learned - before.learned);
+    }
+  } flush{this, before};
+
   if (unsat_) return Result::kUnsat;
   std::uint64_t restart_threshold = 100;
   std::uint64_t conflicts_since_restart = 0;

@@ -193,6 +193,11 @@ class BddEngine final : public EquivEngine {
       VerifyResult out;
       out.stats["nodes"] = static_cast<double>(manager.num_nodes());
       out.stats["miter_nodes"] = static_cast<double>(manager.count_nodes(out_ref));
+      out.stats["cache_lookups"] = static_cast<double>(manager.cache_lookups());
+      out.stats["cache_hits"] = static_cast<double>(manager.cache_hits());
+      if (manager.cache_lookups() > 0)
+        out.stats["cache_hit_rate"] = static_cast<double>(manager.cache_hits()) /
+                                      static_cast<double>(manager.cache_lookups());
       out.verdict = out_ref == bdd::kFalse ? Verdict::kEquivalent
                                            : Verdict::kNotEquivalent;
       if (out.verdict == Verdict::kNotEquivalent)

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json_writer.h"
 
 namespace gfa::engine {
@@ -11,8 +14,16 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
                      const RunOptions& options) {
   EngineRun run;
   run.engine = engine.name();
+  GFA_LOG_INFO("engine", "running " << run.engine << " (k=" << field.k()
+                                    << ", spec " << spec.num_logic_gates()
+                                    << " gates, impl "
+                                    << impl.num_logic_gates() << " gates)");
+  const bool measured = obs::metrics_enabled();
+  const obs::MetricsSnapshot before =
+      measured ? obs::Metrics::instance().snapshot() : obs::MetricsSnapshot{};
   const auto start = std::chrono::steady_clock::now();
   Result<VerifyResult> r = [&]() -> Result<VerifyResult> {
+    const obs::TraceSpan span("verify:" + run.engine, "engine");
     try {
       return engine.verify(spec, impl, field, options);
     } catch (...) {
@@ -24,6 +35,7 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
   const auto end = std::chrono::steady_clock::now();
   run.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
+  if (measured) run.metrics = obs::Metrics::instance().delta(before);
   if (r.ok()) {
     run.verdict = r->verdict;
     run.detail = std::move(r->detail);
@@ -32,6 +44,11 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
     run.status = r.status();
     run.detail = r.status().message();
   }
+  GFA_LOG_INFO("engine",
+               run.engine << " finished: "
+                          << (run.status.ok() ? verdict_name(run.verdict)
+                                              : run.status.to_string())
+                          << " in " << run.wall_ms << " ms");
   return run;
 }
 
@@ -54,6 +71,12 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
     w.begin_object();
     for (const auto& [key, value] : run.stats) w.member(key, value);
     w.end_object();
+    if (!run.metrics.empty()) {
+      w.key("metrics");
+      w.begin_object();
+      for (const auto& [key, value] : run.metrics) w.member(key, value);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

@@ -7,6 +7,7 @@
 // util/json_writer.h), the format shared by `gfa_tool verify --report` and
 // `gfa_tool compare --report`.
 
+#include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
@@ -26,6 +27,10 @@ struct EngineRun {
   std::string detail;
   std::map<std::string, double> stats;
   double wall_ms = 0.0;
+  /// Per-run delta of the global metrics registry (src/obs/metrics.h):
+  /// counters are this run's increments, max-gauges the process peak so far.
+  /// Empty unless metrics were enabled while the engine ran.
+  std::map<std::string, std::uint64_t> metrics;
 };
 
 /// Runs `engine` on the instance, timing the call. Never throws: failures are

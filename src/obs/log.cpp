@@ -1,0 +1,97 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace gfa::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_write_mutex;
+
+int level_from_env() {
+  const char* env = std::getenv("GFA_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  const Result<LogLevel> parsed = parse_log_level(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "GFA_LOG must be one of error|warn|info|debug, got '%s'\n",
+                 env);
+    std::exit(2);
+  }
+  return static_cast<int>(*parsed);
+}
+
+void ensure_env_applied() {
+  static const bool applied = [] {
+    g_level.store(level_from_env(), std::memory_order_relaxed);
+    return true;
+  }();
+  (void)applied;
+}
+
+/// Seconds since the first log call, for the t= field.
+double uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+Result<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "debug") return LogLevel::kDebug;
+  return Status::invalid_argument("unknown log level '" + std::string(text) +
+                                  "' (expected error|warn|info|debug)");
+}
+
+LogLevel log_level() {
+  ensure_env_applied();
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  ensure_env_applied();  // keep env parsing strict even when overridden
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) { return level <= log_level(); }
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  // logfmt-style: quotes and backslashes inside msg escaped.
+  std::string escaped;
+  escaped.reserve(msg.size());
+  for (char c : msg) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    if (c == '\n') {
+      escaped += "\\n";
+      continue;
+    }
+    escaped.push_back(c);
+  }
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "t=%.3f level=%s comp=%.*s msg=\"%s\"\n",
+               uptime_seconds(), log_level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               escaped.c_str());
+}
+
+}  // namespace gfa::obs

@@ -1,0 +1,64 @@
+#pragma once
+// Leveled structured logging for the library and tools.
+//
+// Replaces ad-hoc stderr prints: every message carries a level, a component
+// tag, and a monotonic timestamp, in a grep-friendly logfmt line on stderr:
+//
+//   t=12.345 level=warn comp=engine msg="report file not writable" path=...
+//
+// Level resolution (first hit wins): set_log_level() (the `gfa_tool
+// --log-level=<level>` flag), the GFA_LOG environment variable
+// (error|warn|info|debug), default kWarn. A malformed GFA_LOG value is
+// rejected with a diagnostic and exit(2) — the same strictness policy as
+// GFA_THREADS and GFA_BENCH_MAX_K.
+//
+// The GFA_LOG_* macros evaluate their stream expression only when the level
+// is enabled, so debug formatting is free in production runs.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gfa::obs {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+const char* log_level_name(LogLevel level);
+
+/// "error" | "warn" | "info" | "debug" (case-sensitive); anything else is
+/// kInvalidArgument.
+Result<LogLevel> parse_log_level(std::string_view text);
+
+/// Current threshold: messages at or below it are emitted.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+bool log_enabled(LogLevel level);
+
+/// Emits one line to stderr (thread-safe). `msg` lands in msg="..." with
+/// quotes escaped; `component` should be a short static tag ("engine",
+/// "parallel_for", "bench").
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view msg);
+
+}  // namespace gfa::obs
+
+#define GFA_LOG_AT(level, component, stream_expr)                        \
+  do {                                                                   \
+    if (::gfa::obs::log_enabled(level)) {                                \
+      std::ostringstream gfa_log_oss_;                                   \
+      gfa_log_oss_ << stream_expr;                                       \
+      ::gfa::obs::log_message(level, component, gfa_log_oss_.str());     \
+    }                                                                    \
+  } while (0)
+
+#define GFA_LOG_ERROR(component, stream_expr) \
+  GFA_LOG_AT(::gfa::obs::LogLevel::kError, component, stream_expr)
+#define GFA_LOG_WARN(component, stream_expr) \
+  GFA_LOG_AT(::gfa::obs::LogLevel::kWarn, component, stream_expr)
+#define GFA_LOG_INFO(component, stream_expr) \
+  GFA_LOG_AT(::gfa::obs::LogLevel::kInfo, component, stream_expr)
+#define GFA_LOG_DEBUG(component, stream_expr) \
+  GFA_LOG_AT(::gfa::obs::LogLevel::kDebug, component, stream_expr)

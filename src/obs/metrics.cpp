@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+
+namespace gfa::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Every domain metric the engines export, pre-registered so snapshots carry
+/// a stable schema. Kept in sync with the DESIGN.md "Observability" table.
+struct KnownMetric {
+  const char* name;
+  MetricKind kind;
+};
+
+constexpr KnownMetric kKnownMetrics[] = {
+    // Gröbner reduction steps across every flow: one per gate-tail
+    // substitution of the RATO backward-rewriting chain (abstraction,
+    // ideal-membership) and one per division step inside normal_form.
+    {"reduction_steps", MetricKind::kCounter},
+    // normal_form (poly/mpoly.cpp)
+    {"normal_form.calls", MetricKind::kCounter},
+    {"normal_form.peak_terms", MetricKind::kGauge},
+    // Buchberger (poly/groebner.cpp) — pairs_skipped counts product-criterion
+    // prunes; pairs_reduced is the paper's §5 "one critical pair" claim.
+    {"buchberger.pairs_generated", MetricKind::kCounter},
+    {"buchberger.pairs_skipped", MetricKind::kCounter},
+    {"buchberger.pairs_reduced", MetricKind::kCounter},
+    {"buchberger.basis_added", MetricKind::kCounter},
+    {"buchberger.max_poly_terms", MetricKind::kGauge},
+    // Extractor (abstraction/extractor.cpp)
+    {"extract.words", MetricKind::kCounter},
+    {"extract.substitutions", MetricKind::kCounter},
+    {"extract.peak_terms", MetricKind::kGauge},
+    // Canonical-form equivalence (abstraction/equivalence.cpp)
+    {"equivalence.checks", MetricKind::kCounter},
+    // Ideal-membership baseline (baselines/ideal_membership.cpp)
+    {"ideal_membership.runs", MetricKind::kCounter},
+    // CDCL SAT (baselines/sat/solver.cpp), flushed once per solve().
+    {"sat.solves", MetricKind::kCounter},
+    {"sat.decisions", MetricKind::kCounter},
+    {"sat.propagations", MetricKind::kCounter},
+    {"sat.conflicts", MetricKind::kCounter},
+    {"sat.restarts", MetricKind::kCounter},
+    {"sat.learned", MetricKind::kCounter},
+    // BDD (baselines/bdd/bdd.cpp), flushed per netlist build / final check.
+    {"bdd.nodes_allocated", MetricKind::kCounter},
+    {"bdd.cache_lookups", MetricKind::kCounter},
+    {"bdd.cache_hits", MetricKind::kCounter},
+    // Fraig sweeping (baselines/aig/aig.cpp)
+    {"fraig.merges", MetricKind::kCounter},
+    {"fraig.sat_calls", MetricKind::kCounter},
+    {"fraig.refinements", MetricKind::kCounter},
+    // Thread pool (util/parallel_for.cpp) — worker vs caller chunk counts
+    // give a crude utilization ratio.
+    {"parallel.loops", MetricKind::kCounter},
+    {"parallel.serial_loops", MetricKind::kCounter},
+    {"parallel.items", MetricKind::kCounter},
+    {"parallel.caller_chunks", MetricKind::kCounter},
+    {"parallel.worker_chunks", MetricKind::kCounter},
+};
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+Metrics::Metrics() {
+  for (const KnownMetric& m : kKnownMetrics)
+    metrics_.try_emplace(m.name, m.kind);
+  if (const char* env = std::getenv("GFA_METRICS")) {
+    if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+      set_metrics_enabled(true);
+  }
+}
+
+Metric& Metrics::get(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end())
+    it = metrics_.try_emplace(std::string(name), kind).first;
+  return it->second;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, metric] : metrics_) out.emplace(name, metric.value());
+  return out;
+}
+
+MetricsSnapshot Metrics::delta(const MetricsSnapshot& before) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, metric] : metrics_) {
+    const std::uint64_t now = metric.value();
+    if (metric.kind() == MetricKind::kGauge) {
+      out.emplace(name, now);
+      continue;
+    }
+    const auto it = before.find(name);
+    const std::uint64_t base = it == before.end() ? 0 : it->second;
+    out.emplace(name, now >= base ? now - base : 0);
+  }
+  return out;
+}
+
+void Metrics::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : metrics_) metric.reset();
+}
+
+}  // namespace gfa::obs

@@ -1,0 +1,123 @@
+#pragma once
+// Low-overhead process-wide metrics registry.
+//
+// The verification engines' internal dynamics — reduction steps, critical
+// pairs, SAT conflicts, BDD nodes — are what the paper's scalability tables
+// actually measure, so every hot path exports named counters here. Design
+// constraints, in order:
+//
+//  1. Near-zero cost when disabled. Instrumentation sites go through the
+//     GFA_COUNT / GFA_GAUGE_MAX macros, which first test one relaxed atomic
+//     bool (metrics_enabled()); the registry lookup behind it is a
+//     function-local static resolved once per call site.
+//  2. Exactly-correct under concurrency. Counters are relaxed atomic adds, so
+//     increments from parallel_for workers sum without locks; max-gauges use
+//     a compare-exchange max loop.
+//  3. Stable schema. Every domain metric is pre-registered (see metrics.cpp),
+//     so a snapshot always carries the full name set — run reports and
+//     BENCH_*.json trajectories keep their columns even on runs that never
+//     touch an engine. DESIGN.md "Observability" documents each name.
+//
+// Enablement: GFA_METRICS=1 in the environment, or set_metrics_enabled(true)
+// (the `gfa_tool --metrics` flag).
+//
+// Snapshots are plain name→value maps. For per-run deltas (engine run
+// reports), take a snapshot before and after and call Metrics::delta():
+// counters subtract; max-gauges report the "after" value (a process-lifetime
+// peak — the per-run exact peaks stay in each engine's own stats).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace gfa::obs {
+
+enum class MetricKind { kCounter, kGauge };
+
+class Metric {
+ public:
+  explicit Metric(MetricKind kind) : kind_(kind) {}
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if larger (atomic max).
+  void record_max(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  MetricKind kind() const { return kind_; }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  MetricKind kind_;
+};
+
+/// Global on/off switch; one relaxed load, safe to call from any thread.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+using MetricsSnapshot = std::map<std::string, std::uint64_t>;
+
+class Metrics {
+ public:
+  /// The process-wide registry. First use also honours GFA_METRICS=1.
+  static Metrics& instance();
+
+  /// Returns the named metric, creating it on first use. The reference stays
+  /// valid for the process lifetime, so hot paths cache it in a static local.
+  /// Requesting an existing name with a different kind keeps the original.
+  Metric& counter(std::string_view name) { return get(name, MetricKind::kCounter); }
+  Metric& gauge(std::string_view name) { return get(name, MetricKind::kGauge); }
+
+  /// All registered metrics (the pre-registered schema plus any ad-hoc names
+  /// touched so far), name → current value.
+  MetricsSnapshot snapshot() const;
+
+  /// Per-run view: counters report `after - before` (missing in `before`
+  /// means 0); gauges report their `after` value.
+  MetricsSnapshot delta(const MetricsSnapshot& before) const;
+
+  /// Zeroes every metric (tests and bench warm-up isolation).
+  void reset_all();
+
+ private:
+  Metrics();
+  Metric& get(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace gfa::obs
+
+/// Adds `n` to counter `name` iff metrics are enabled. `name` must be a
+/// literal (or otherwise identical on every visit of this call site).
+#define GFA_COUNT(name, n)                                                  \
+  do {                                                                      \
+    if (::gfa::obs::metrics_enabled()) {                                    \
+      static ::gfa::obs::Metric& gfa_metric_ =                              \
+          ::gfa::obs::Metrics::instance().counter(name);                    \
+      gfa_metric_.add(static_cast<std::uint64_t>(n));                       \
+    }                                                                       \
+  } while (0)
+
+/// Raises max-gauge `name` to `v` iff metrics are enabled.
+#define GFA_GAUGE_MAX(name, v)                                              \
+  do {                                                                      \
+    if (::gfa::obs::metrics_enabled()) {                                    \
+      static ::gfa::obs::Metric& gfa_metric_ =                              \
+          ::gfa::obs::Metrics::instance().gauge(name);                      \
+      gfa_metric_.record_max(static_cast<std::uint64_t>(v));                \
+    }                                                                       \
+  } while (0)

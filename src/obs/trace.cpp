@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "util/json_writer.h"
+
+namespace gfa::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+bool init_from_env() {
+  if (const char* env = std::getenv("GFA_TRACE")) {
+    if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+      g_trace_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+/// Microseconds since the first call (the process trace epoch).
+std::uint64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  static const bool initialized = init_from_env();
+  (void)initialized;
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::record(std::string name, const char* category,
+                    std::uint64_t start_us, std::uint64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      tids_.try_emplace(std::this_thread::get_id(),
+                        static_cast<std::uint32_t>(tids_.size()));
+  events_.push_back(
+      {std::move(name), category, start_us, duration_us, it->second});
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  std::vector<TraceEvent> events = this->events();
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.category);
+    w.member("ph", "X");
+    w.member("ts", e.start_us);
+    w.member("dur", e.duration_us);
+    w.member("pid", 1);
+    w.member("tid", e.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+std::map<std::string, PhaseTotal> Tracer::aggregate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, PhaseTotal> out;
+  for (const TraceEvent& e : events_) {
+    PhaseTotal& t = out[e.name];
+    ++t.count;
+    t.total_ms += static_cast<double>(e.duration_us) / 1000.0;
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+TraceSpan::TraceSpan(std::string name, const char* category)
+    : name_(std::move(name)), category_(category) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  Tracer::instance().record(std::move(name_), category_, start_us_,
+                            end - start_us_);
+}
+
+}  // namespace gfa::obs

@@ -1,0 +1,88 @@
+#pragma once
+// Phase-scoped tracing in the Chrome trace-event format.
+//
+// Engine phases (parse → gate-poly build → RATO sort → reduction chain →
+// Case-2 lift → coefficient match, and the baselines' equivalents) open an
+// RAII TraceSpan; completed spans accumulate in a process-wide buffer that
+// serializes to a chrome://tracing- / Perfetto-loadable JSON document
+// ({"traceEvents": [{"ph": "X", ...}]}) via util/json_writer.
+//
+// Like the metrics registry, tracing is off by default: a disabled TraceSpan
+// constructor is one relaxed atomic load. Enabled spans cost one
+// steady_clock read at open and a mutex-guarded append at close — they are
+// placed around *phases* (hundreds per run), never inner loops.
+//
+// Enablement: GFA_TRACE=1 in the environment or set_trace_enabled(true)
+// (wired to `gfa_tool --trace=<file>`). aggregate() folds the buffer into
+// per-phase totals for bench reporters (BENCH_*.json per-phase columns).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gfa::obs {
+
+/// Global on/off switch; one relaxed load, safe from any thread.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+struct TraceEvent {
+  std::string name;
+  const char* category;     // static string, e.g. "engine", "abstraction"
+  std::uint64_t start_us;   // since process trace epoch
+  std::uint64_t duration_us;
+  std::uint32_t tid;        // small dense thread id
+};
+
+struct PhaseTotal {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Appends one complete event (called by ~TraceSpan).
+  void record(std::string name, const char* category, std::uint64_t start_us,
+              std::uint64_t duration_us);
+
+  /// Writes the whole buffer as a Chrome trace-event JSON document.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Per-phase totals (by event name), for bench reporters.
+  std::map<std::string, PhaseTotal> aggregate() const;
+
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// RAII phase scope. The span is recorded iff tracing was enabled when the
+/// scope opened. Name may be dynamic (e.g. "verify:abstraction").
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, const char* category = "phase");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace gfa::obs

@@ -4,10 +4,14 @@
 #include <deque>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gfa {
 
 BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& order,
                             const BuchbergerOptions& options) {
+  const obs::TraceSpan span("buchberger", "groebner");
   BuchbergerResult res;
   res.basis.reserve(generators.size());
   for (MPoly& g : generators) {
@@ -18,6 +22,7 @@ BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& orde
     throw_if_stopped(options.control);  // pair enumeration is O(n²) itself
     for (std::size_t j = i + 1; j < res.basis.size(); ++j) pairs.emplace_back(i, j);
   }
+  GFA_COUNT("buchberger.pairs_generated", pairs.size());
 
   while (!pairs.empty()) {
     throw_if_stopped(options.control);
@@ -29,23 +34,29 @@ BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& orde
         Monomial::relatively_prime(f.leading_term(order).mono,
                                    g.leading_term(order).mono)) {
       ++res.pairs_skipped;
+      GFA_COUNT("buchberger.pairs_skipped", 1);
       continue;
     }
     MPoly r = normal_form(spoly(f, g, order), res.basis, order, options.control);
     ++res.reductions;
+    GFA_COUNT("buchberger.pairs_reduced", 1);
     res.max_terms_seen = std::max(res.max_terms_seen, r.num_terms());
     if (!r.is_zero()) {
       const std::size_t n = res.basis.size();
       for (std::size_t t = 0; t < n; ++t) pairs.emplace_back(t, n);
+      GFA_COUNT("buchberger.pairs_generated", n);
+      GFA_COUNT("buchberger.basis_added", 1);
       res.basis.push_back(std::move(r));
     }
     if ((options.max_basis_size && res.basis.size() > options.max_basis_size) ||
         (options.max_poly_terms && res.max_terms_seen > options.max_poly_terms) ||
         (options.max_reductions && res.reductions >= options.max_reductions)) {
+      GFA_GAUGE_MAX("buchberger.max_poly_terms", res.max_terms_seen);
       return res;  // budget tripped; completed stays false
     }
   }
   res.completed = true;
+  GFA_GAUGE_MAX("buchberger.max_poly_terms", res.max_terms_seen);
   return res;
 }
 

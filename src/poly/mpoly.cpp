@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace gfa {
 
 MPoly MPoly::constant(const Gf2k* field, Elem c) {
@@ -221,9 +223,12 @@ MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
   for (const auto& [m, c] : f.terms()) work.emplace(m, c);
 
   MPoly r(&f.field());
+  const bool measured = obs::metrics_enabled();
+  std::size_t peak_terms = work.size();
   std::size_t steps = 0;
   while (!work.empty()) {
     if ((++steps & 63u) == 0) throw_if_stopped(control);
+    if (measured) peak_terms = std::max(peak_terms, work.size());
     const auto head = work.begin();
     const Monomial mono = head->first;
     const Gf2k::Elem coeff = head->second;
@@ -253,6 +258,9 @@ MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
       }
     }
   }
+  GFA_COUNT("normal_form.calls", 1);
+  GFA_COUNT("reduction_steps", steps);
+  GFA_GAUGE_MAX("normal_form.peak_terms", peak_terms);
   return r;
 }
 

@@ -1,13 +1,20 @@
 #include "util/json_writer.h"
 
 #include <cassert>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <locale>
 
 namespace gfa {
 
 JsonWriter::JsonWriter(std::ostream& out, int indent)
-    : out_(out), indent_(indent) {}
+    : out_(out), indent_(indent) {
+  // JSON is locale-independent by definition; the caller's stream may carry
+  // an imbued or global locale whose num_put would emit grouped integers
+  // ("1.234.567") — pin the classic "C" locale for the document's lifetime.
+  out_.imbue(std::locale::classic());
+}
 
 std::string JsonWriter::escape(std::string_view s) {
   std::string out;
@@ -112,14 +119,13 @@ void JsonWriter::value(double v) {
     out_ << "null";
     return;
   }
+  // std::to_chars is the shortest round-trip form and, unlike the printf
+  // family, immune to the process locale's decimal separator (a German
+  // locale would otherwise emit "1,5" — invalid JSON).
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer the shortest round-trip form.
-  char shorter[32];
-  std::snprintf(shorter, sizeof shorter, "%.15g", v);
-  double back = 0;
-  std::sscanf(shorter, "%lf", &back);
-  out_ << (back == v ? shorter : buf);
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  assert(res.ec == std::errc());
+  out_ << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
 }
 
 void JsonWriter::value(std::int64_t v) {

@@ -29,6 +29,8 @@ namespace gfa {
 class JsonWriter {
  public:
   /// Writes onto `out`; `indent` spaces per nesting level (0 = compact).
+  /// Imbues `out` with the classic "C" locale so numbers are emitted
+  /// locale-independently (the imbue persists on the stream).
   explicit JsonWriter(std::ostream& out, int indent = 2);
 
   void begin_object();

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/parse_number.h"
 
 namespace gfa {
@@ -24,16 +26,20 @@ unsigned decide_thread_count() {
   if (const char* env = std::getenv("GFA_THREADS")) {
     const Result<unsigned> v = parse_unsigned(env, 1, 1024);
     if (!v.ok()) {
-      std::fprintf(stderr,
-                   "GFA_THREADS must be an integer in [1, 1024], got '%s' "
-                   "(%s)\n",
-                   env, v.status().to_string().c_str());
+      GFA_LOG_ERROR("parallel_for",
+                    "GFA_THREADS must be an integer in [1, 1024], got '"
+                        << env << "' (" << v.status().to_string() << ")");
       std::exit(2);
     }
+    GFA_LOG_DEBUG("parallel_for", "thread pool size " << *v
+                                      << " (from GFA_THREADS)");
     return *v;
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? hw : 1;
+  const unsigned n = hw >= 1 ? hw : 1;
+  GFA_LOG_DEBUG("parallel_for",
+                "thread pool size " << n << " (hardware default)");
+  return n;
 }
 
 /// One loop in flight at a time; workers claim chunks off an atomic cursor.
@@ -47,10 +53,12 @@ struct Job {
   std::exception_ptr error;         // first failure; guarded by error_mutex
   std::mutex error_mutex;
 
-  void work() {
+  void work(bool is_worker) {
+    std::size_t chunks_done = 0;
     for (;;) {
       const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) return;
+      if (begin >= n) break;
+      ++chunks_done;
       const std::size_t end = begin + chunk < n ? begin + chunk : n;
       try {
         throw_if_stopped(control);  // deadline/cancel checkpoint per chunk
@@ -60,6 +68,13 @@ struct Job {
         if (!error) error = std::current_exception();
         next.store(n, std::memory_order_relaxed);  // drain remaining chunks
       }
+    }
+    // Worker-vs-caller chunk counts give a crude pool-utilization signal.
+    if (chunks_done > 0) {
+      if (is_worker)
+        GFA_COUNT("parallel.worker_chunks", chunks_done);
+      else
+        GFA_COUNT("parallel.caller_chunks", chunks_done);
     }
   }
 };
@@ -86,7 +101,7 @@ class Pool {
       ++generation_;
     }
     cv_.notify_all();
-    job.work();  // the caller participates
+    job.work(/*is_worker=*/false);  // the caller participates
     {
       // Wait for workers still inside a claimed chunk.
       std::unique_lock<std::mutex> lock(mutex_);
@@ -128,7 +143,7 @@ class Pool {
         job = job_;
         job->active.fetch_add(1);
       }
-      job->work();
+      job->work(/*is_worker=*/true);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         job->active.fetch_sub(1);
@@ -156,7 +171,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   Pool& pool = Pool::instance();
   const bool serial = n == 1 || tls_in_parallel || pool.thread_count() == 1 ||
                       !pool.run_mutex.try_lock();
+  GFA_COUNT("parallel.items", n);
   if (serial) {
+    GFA_COUNT("parallel.serial_loops", 1);
     const bool was = tls_in_parallel;
     tls_in_parallel = true;
     try {
@@ -171,6 +188,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     tls_in_parallel = was;
     return;
   }
+  GFA_COUNT("parallel.loops", 1);
   std::lock_guard<std::mutex> lock(pool.run_mutex, std::adopt_lock);
   const bool was = tls_in_parallel;
   tls_in_parallel = true;

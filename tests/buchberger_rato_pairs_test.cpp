@@ -1,0 +1,95 @@
+// Validates the paper's §5 scalability argument with the Buchberger pair
+// counters: under the RATO term order every gate polynomial's leading term is
+// its own output variable, so the leading monomials of any two generators are
+// relatively prime and the product criterion (Lemma 5.1) prunes their
+// critical pair. Empirically exactly ONE pair survives pruning and gets an
+// S-polynomial reduction — the circuit ideal is (essentially) already a
+// Gröbner basis, which is why the guided flow skips Buchberger entirely and
+// reduces the spec by a single normal-form chain.
+//
+// The test asserts the invariant both through BuchbergerResult and through
+// the obs metrics counters, pinning the two reporting paths to each other.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abstraction/rato.h"
+#include "circuit/gate_poly.h"
+#include "circuit/mastrovito.h"
+#include "obs/metrics.h"
+#include "poly/groebner.h"
+
+namespace gfa {
+namespace {
+
+class BuchbergerRatoPairs : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { metrics_was_ = obs::metrics_enabled(); }
+  void TearDown() override {
+    obs::set_metrics_enabled(metrics_was_);
+    obs::Metrics::instance().reset_all();
+  }
+
+ private:
+  bool metrics_was_ = false;
+};
+
+TEST_P(BuchbergerRatoPairs, ProductCriterionLeavesExactlyOneReducedPair) {
+  const unsigned k = GetParam();
+  const Gf2k field = Gf2k::make(k);
+  const Netlist netlist = make_mastrovito_multiplier(field);
+  CircuitIdeal ideal = circuit_ideal(netlist, &field);
+  const TermOrder order = make_rato_order(netlist, ideal);
+
+  obs::set_metrics_enabled(true);
+  obs::Metrics::instance().reset_all();
+  const obs::MetricsSnapshot before = obs::Metrics::instance().snapshot();
+
+  const BuchbergerResult br = buchberger(ideal.all_generators(), order);
+
+  ASSERT_TRUE(br.completed);
+  // The §5 claim: all but one critical pair pruned, one S-poly reduction.
+  EXPECT_EQ(br.reductions, 1u) << "k=" << k;
+
+  const obs::MetricsSnapshot d = obs::Metrics::instance().delta(before);
+  EXPECT_EQ(d.at("buchberger.pairs_reduced"), 1u);
+  EXPECT_EQ(d.at("buchberger.pairs_generated"),
+            d.at("buchberger.pairs_skipped") + 1);
+  // Counters must agree with the result struct's own bookkeeping.
+  EXPECT_EQ(d.at("buchberger.pairs_reduced"), br.reductions);
+  EXPECT_EQ(d.at("buchberger.pairs_skipped"), br.pairs_skipped);
+}
+
+TEST_P(BuchbergerRatoPairs, WithoutTheCriterionEveryPairIsReduced) {
+  // Control: switching the product criterion off forces a reduction per
+  // generated pair — the pruning, not luck, is what makes RATO cheap.
+  const unsigned k = GetParam();
+  const Gf2k field = Gf2k::make(k);
+  const Netlist netlist = make_mastrovito_multiplier(field);
+  CircuitIdeal ideal = circuit_ideal(netlist, &field);
+  const TermOrder order = make_rato_order(netlist, ideal);
+
+  obs::set_metrics_enabled(true);
+  obs::Metrics::instance().reset_all();
+  const obs::MetricsSnapshot before = obs::Metrics::instance().snapshot();
+
+  BuchbergerOptions options;
+  options.use_product_criterion = false;
+  const BuchbergerResult br =
+      buchberger(ideal.all_generators(), order, options);
+
+  ASSERT_TRUE(br.completed);
+  EXPECT_EQ(br.pairs_skipped, 0u);
+  EXPECT_GT(br.reductions, 1u);
+
+  const obs::MetricsSnapshot d = obs::Metrics::instance().delta(before);
+  EXPECT_EQ(d.at("buchberger.pairs_skipped"), 0u);
+  EXPECT_EQ(d.at("buchberger.pairs_reduced"), d.at("buchberger.pairs_generated"));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallMultipliers, BuchbergerRatoPairs,
+                         ::testing::Values(2u, 3u));
+
+}  // namespace
+}  // namespace gfa

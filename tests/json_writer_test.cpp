@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <limits>
+#include <locale>
 #include <sstream>
 
 #include "util/json_writer.h"
@@ -123,6 +124,48 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
   w.value(std::nan(""));
   w.end_array();
   EXPECT_EQ(out.str(), "[null,null]");
+}
+
+// A numpunct facet mimicking a German-style locale: ',' decimal point, '.'
+// thousands separator, groups of three. Built directly instead of by name
+// ("de_DE.UTF-8") so the test runs on containers with no locales installed.
+struct GermanNumpunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(JsonWriterLocale, ImbuedStreamCannotCorruptNumbers) {
+  // Regression: the report/bench streams may carry a user locale; "1,5" and
+  // "1.234.567" are invalid JSON. The writer must pin the classic locale.
+  std::ostringstream out;
+  out.imbue(std::locale(std::locale::classic(), new GermanNumpunct));
+  JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::int64_t{1234567});
+  w.value(std::uint64_t{9876543});
+  w.end_array();
+  EXPECT_EQ(out.str(), "[1.5,1234567,9876543]");
+}
+
+TEST(JsonWriterLocale, GlobalLocaleCannotCorruptNumbers) {
+  // Same guarantee when the *global* locale is hostile: fresh streams inherit
+  // it at construction, before JsonWriter gets a chance to see them.
+  const std::locale saved = std::locale::global(
+      std::locale(std::locale::classic(), new GermanNumpunct));
+  std::string text;
+  {
+    std::ostringstream out;  // inherits the hostile global locale
+    JsonWriter w(out, 0);
+    w.begin_object();
+    w.member("wall_ms", 1234.5);
+    w.member("terms", std::uint64_t{1000000});
+    w.end_object();
+    text = out.str();
+  }
+  std::locale::global(saved);
+  EXPECT_EQ(text, R"({"wall_ms":1234.5,"terms":1000000})");
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Units for the observability layer (src/obs): the metrics registry's
+// thread-safety under concurrent parallel_for increments, snapshot/delta
+// semantics, the Chrome-trace tracer, and log-level parsing.
+//
+// The thread-safety tests run under the sanitizer CI job, so a data race in
+// Metric::add / record_max would trip ASan/TSan-style diagnostics as well as
+// the exact-sum assertions here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/parallel_for.h"
+
+namespace gfa::obs {
+namespace {
+
+// Every test toggles the global enable flags; restore them so test order
+// never matters (gtest may shuffle, and other suites assume "disabled").
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics_was_ = metrics_enabled();
+    trace_was_ = trace_enabled();
+  }
+  void TearDown() override {
+    set_metrics_enabled(metrics_was_);
+    set_trace_enabled(trace_was_);
+    Metrics::instance().reset_all();
+    Tracer::instance().clear();
+  }
+
+ private:
+  bool metrics_was_ = false;
+  bool trace_was_ = false;
+};
+
+TEST_F(ObsTest, CountersDisabledByDefaultCostNothingAndRecordNothing) {
+  set_metrics_enabled(false);
+  Metrics::instance().reset_all();
+  const auto before = Metrics::instance().snapshot();
+  GFA_COUNT("normal_form.calls", 7);
+  GFA_GAUGE_MAX("normal_form.peak_terms", 1234);
+  EXPECT_EQ(Metrics::instance().snapshot(), before);
+}
+
+TEST_F(ObsTest, CounterAddAndGaugeMaxSemantics) {
+  set_metrics_enabled(true);
+  Metrics::instance().reset_all();
+  Metric& c = Metrics::instance().counter("test.counter");
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+
+  Metric& g = Metrics::instance().gauge("test.gauge");
+  g.record_max(10);
+  g.record_max(5);   // lower: ignored
+  g.record_max(25);  // higher: wins
+  EXPECT_EQ(g.value(), 25u);
+}
+
+TEST_F(ObsTest, KnownMetricSchemaIsPreRegistered) {
+  // The run-report contract promises the Buchberger pair counters appear
+  // even for engines that never run Buchberger; that only works if the
+  // schema is pre-registered rather than created on first touch.
+  const auto snap = Metrics::instance().snapshot();
+  for (const char* name :
+       {"reduction_steps", "buchberger.pairs_generated",
+        "buchberger.pairs_skipped", "buchberger.pairs_reduced",
+        "extract.substitutions", "sat.conflicts", "bdd.cache_hits",
+        "fraig.merges", "parallel.items"}) {
+    EXPECT_TRUE(snap.count(name)) << "missing pre-registered metric " << name;
+  }
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsFromParallelForSumExactly) {
+  set_metrics_enabled(true);
+  Metrics::instance().reset_all();
+  constexpr std::size_t kItems = 100000;
+  // Each iteration adds its index to a counter and records it as a gauge
+  // candidate; with relaxed atomics the total must still be exact and the
+  // max must be the largest index.
+  parallel_for(kItems, [](std::size_t i) {
+    GFA_COUNT("test.race.counter", i);
+    GFA_GAUGE_MAX("test.race.gauge", i);
+  });
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2;
+  EXPECT_EQ(Metrics::instance().counter("test.race.counter").value(), expected);
+  EXPECT_EQ(Metrics::instance().gauge("test.race.gauge").value(), kItems - 1);
+}
+
+TEST_F(ObsTest, DeltaSubtractsCountersAndReportsGauges) {
+  set_metrics_enabled(true);
+  Metrics::instance().reset_all();
+  Metrics::instance().counter("test.delta.c").add(10);
+  Metrics::instance().gauge("test.delta.g").record_max(50);
+  const auto base = Metrics::instance().snapshot();
+  Metrics::instance().counter("test.delta.c").add(5);
+  Metrics::instance().gauge("test.delta.g").record_max(80);
+  const auto d = Metrics::instance().delta(base);
+  EXPECT_EQ(d.at("test.delta.c"), 5u);   // counter: increment since base
+  EXPECT_EQ(d.at("test.delta.g"), 80u);  // gauge: current peak
+}
+
+TEST_F(ObsTest, TraceSpanRecordsOnlyWhenEnabled) {
+  Tracer::instance().clear();
+  set_trace_enabled(false);
+  { const TraceSpan s("invisible", "test"); }
+  set_trace_enabled(true);
+  { const TraceSpan s("visible", "test"); }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "visible");
+  EXPECT_EQ(events[0].category, "test");
+}
+
+TEST_F(ObsTest, ChromeTraceOutputIsWellFormed) {
+  Tracer::instance().clear();
+  set_trace_enabled(true);
+  {
+    const TraceSpan outer("outer", "test");
+    const TraceSpan inner("inner", "test");
+  }
+  std::ostringstream out;
+  Tracer::instance().write_chrome_trace(out);
+  const std::string json = out.str();
+  // Chrome's about:tracing format essentials.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(ObsTest, AggregateSumsPerPhaseName) {
+  Tracer::instance().clear();
+  set_trace_enabled(true);
+  { const TraceSpan s("phase_a", "test"); }
+  { const TraceSpan s("phase_a", "test"); }
+  { const TraceSpan s("phase_b", "test"); }
+  const auto totals = Tracer::instance().aggregate();
+  ASSERT_TRUE(totals.count("phase_a"));
+  ASSERT_TRUE(totals.count("phase_b"));
+  EXPECT_EQ(totals.at("phase_a").count, 2u);
+  EXPECT_EQ(totals.at("phase_b").count, 1u);
+}
+
+TEST(ObsLog, ParseLogLevelAcceptsTheFourLevels) {
+  EXPECT_EQ(*parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(*parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(*parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(*parse_log_level("debug"), LogLevel::kDebug);
+}
+
+TEST(ObsLog, ParseLogLevelRejectsGarbage) {
+  EXPECT_FALSE(parse_log_level("").ok());
+  EXPECT_FALSE(parse_log_level("verbose").ok());
+  EXPECT_FALSE(parse_log_level("DEBUG").ok());  // levels are lowercase
+  EXPECT_FALSE(parse_log_level("2").ok());
+}
+
+TEST(ObsLog, LevelGatingIsMonotonic) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace gfa::obs

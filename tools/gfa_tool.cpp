@@ -11,6 +11,14 @@
 //   gfa_tool sat <spec> <impl> <k> [N]     legacy CDCL miter check
 //   gfa_tool stats <file>                  netlist statistics
 //
+// Observability (any command; see DESIGN.md "Observability"):
+//   --metrics            enable the metrics registry; nonzero values print
+//                        after the command and embed into --report JSON
+//   --trace=<file>       record phase spans, write Chrome trace-event JSON
+//   --log-level=<level>  error|warn|info|debug (overrides GFA_LOG)
+//
+// Flags accept both --name=value and --name value.
+//
 // Circuit files may be the native netlist format (.net, see
 // src/circuit/parser.h) or the structural Verilog subset (.v).
 //
@@ -39,6 +47,9 @@
 #include "circuit/verilog.h"
 #include "engine/registry.h"
 #include "engine/report.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parse_number.h"
 
 namespace {
@@ -61,6 +72,7 @@ bool has_suffix(const std::string& s, const char* suffix) {
 }
 
 Result<Netlist> load(const std::string& path) {
+  const gfa::obs::TraceSpan span("parse", "io");
   return has_suffix(path, ".v") ? try_read_verilog_file(path)
                                 : try_read_netlist_file(path);
 }
@@ -72,30 +84,25 @@ void save(const Netlist& nl, const std::string& path) {
     write_netlist_file(nl, path);
 }
 
-/// `--engine=x` / `--timeout=1.5` / `--report=out.json` / `--engines=a,b`.
-/// Positional arguments land in `positional` in order.
+/// `--engine=x` / `--timeout=1.5` / `--report=out.json` / `--engines=a,b` /
+/// `--trace=t.json` / `--log-level=info` / boolean `--metrics`. Value flags
+/// also accept the space-separated form (`--engine abstraction`). Positional
+/// arguments land in `positional` in order.
 struct Flags {
   std::vector<std::string> positional;
   std::string engine = "abstraction";
   std::string engines;  // compare: comma-separated subset, empty = all
   double timeout_seconds = 0;  // 0 = unbounded
   std::string report;
+  std::string trace;    // Chrome trace-event output file, empty = off
+  bool metrics = false;
+  std::string log_level;  // empty = GFA_LOG / default
 };
 
 Result<Flags> parse_flags(int argc, char** argv) {
   Flags flags;
-  for (int i = 0; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      flags.positional.emplace_back(arg);
-      continue;
-    }
-    const std::size_t eq = arg.find('=');
-    if (eq == std::string_view::npos)
-      return Status::invalid_argument("flag '" + std::string(arg) +
-                                      "' expects --name=value");
-    const std::string_view name = arg.substr(0, eq);
-    const std::string_view value = arg.substr(eq + 1);
+  const auto assign = [&](std::string_view name,
+                          std::string_view value) -> Status {
     if (name == "--engine") {
       flags.engine = value;
     } else if (name == "--engines") {
@@ -106,12 +113,75 @@ Result<Flags> parse_flags(int argc, char** argv) {
       flags.timeout_seconds = *t;
     } else if (name == "--report") {
       flags.report = value;
+    } else if (name == "--trace") {
+      flags.trace = value;
+    } else if (name == "--log-level") {
+      Result<obs::LogLevel> level = obs::parse_log_level(value);
+      if (!level.ok()) return level.status();
+      flags.log_level = value;
     } else {
       return Status::invalid_argument("unknown flag '" + std::string(name) +
                                       "'");
     }
+    return Status();
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--metrics") {
+      flags.metrics = true;
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    Status s;
+    if (eq != std::string_view::npos) {
+      s = assign(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc) {
+      s = assign(arg, argv[++i]);
+    } else {
+      s = Status::invalid_argument("flag '" + std::string(arg) +
+                                   "' expects a value");
+    }
+    if (!s.ok()) return s;
   }
   return flags;
+}
+
+/// Applies the observability flags to the process-wide switches.
+void apply_observability_flags(const Flags& flags) {
+  if (flags.metrics) obs::set_metrics_enabled(true);
+  if (!flags.trace.empty()) obs::set_trace_enabled(true);
+  if (!flags.log_level.empty())
+    obs::set_log_level(*obs::parse_log_level(flags.log_level));
+  else
+    obs::log_level();  // resolve GFA_LOG now: a malformed value must exit 2
+                       // at startup, not whenever the first message fires
+}
+
+/// With --trace, writes the accumulated spans as Chrome trace-event JSON.
+void maybe_write_trace(const Flags& flags) {
+  if (flags.trace.empty()) return;
+  std::ofstream out(flags.trace);
+  if (!out) {
+    GFA_LOG_WARN("gfa_tool",
+                 "cannot write trace file '" << flags.trace << "'");
+    return;
+  }
+  obs::Tracer::instance().write_chrome_trace(out);
+}
+
+/// With --metrics, prints every nonzero metric after the command's output.
+void maybe_print_metrics(const Flags& flags) {
+  if (!flags.metrics) return;
+  std::printf("-- metrics --\n");
+  for (const auto& [name, value] : obs::Metrics::instance().snapshot()) {
+    if (value == 0) continue;
+    std::printf("%-32s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
 }
 
 engine::RunOptions run_options_from(const Flags& flags) {
@@ -128,8 +198,8 @@ void maybe_write_report(const Flags& flags, const std::string& tool, unsigned k,
   if (flags.report.empty()) return;
   std::ofstream out(flags.report);
   if (!out) {
-    std::fprintf(stderr, "warning: cannot write report file '%s'\n",
-                 flags.report.c_str());
+    GFA_LOG_WARN("gfa_tool",
+                 "cannot write report file '" << flags.report << "'");
     return;
   }
   engine::write_run_report(out, tool, k, runs);
@@ -203,7 +273,7 @@ int cmd_verify(const Flags& flags) {
   maybe_write_report(flags, "verify", *k, {run});
   if (!run.status.ok()) return fail(run.status);
   for (const auto& [key, value] : run.stats)
-    std::printf("  %s = %.0f\n", key.c_str(), value);
+    std::printf("  %s = %g\n", key.c_str(), value);
   switch (run.verdict) {
     case engine::Verdict::kEquivalent:
       std::printf("EQUIVALENT [engine %s, %.2f ms]\n", run.engine.c_str(),
@@ -364,7 +434,12 @@ void usage() {
       " [--timeout=<s>] [--report=<file>]\n"
       "  gfa_tool engines\n"
       "  gfa_tool sat <spec> <impl> <k> [conflict-limit]\n"
-      "  gfa_tool stats <file>\n");
+      "  gfa_tool stats <file>\n"
+      "observability flags (any command):\n"
+      "  --metrics              collect + print engine metrics\n"
+      "  --trace=<file>         write Chrome trace-event JSON\n"
+      "  --log-level=<level>    error|warn|info|debug (default: GFA_LOG or"
+      " warn)\n");
 }
 
 }  // namespace
@@ -377,6 +452,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Result<Flags> flags = parse_flags(argc - 2, argv + 2);
   if (!flags.ok()) return fail(flags.status());
+  apply_observability_flags(*flags);
   try {
     int rc = kUsage;
     if (cmd == "gen") rc = cmd_gen(*flags);
@@ -387,9 +463,12 @@ int main(int argc, char** argv) {
     else if (cmd == "sat") rc = cmd_sat(*flags);
     else if (cmd == "stats") rc = cmd_stats(*flags);
     if (rc == kUsage) usage();
+    maybe_print_metrics(*flags);
+    maybe_write_trace(*flags);
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    maybe_write_trace(*flags);
     return 2;
   }
 }
