@@ -45,7 +45,8 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
                                     : field.alpha_pow(std::uint64_t{j});
   };
 
-  BackwardRewriter rw(field, std::move(substitutable), options.max_terms);
+  BackwardRewriter rw(field, std::move(substitutable), options.max_terms,
+                      options.control);
   ExtractionStats stats;
   try {
     std::vector<NetId> rato;

@@ -12,6 +12,7 @@
 
 #include "abstraction/bitpoly.h"
 #include "circuit/netlist.h"
+#include "util/exec_control.h"
 
 namespace gfa {
 
@@ -23,15 +24,20 @@ class BackwardRewriter {
  public:
   /// `substitutable[v]` marks variables that may later be substituted (gate
   /// outputs); only those are indexed. `max_terms` = 0 disables the budget.
+  /// A control carrying a ResourceBudget additionally bounds the term map
+  /// and occurrence index in bytes (site rewriter.terms).
   BackwardRewriter(const Gf2k& field, std::vector<bool> substitutable,
-                   std::size_t max_terms = 0)
+                   std::size_t max_terms = 0,
+                   const ExecControl* control = nullptr)
       : field_(field),
         substitutable_(std::move(substitutable)),
         occurs_(substitutable_.size()),
-        max_terms_(max_terms) {}
+        max_terms_(max_terms),
+        lease_(budget_of(control), BudgetSite::kRewriterTerms) {}
 
   void add(BitMono mono, const Gf2k::Elem& coeff) {
     if (coeff.is_zero()) return;
+    GFA_FAULT_POINT("oom:rewriter.add");
     // try_emplace leaves `mono` intact when the key already exists.
     auto [it, inserted] = terms_.try_emplace(std::move(mono), coeff);
     if (!inserted) {
@@ -40,10 +46,17 @@ class BackwardRewriter {
       return;  // already indexed
     }
     for (VarId v : it->first) {
-      if (substitutable_[v]) occurs_[v].push_back(it->first);
+      if (substitutable_[v]) {
+        occurs_[v].push_back(it->first);
+        occ_bytes_ += occ_entry_bytes(it->first);
+      }
     }
     if (max_terms_ && terms_.size() > max_terms_)
       throw RewriteBudgetExceeded("rewriting term budget exceeded");
+    // Byte accounting is synced every 64 mutations — often enough to stop a
+    // blow-up, rare enough to keep the atomics out of the inner loop.
+    if (lease_.active() && (++budget_ops_ & 63u) == 0)
+      lease_.set_bytes(terms_.size() * kRewriterTermBytes + occ_bytes_);
   }
 
   void add(const BitPoly& p) {
@@ -55,6 +68,10 @@ class BackwardRewriter {
   void substitute(VarId v, const BitPoly& tail) {
     std::vector<BitMono> pending = std::move(occurs_[v]);
     occurs_[v].clear();
+    for (const BitMono& dead : pending) {
+      const std::size_t b = occ_entry_bytes(dead);
+      occ_bytes_ = occ_bytes_ > b ? occ_bytes_ - b : 0;
+    }
     for (BitMono& mono : pending) {
       auto it = terms_.find(mono);
       if (it == terms_.end()) continue;  // cancelled since registration
@@ -77,11 +94,20 @@ class BackwardRewriter {
   const BitPoly::TermMap& terms() const { return terms_; }
 
  private:
+  /// Heap footprint of one occurrence-index entry (vector slot + the copied
+  /// monomial's buffer).
+  static std::size_t occ_entry_bytes(const BitMono& m) {
+    return 32 + sizeof(VarId) * m.size();
+  }
+
   const Gf2k& field_;
   std::vector<bool> substitutable_;
   BitPoly::TermMap terms_;
   std::vector<std::vector<BitMono>> occurs_;
   std::size_t max_terms_;
+  std::size_t occ_bytes_ = 0;    // current occurrence-index footprint
+  std::size_t budget_ops_ = 0;   // mutation counter for the sync cadence
+  BudgetLease lease_;            // releases everything on destruction
 };
 
 /// The tail polynomial of a gate over net-id variables (multilinear form of

@@ -19,6 +19,11 @@ Manager::Manager(std::size_t node_limit) : node_limit_(node_limit) {
   nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true terminal
 }
 
+Manager::~Manager() {
+  if (ResourceBudget* b = budget_of(control_))
+    b->release(BudgetSite::kBddNodes, charged_bytes_);
+}
+
 NodeRef Manager::make(unsigned var, NodeRef lo, NodeRef hi) {
   if ((++allocations_ & 255u) == 0) throw_if_stopped(control_);
   if (lo == hi) return lo;  // reduction rule
@@ -26,6 +31,11 @@ NodeRef Manager::make(unsigned var, NodeRef lo, NodeRef hi) {
   if (auto it = unique_.find(key); it != unique_.end()) return it->second;
   if (node_limit_ && nodes_.size() >= node_limit_)
     throw BddBudgetExceeded("BDD node budget exceeded");
+  GFA_FAULT_POINT("oom:bdd.make");
+  if (ResourceBudget* b = budget_of(control_)) {
+    b->charge(BudgetSite::kBddNodes, kBddNodeBytes);
+    charged_bytes_ += kBddNodeBytes;
+  }
   const NodeRef ref = static_cast<NodeRef>(nodes_.size());
   nodes_.push_back({var, lo, hi});
   unique_.emplace(key, ref);
@@ -62,6 +72,10 @@ NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
   const NodeRef hi =
       ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
   const NodeRef result = make(v, lo, hi);
+  if (ResourceBudget* b = budget_of(control_)) {
+    b->charge(BudgetSite::kBddNodes, kBddCacheEntryBytes);
+    charged_bytes_ += kBddCacheEntryBytes;
+  }
   computed_.emplace(key, result);
   return result;
 }

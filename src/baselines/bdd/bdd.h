@@ -31,6 +31,11 @@ class Manager {
   /// memory-explosion stand-in).
   explicit Manager(std::size_t node_limit = 0);
 
+  /// Returns any bytes charged against the control's ResourceBudget.
+  ~Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
   /// Installs a deadline/cancellation source polled every few hundred node
   /// allocations; expiry unwinds via StatusError. Pass nullptr to detach.
   /// The Manager does not own `control`; it must outlive all operations.
@@ -98,6 +103,7 @@ class Manager {
   std::size_t node_limit_;
   const ExecControl* control_ = nullptr;
   std::size_t allocations_ = 0;  // make() calls, for periodic control polls
+  std::size_t charged_bytes_ = 0;  // owed back to the budget on destruction
   std::size_t cache_lookups_ = 0;
   std::size_t cache_hits_ = 0;
 };

@@ -53,7 +53,8 @@ IdealMembershipResult verify_by_ideal_membership(
     substitutable[n] = circuit.gate(n).type != GateType::kInput;
 
   IdealMembershipResult res;
-  BackwardRewriter rw(field, std::move(substitutable), options.max_terms);
+  BackwardRewriter rw(field, std::move(substitutable), options.max_terms,
+                      options.control);
 
   // Miter polynomial f : Z + G(A, B, …), bit-blasted on both sides.
   for (std::size_t j = 0; j < out_word->bits.size(); ++j)

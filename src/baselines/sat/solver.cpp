@@ -305,6 +305,30 @@ Result Solver::solve(std::uint64_t conflict_limit, const ExecControl* control) {
     }
   } flush{this, before};
 
+  // Charge the clause arena (problem clauses up front, learned clauses as
+  // they arrive) against the run's memory budget; everything charged is
+  // released when solve() unwinds, however it unwinds.
+  struct BudgetGuard {
+    ResourceBudget* budget;
+    std::size_t held = 0;
+    void add(std::size_t bytes) {
+      if (budget == nullptr) return;
+      budget->charge(BudgetSite::kSatClauses, bytes);
+      held += bytes;
+    }
+    ~BudgetGuard() {
+      if (budget != nullptr) budget->release(BudgetSite::kSatClauses, held);
+    }
+  } budget_guard{budget_of(control)};
+  const auto clause_bytes = [](const std::vector<L>& lits) {
+    return kSatClauseOverheadBytes + lits.size() * kSatLiteralBytes;
+  };
+  if (budget_guard.budget != nullptr) {
+    std::size_t arena = 0;
+    for (const Clause& c : clauses_) arena += clause_bytes(c.lits);
+    budget_guard.add(arena);
+  }
+
   if (unsat_) return Result::kUnsat;
   std::uint64_t restart_threshold = 100;
   std::uint64_t conflicts_since_restart = 0;
@@ -325,6 +349,8 @@ Result Solver::solve(std::uint64_t conflict_limit, const ExecControl* control) {
         if (value_is_false(learned[0])) return Result::kUnsat;
         if (is_unassigned(learned[0])) enqueue(learned[0], -1);
       } else {
+        GFA_FAULT_POINT("oom:sat.learn");
+        budget_guard.add(clause_bytes(learned));
         const std::uint32_t ci = static_cast<std::uint32_t>(clauses_.size());
         clauses_.push_back(Clause{learned, true});
         attach(ci);

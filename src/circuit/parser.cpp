@@ -1,7 +1,6 @@
 #include "circuit/parser.h"
 
 #include <fstream>
-#include <functional>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -97,31 +96,50 @@ Netlist parse_netlist(std::string_view text) {
     }
   }
 
-  // Emit nets in dependency order (gate lines may be out of order).
+  // Emit nets in dependency order (gate lines may be out of order). An
+  // explicit work stack rather than recursion: a pathological but legal
+  // input — say a 100k-deep buf chain — must not overflow the call stack
+  // (found by tools/fuzz_parser).
   Netlist netlist(module_name);
   std::unordered_map<std::string, NetId> emitted;
-  std::unordered_map<std::string, int> visiting;  // 1 = on stack
-  std::function<NetId(const std::string&)> emit = [&](const std::string& name) {
-    if (auto it = emitted.find(name); it != emitted.end()) return it->second;
+  std::unordered_map<std::string, char> visiting;  // 1 = on the DFS stack
+  struct Frame {
+    const std::string* name;
+    const GateDecl* decl;
+    std::size_t next_fanin = 0;
+  };
+  std::vector<Frame> stack;
+  auto open = [&](const std::string& name) {
+    if (emitted.count(name)) return;
     auto dit = decls.find(name);
     if (dit == decls.end())
       throw ParseError(0, "net '" + name + "' used but never defined");
     if (visiting[name])
-      throw ParseError(dit->second.line, "combinational cycle through '" + name + "'");
+      throw ParseError(dit->second.line,
+                       "combinational cycle through '" + name + "'");
     visiting[name] = 1;
-    std::vector<NetId> fanins;
-    fanins.reserve(dit->second.fanins.size());
-    for (const std::string& f : dit->second.fanins) fanins.push_back(emit(f));
-    visiting[name] = 0;
-    NetId id;
-    if (dit->second.type == GateType::kInput)
-      id = netlist.add_input(name);
-    else
-      id = netlist.add_gate(dit->second.type, fanins, name);
-    emitted.emplace(name, id);
-    return id;
+    stack.push_back({&dit->first, &dit->second});
   };
-  for (const std::string& name : decl_order) emit(name);
+  for (const std::string& root : decl_order) {
+    open(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_fanin < f.decl->fanins.size()) {
+        open(f.decl->fanins[f.next_fanin++]);
+        continue;
+      }
+      std::vector<NetId> fanins;
+      fanins.reserve(f.decl->fanins.size());
+      for (const std::string& fn : f.decl->fanins)
+        fanins.push_back(emitted.at(fn));
+      const NetId id = f.decl->type == GateType::kInput
+                           ? netlist.add_input(*f.name)
+                           : netlist.add_gate(f.decl->type, fanins, *f.name);
+      emitted.emplace(*f.name, id);
+      visiting[*f.name] = 0;
+      stack.pop_back();
+    }
+  }
 
   for (const auto& [name, line] : output_names) {
     const NetId n = netlist.find_net(name);

@@ -87,6 +87,13 @@ class Lexer {
 
 enum class PortDir { kNone, kInput, kOutput };
 
+/// Caps fed by tools/fuzz_parser: a hostile "[2000000000:0]" range must not
+/// expand into gigabytes of bit names, a "~~~~…x" or "((((…x" expression
+/// must not overflow the call stack, and a 20-digit literal must be a parse
+/// error rather than an uncaught std::out_of_range.
+constexpr int kMaxVectorWidth = 1 << 20;
+constexpr int kMaxExprDepth = 256;
+
 struct Signal {
   PortDir dir = PortDir::kNone;
   int width = 0;  // 0 = scalar, else vector [width-1:0]
@@ -145,7 +152,17 @@ class Parser {
     advance();
   }
   int expect_number() {
-    return std::stoi(expect(Token::Kind::kNumber).text);
+    const Token t = expect(Token::Kind::kNumber);
+    // Manual bounded parse: std::stoi would throw std::out_of_range on a
+    // 20-digit literal, surfacing as kInternal instead of a parse error.
+    long v = 0;
+    for (char c : t.text) {
+      v = v * 10 + (c - '0');
+      if (v > kMaxVectorWidth)
+        throw VerilogError(t.line, "number '" + t.text + "' out of range (max " +
+                                       std::to_string(kMaxVectorWidth) + ")");
+    }
+    return static_cast<int>(v);
   }
 
   // -- declarations --
@@ -159,6 +176,11 @@ class Parser {
     expect_symbol("]");
     if (lo != 0 || hi < 0)
       throw VerilogError(cur_.line, "only [N:0] ranges are supported");
+    if (hi >= kMaxVectorWidth)
+      throw VerilogError(cur_.line,
+                         "vector width " + std::to_string(hi + 1) +
+                             " exceeds the supported maximum (" +
+                             std::to_string(kMaxVectorWidth) + ")");
     return hi + 1;
   }
 
@@ -301,11 +323,24 @@ class Parser {
     return name;
   }
 
+  /// Bounds the recursive-descent depth of parse_expr/parse_unary so hostile
+  /// nesting fails as a VerilogError, not a stack overflow.
+  struct DepthGuard {
+    int& depth;
+    DepthGuard(int& d, std::size_t line) : depth(d) {
+      if (++depth > kMaxExprDepth)
+        throw VerilogError(line, "expression nested deeper than " +
+                                     std::to_string(kMaxExprDepth) + " levels");
+    }
+    ~DepthGuard() { --depth; }
+  };
+
   // expr := xor_expr ( '|' xor_expr )*
   // xor_expr := and_expr ( '^' and_expr )*
   // and_expr := unary ( '&' unary )*
   // unary := '~' unary | '(' expr ')' | bit_ref
   std::string parse_expr() {
+    const DepthGuard guard(expr_depth_, cur_.line);
     std::string lhs = parse_xor();
     while (at_symbol("|")) {
       advance();
@@ -330,6 +365,7 @@ class Parser {
     return lhs;
   }
   std::string parse_unary() {
+    const DepthGuard guard(expr_depth_, cur_.line);
     if (at_symbol("~")) {
       advance();
       return emit_node(GateType::kNot, {parse_unary()}, cur_.line);
@@ -399,24 +435,44 @@ class Parser {
       }
     }
 
-    // Emit gates in dependency order (out-of-order bodies are legal).
-    std::unordered_map<std::string, int> visiting;
-    std::function<NetId(const std::string&)> emit = [&](const std::string& name) {
-      const NetId existing = netlist.find_net(name);
-      if (existing != kNoNet) return existing;
+    // Emit gates in dependency order (out-of-order bodies are legal), with
+    // an explicit work stack: a deep assign chain must not overflow the call
+    // stack (found by tools/fuzz_parser).
+    std::unordered_map<std::string, char> visiting;  // 1 = on the DFS stack
+    struct Frame {
+      const std::string* name;
+      const GateDecl* decl;
+      std::size_t next_fanin = 0;
+    };
+    std::vector<Frame> stack;
+    auto open = [&](const std::string& name) {
+      if (netlist.find_net(name) != kNoNet) return;
       auto it = gates_.find(name);
       if (it == gates_.end())
         throw VerilogError(0, "net '" + name + "' is never driven");
       if (visiting[name])
-        throw VerilogError(it->second.line, "combinational cycle through '" + name + "'");
+        throw VerilogError(it->second.line,
+                           "combinational cycle through '" + name + "'");
       visiting[name] = 1;
-      std::vector<NetId> fanins;
-      fanins.reserve(it->second.fanins.size());
-      for (const std::string& f : it->second.fanins) fanins.push_back(emit(f));
-      visiting[name] = 0;
-      return netlist.add_gate(it->second.type, fanins, name);
+      stack.push_back({&it->first, &it->second});
     };
-    for (const std::string& name : gate_order_) emit(name);
+    for (const std::string& root : gate_order_) {
+      open(root);
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next_fanin < f.decl->fanins.size()) {
+          open(f.decl->fanins[f.next_fanin++]);
+          continue;
+        }
+        std::vector<NetId> fanins;
+        fanins.reserve(f.decl->fanins.size());
+        for (const std::string& fn : f.decl->fanins)
+          fanins.push_back(netlist.find_net(fn));
+        netlist.add_gate(f.decl->type, fanins, *f.name);
+        visiting[*f.name] = 0;
+        stack.pop_back();
+      }
+    }
 
     // Outputs (and any remaining undriven output is an error).
     for (const auto& [name, sig] : ordered) {
@@ -447,6 +503,7 @@ class Parser {
   std::vector<std::string> gate_order_;
   std::size_t next_order_ = 0;
   int temp_counter_ = 0;
+  int expr_depth_ = 0;
 };
 
 // --------------------------------------------------------------- writer ----

@@ -5,7 +5,7 @@
 // paper's canonical abstraction, and the SAT / fraig / BDD / full-GB /
 // ideal-membership baselines it is measured against — implements EquivEngine,
 // so the CLI, the benches, and the cross-engine tests drive them through one
-// name-keyed registry (see registry.h) instead of six ad-hoc call sites.
+// name-keyed registry (see registry.h) instead of ad-hoc call sites.
 //
 // Error-reporting contract:
 //  - verify() returns a non-OK Status for *failures*: malformed instances
@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "circuit/netlist.h"
 #include "gf/gf2k.h"
@@ -54,6 +55,40 @@ struct RunOptions {
   /// Per-polynomial term cap for the full-gb engine (0 = unlimited); running
   /// dry is Ok(kUnknown) — Buchberger ends gracefully rather than unwinding.
   std::size_t gb_max_poly_terms = 0;
+  /// Byte cap on the counted allocation hot spots (0 = unbounded). When set
+  /// and control.budget is null, run_engine() installs a fresh
+  /// ResourceBudget for the run; the portfolio engine instead gives every
+  /// attempt its own budget of this size. Tripping it is kResourceExhausted.
+  std::size_t memory_budget_bytes = 0;
+  /// Per-attempt wall-clock cap for the portfolio engine, seconds (0 = only
+  /// the overall control.deadline applies). An attempt that times out is a
+  /// local failure — the portfolio moves on; the overall deadline still
+  /// bounds the whole run.
+  double attempt_timeout_seconds = 0.0;
+  /// Ordered engine names the portfolio engine tries (empty = the default
+  /// abstraction → ideal-membership → sat escalation).
+  std::vector<std::string> portfolio_engines;
+  /// Portfolio mode: false = try engines in order, falling through on
+  /// failure/unknown; true = race them via parallel_for, first definitive
+  /// verdict (lowest index on ties) wins and cancels the rest.
+  bool portfolio_race = false;
+};
+
+/// One portfolio attempt, embedded in VerifyResult/EngineRun and serialized
+/// into the JSON report's "attempts" array so a caller can see which engine
+/// produced the verdict and why the others were skipped or failed.
+struct AttemptRecord {
+  std::string engine;
+  /// OK when the attempt produced a verdict; otherwise why it failed.
+  Status status;
+  Verdict verdict = Verdict::kUnknown;  // meaningful only when status.ok()
+  std::string detail;
+  double wall_ms = 0.0;
+  /// Peak bytes charged against the attempt's ResourceBudget (0 = none).
+  std::size_t budget_peak_bytes = 0;
+  /// True when the attempt never ran (an earlier attempt was definitive, or
+  /// the overall control fired first); `detail` says why.
+  bool skipped = false;
 };
 
 struct VerifyResult {
@@ -65,6 +100,8 @@ struct VerifyResult {
   /// Engine-specific counters (substitutions, conflicts, nodes, …), flat for
   /// direct serialization into run reports.
   std::map<std::string, double> stats;
+  /// Per-attempt history; only the portfolio engine fills this in.
+  std::vector<AttemptRecord> attempts;
 };
 
 class EquivEngine {
@@ -83,6 +120,11 @@ class EquivEngine {
   virtual Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
                                       const Gf2k& field,
                                       const RunOptions& options) const = 0;
+
+  /// True for engines (the portfolio) that install their own per-attempt
+  /// ResourceBudgets; run_engine() then leaves RunOptions::memory_budget_bytes
+  /// to the engine instead of wrapping the whole run in one budget.
+  virtual bool manages_budget() const { return false; }
 };
 
 }  // namespace gfa::engine

@@ -1,4 +1,5 @@
-// The six built-in EquivEngine adapters. Each wraps one of the repository's
+// The six concrete built-in EquivEngine adapters (the portfolio meta-engine
+// lives in portfolio.cpp). Each wraps one of the repository's
 // verification methods behind the uniform verify() contract (see engine.h for
 // the Status-vs-Unknown semantics) and threads RunOptions::control into the
 // method's deep loops.
@@ -17,6 +18,7 @@
 #include "baselines/ideal_membership.h"
 #include "baselines/miter.h"
 #include "baselines/sat/solver.h"
+#include "engine/portfolio.h"
 #include "engine/registry.h"
 
 namespace gfa::engine {
@@ -313,6 +315,7 @@ void register_builtin_engines(EngineRegistry& registry) {
   registry.add(std::make_unique<BddEngine>());
   registry.add(std::make_unique<FullGbEngine>());
   registry.add(std::make_unique<IdealMembershipEngine>());
+  registry.add(make_portfolio_engine());
 }
 
 }  // namespace gfa::engine

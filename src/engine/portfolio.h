@@ -1,0 +1,14 @@
+#pragma once
+// Factory for the portfolio meta-engine (see portfolio.cpp for the policy
+// semantics). Registered alongside the six concrete engines by
+// register_builtin_engines().
+
+#include <memory>
+
+#include "engine/engine.h"
+
+namespace gfa::engine {
+
+std::unique_ptr<EquivEngine> make_portfolio_engine();
+
+}  // namespace gfa::engine

@@ -1,7 +1,7 @@
 #pragma once
 // Name-keyed registry of every built-in verification engine.
 //
-// The global() registry is constructed once, on first use, with the six
+// The global() registry is constructed once, on first use, with the seven
 // built-ins: abstraction (the paper's flow), sat, fraig, bdd, full-gb, and
 // ideal-membership. Front ends resolve `--engine=<name>` through require();
 // tests and benches iterate engines() to run the whole fleet.
@@ -41,7 +41,8 @@ class EngineRegistry {
   std::vector<std::unique_ptr<EquivEngine>> engines_;
 };
 
-/// Installs the six built-in engines into `registry` (called by global();
+/// Installs the built-in engines — six concrete methods plus the portfolio
+/// meta-engine — into `registry` (called by global();
 /// exposed for tests that want a private registry).
 void register_builtin_engines(EngineRegistry& registry);
 

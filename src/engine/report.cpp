@@ -1,6 +1,7 @@
 #include "engine/report.h"
 
 #include <chrono>
+#include <optional>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -11,9 +12,23 @@ namespace gfa::engine {
 
 EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
                      const Netlist& impl, const Gf2k& field,
-                     const RunOptions& options) {
+                     const RunOptions& original_options) {
   EngineRun run;
   run.engine = engine.name();
+  // Install a fresh ResourceBudget for this run when one was requested and
+  // nothing upstream (a portfolio attempt, a caller-owned budget) provides
+  // it. `options` aliases either the original or the budgeted copy.
+  RunOptions budgeted;
+  std::optional<ResourceBudget> local_budget;
+  const bool wrap = original_options.memory_budget_bytes != 0 &&
+                    original_options.control.budget == nullptr &&
+                    !engine.manages_budget();
+  if (wrap) {
+    budgeted = original_options;
+    local_budget.emplace(original_options.memory_budget_bytes);
+    budgeted.control.budget = &*local_budget;
+  }
+  const RunOptions& options = wrap ? budgeted : original_options;
   GFA_LOG_INFO("engine", "running " << run.engine << " (k=" << field.k()
                                     << ", spec " << spec.num_logic_gates()
                                     << " gates, impl "
@@ -36,10 +51,15 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
   run.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   if (measured) run.metrics = obs::Metrics::instance().delta(before);
+  if (const ResourceBudget* b = options.control.budget) {
+    run.budget_limit_bytes = b->limit_bytes();
+    run.budget_peak_bytes = b->peak_bytes();
+  }
   if (r.ok()) {
     run.verdict = r->verdict;
     run.detail = std::move(r->detail);
     run.stats = std::move(r->stats);
+    run.attempts = std::move(r->attempts);
   } else {
     run.status = r.status();
     run.detail = r.status().message();
@@ -76,6 +96,33 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
       w.begin_object();
       for (const auto& [key, value] : run.metrics) w.member(key, value);
       w.end_object();
+    }
+    if (run.budget_limit_bytes != 0 || run.budget_peak_bytes != 0) {
+      w.member("budget_limit_bytes",
+               static_cast<std::uint64_t>(run.budget_limit_bytes));
+      w.member("budget_peak_bytes",
+               static_cast<std::uint64_t>(run.budget_peak_bytes));
+    }
+    if (!run.attempts.empty()) {
+      w.key("attempts");
+      w.begin_array();
+      for (const AttemptRecord& a : run.attempts) {
+        w.begin_object();
+        w.member("engine", a.engine);
+        if (a.skipped) {
+          w.member("skipped", true);
+        } else {
+          w.member("status", status_code_name(a.status.code()));
+          if (a.status.ok()) w.member("verdict", verdict_name(a.verdict));
+          w.member("wall_ms", a.wall_ms);
+          if (a.budget_peak_bytes != 0)
+            w.member("budget_peak_bytes",
+                     static_cast<std::uint64_t>(a.budget_peak_bytes));
+        }
+        w.member("detail", a.detail);
+        w.end_object();
+      }
+      w.end_array();
     }
     w.end_object();
   }

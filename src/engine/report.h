@@ -31,10 +31,20 @@ struct EngineRun {
   /// counters are this run's increments, max-gauges the process peak so far.
   /// Empty unless metrics were enabled while the engine ran.
   std::map<std::string, std::uint64_t> metrics;
+  /// Memory accounting when a ResourceBudget governed the run (both 0 when
+  /// none did): the configured cap and the peak bytes charged against it —
+  /// recorded on success *and* on a kResourceExhausted unwind.
+  std::size_t budget_limit_bytes = 0;
+  std::size_t budget_peak_bytes = 0;
+  /// Portfolio attempt history (empty for ordinary engines).
+  std::vector<AttemptRecord> attempts;
 };
 
 /// Runs `engine` on the instance, timing the call. Never throws: failures are
-/// reported through EngineRun::status.
+/// reported through EngineRun::status. When options.memory_budget_bytes is
+/// set and no budget is installed yet (and the engine does not manage its
+/// own), the run executes under a fresh ResourceBudget whose peak lands in
+/// the record.
 EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
                      const Netlist& impl, const Gf2k& field,
                      const RunOptions& options);

@@ -18,14 +18,19 @@ BuchbergerResult buchberger(std::vector<MPoly> generators, const TermOrder& orde
     if (!g.is_zero()) res.basis.push_back(std::move(g));
   }
   std::deque<std::pair<std::size_t, std::size_t>> pairs;
+  // The O(n²)-and-growing pair queue is unguided Buchberger's first blow-up;
+  // charge its size against the run's memory budget at every checkpoint.
+  BudgetLease pair_lease(budget_of(options.control), BudgetSite::kPairQueue);
   for (std::size_t i = 0; i < res.basis.size(); ++i) {
     throw_if_stopped(options.control);  // pair enumeration is O(n²) itself
     for (std::size_t j = i + 1; j < res.basis.size(); ++j) pairs.emplace_back(i, j);
+    pair_lease.set_bytes(pairs.size() * kPairEntryBytes);
   }
   GFA_COUNT("buchberger.pairs_generated", pairs.size());
 
   while (!pairs.empty()) {
     throw_if_stopped(options.control);
+    pair_lease.set_bytes(pairs.size() * kPairEntryBytes);
     auto [i, j] = pairs.front();
     pairs.pop_front();
     const MPoly& f = res.basis[i];

@@ -226,8 +226,16 @@ MPoly normal_form(const MPoly& f, const std::vector<MPoly>& basis,
   const bool measured = obs::metrics_enabled();
   std::size_t peak_terms = work.size();
   std::size_t steps = 0;
+  // Memory accounting rides the existing checkpoint cadence: the working
+  // map is the structure that explodes on non-RATO orders, so its size —
+  // times a per-node estimate — is what the budget bounds.
+  BudgetLease lease(budget_of(control), BudgetSite::kMpolyTerms);
+  lease.set_bytes(work.size() * kMPolyTermBytes);
   while (!work.empty()) {
-    if ((++steps & 63u) == 0) throw_if_stopped(control);
+    if ((++steps & 63u) == 0) {
+      throw_if_stopped(control);
+      lease.set_bytes(work.size() * kMPolyTermBytes);
+    }
     if (measured) peak_terms = std::max(peak_terms, work.size());
     const auto head = work.begin();
     const Monomial mono = head->first;

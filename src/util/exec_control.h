@@ -17,6 +17,8 @@
 #include <chrono>
 #include <memory>
 
+#include "util/fault_inject.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace gfa {
@@ -62,6 +64,10 @@ class CancelToken {
 struct ExecControl {
   Deadline deadline;
   CancelToken cancel;
+  /// Optional memory budget (not owned; must outlive the run). Charge sites
+  /// reach it via budget_of(control), so a nullptr here — the default —
+  /// costs nothing.
+  ResourceBudget* budget = nullptr;
 
   /// kCancelled wins over kDeadlineExceeded (an explicit user action beats a
   /// timer); OK while neither has fired.
@@ -74,10 +80,17 @@ struct ExecControl {
   bool should_stop() const { return cancel.cancelled() || deadline.expired(); }
 };
 
+inline ResourceBudget* budget_of(const ExecControl* control) {
+  return control == nullptr ? nullptr : control->budget;
+}
+
 /// Checkpoint: no-op on nullptr or while running; throws StatusError carrying
-/// kCancelled / kDeadlineExceeded once the control fires.
+/// kCancelled / kDeadlineExceeded once the control fires. Doubles as the
+/// "cancel:checkpoint" fault-injection point, so sweeps can prove every
+/// polling loop unwinds cleanly from a checkpoint-timed cancellation.
 inline void throw_if_stopped(const ExecControl* control) {
   if (control == nullptr) return;
+  GFA_FAULT_POINT("cancel:checkpoint");
   Status s = control->check();
   if (!s.ok()) throw StatusError(std::move(s));
 }

@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic fault injection for robustness tests.
+//
+// Production code marks its fallible hot spots with GFA_FAULT_POINT("site");
+// a test (or the GFA_INJECT=site:n environment variable) arms exactly one
+// site to fire on its Nth hit, after which the site throws the failure the
+// real world would produce there — std::bad_alloc for "oom:*" sites,
+// StatusError(kResourceExhausted) for "budget:*" sites, and
+// StatusError(kCancelled) for "cancel:checkpoint". Every registered site is
+// swept by tests/fault_inject_test.cpp to prove each engine unwinds to a
+// clean Status from OOM/cancel at every counted allocation point.
+//
+// The framework is compiled in when GFA_FAULT_INJECTION is defined (the
+// default for dev/ASan builds; Release CI turns it off): GFA_FAULT_POINT then
+// costs one relaxed atomic load when nothing is armed. When compiled out the
+// macro expands to nothing and arm() reports kUnsupported, so release
+// binaries carry zero overhead and cannot be sabotaged via the environment.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gfa::fault {
+
+/// True when the framework was compiled in (GFA_FAULT_INJECTION defined).
+bool compiled_in();
+
+/// True while some site is armed and has not yet fired. Cheap (one relaxed
+/// atomic load); the macro uses it as the fast-path gate.
+bool enabled();
+
+/// Hot-path hook: fires the armed fault if `site` matches and this is the
+/// Nth hit since arming. No-op (after the `enabled()` gate) otherwise.
+/// `site` must be one of registered_sites().
+void point(const char* site);
+
+/// Arms `site` to fire on its `n`th hit (n >= 1). Replaces any previous
+/// arming and resets the hit counter. Errors: kInvalidArgument for an
+/// unregistered site or n == 0, kUnsupported when compiled out.
+Status arm(std::string_view site, std::uint64_t n);
+
+/// Arms from a "site:n" spec (the GFA_INJECT / --inject syntax); a bare
+/// "site" means "site:1".
+Status arm_spec(std::string_view spec);
+
+/// Disarms any armed site. Safe to call when nothing is armed.
+void disarm();
+
+/// True once the armed fault has actually fired (sticky until re-arm/disarm).
+bool fired();
+
+/// Number of times the armed site has been hit since arming (fired or not).
+std::uint64_t hits();
+
+/// All registered site names, for sweeps and `--inject help` listings.
+const std::vector<std::string_view>& registered_sites();
+
+#if defined(GFA_FAULT_INJECTION)
+#define GFA_FAULT_POINT(site)                         \
+  do {                                                \
+    if (::gfa::fault::enabled()) ::gfa::fault::point(site); \
+  } while (0)
+#else
+#define GFA_FAULT_POINT(site) \
+  do {                        \
+  } while (0)
+#endif
+
+}  // namespace gfa::fault

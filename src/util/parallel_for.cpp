@@ -50,7 +50,16 @@ struct Job {
   std::size_t chunk = 1;
   std::atomic<std::size_t> next{0};
   std::atomic<unsigned> active{0};  // workers currently inside the loop body
-  std::exception_ptr error;         // first failure; guarded by error_mutex
+  // Failure propagation is first-error-BY-INDEX, not by wall-clock, so a
+  // run that fails is reproducible across thread schedules (fault-injection
+  // sweeps depend on this). Chunks are claimed off the monotonic cursor, so
+  // every chunk below any claimed chunk was also claimed and runs to
+  // completion or to its own error even after the drain fires; the chunk
+  // holding the globally minimal failing index therefore always executes,
+  // and keeping the minimum makes the rethrown error schedule-independent.
+  std::exception_ptr error;          // failure at the lowest index so far
+  std::size_t error_index = 0;       // both guarded by error_mutex
+  std::size_t error_count = 0;
   std::mutex error_mutex;
 
   void work(bool is_worker) {
@@ -60,12 +69,17 @@ struct Job {
       if (begin >= n) break;
       ++chunks_done;
       const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      std::size_t i = begin;
       try {
         throw_if_stopped(control);  // deadline/cancel checkpoint per chunk
-        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+        for (; i < end; ++i) (*fn)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        ++error_count;
+        if (!error || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
         next.store(n, std::memory_order_relaxed);  // drain remaining chunks
       }
     }
@@ -108,7 +122,11 @@ class Pool {
       job_ = nullptr;
       done_cv_.wait(lock, [&] { return job.active.load() == 0; });
     }
-    if (job.error) std::rethrow_exception(job.error);
+    if (job.error) {
+      if (job.error_count > 1)
+        GFA_COUNT("parallel.suppressed_errors", job.error_count - 1);
+      std::rethrow_exception(job.error);
+    }
   }
 
   /// Serializes top-level loops; a second concurrent caller runs serially.

@@ -62,4 +62,25 @@ Result<double> parse_double(std::string_view text, double min, double max) {
   return v;
 }
 
+Result<std::uint64_t> parse_byte_size(std::string_view text) {
+  if (text.empty())
+    return Status::parse_error("expected a byte size, got empty string");
+  std::uint64_t scale = 1;
+  std::string_view digits = text;
+  switch (text.back()) {
+    case 'k': case 'K': scale = 1ull << 10; break;
+    case 'm': case 'M': scale = 1ull << 20; break;
+    case 'g': case 'G': scale = 1ull << 30; break;
+    case 't': case 'T': scale = 1ull << 40; break;
+    default: break;
+  }
+  if (scale != 1) digits.remove_suffix(1);
+  const Result<std::uint64_t> r = parse_u64(digits, 1, UINT64_MAX / scale);
+  if (!r.ok())
+    return Status::parse_error("bad byte size " + quoted(text) +
+                               " (want e.g. 1048576, 64K, 512M, 2G): " +
+                               r.status().message());
+  return *r * scale;
+}
+
 }  // namespace gfa

@@ -27,4 +27,9 @@ Result<unsigned> parse_unsigned(std::string_view text, unsigned min = 0,
 /// Parses a finite decimal double in [min, max] (e.g. "--timeout=0.001").
 Result<double> parse_double(std::string_view text, double min, double max);
 
+/// Parses a byte count with an optional binary-scale suffix: "1048576",
+/// "64K", "512M", "2G", "1T" (case-insensitive, powers of 1024). Rejects
+/// zero, overflow, and trailing garbage; for "--memory-budget=2G".
+Result<std::uint64_t> parse_byte_size(std::string_view text);
+
 }  // namespace gfa

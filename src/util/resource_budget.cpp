@@ -1,0 +1,106 @@
+#include "util/resource_budget.h"
+
+#include <cstdio>
+#include <string>
+
+#include "util/fault_inject.h"
+
+namespace gfa {
+
+namespace {
+
+/// Fault-injection site names for the Nth-charge injection points, indexed
+/// by BudgetSite. Must stay in sync with budget_site_name() and the
+/// registry in util/fault_inject.cpp.
+constexpr const char* kChargeFaultSites[kNumBudgetSites] = {
+    "budget:mpoly.terms", "budget:pair.queue", "budget:bdd.nodes",
+    "budget:sat.clauses", "budget:rewriter.terms",
+};
+
+/// Lock-free max update; relaxed is fine, peaks are advisory reporting.
+void raise_max(std::atomic<std::size_t>& slot, std::size_t value) {
+  std::size_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 10ull * 1024 * 1024)
+    std::snprintf(buf, sizeof(buf), "%zuM", bytes / (1024 * 1024));
+  else if (bytes >= 10ull * 1024)
+    std::snprintf(buf, sizeof(buf), "%zuK", bytes / 1024);
+  else
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  return buf;
+}
+
+}  // namespace
+
+const char* budget_site_name(BudgetSite site) {
+  switch (site) {
+    case BudgetSite::kMpolyTerms:
+      return "mpoly.terms";
+    case BudgetSite::kPairQueue:
+      return "pair.queue";
+    case BudgetSite::kBddNodes:
+      return "bdd.nodes";
+    case BudgetSite::kSatClauses:
+      return "sat.clauses";
+    case BudgetSite::kRewriterTerms:
+      return "rewriter.terms";
+  }
+  return "unknown";
+}
+
+void ResourceBudget::charge(BudgetSite site, std::size_t bytes) {
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  GFA_FAULT_POINT(kChargeFaultSites[index(site)]);
+  SiteState& s = sites_[index(site)];
+  const std::size_t site_now =
+      s.used.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const std::size_t now =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const bool over_total = limit_ != 0 && now > limit_;
+  const bool over_site = s.limit != 0 && site_now > s.limit;
+  if (over_total || over_site) {
+    // Roll the failed charge back so a caller that catches and continues
+    // (the portfolio engine) sees consistent accounting; peaks keep the
+    // attempted high-water mark as the most honest "what it wanted" figure.
+    raise_max(s.peak, site_now);
+    raise_max(peak_, now);
+    s.used.fetch_sub(bytes, std::memory_order_relaxed);
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    const char* name = budget_site_name(site);
+    if (over_total)
+      throw StatusError(Status::resource_exhausted(
+          "memory budget exhausted at " + std::string(name) + ": " +
+          format_bytes(now) + " needed > " + format_bytes(limit_) + " limit"));
+    throw StatusError(Status::resource_exhausted(
+        "per-site memory budget exhausted at " + std::string(name) + ": " +
+        format_bytes(site_now) + " needed > " + format_bytes(s.limit) +
+        " limit"));
+  }
+  raise_max(s.peak, site_now);
+  raise_max(peak_, now);
+}
+
+void ResourceBudget::release(BudgetSite site, std::size_t bytes) noexcept {
+  SiteState& s = sites_[index(site)];
+  // Clamp instead of underflowing: releases are matched to charges by the
+  // BudgetLease bookkeeping, but a stale estimate must not wrap the counter.
+  std::size_t cur = s.used.load(std::memory_order_relaxed);
+  std::size_t take;
+  do {
+    take = bytes < cur ? bytes : cur;
+  } while (!s.used.compare_exchange_weak(cur, cur - take,
+                                         std::memory_order_relaxed));
+  cur = used_.load(std::memory_order_relaxed);
+  do {
+    take = bytes < cur ? bytes : cur;
+  } while (!used_.compare_exchange_weak(cur, cur - take,
+                                        std::memory_order_relaxed));
+}
+
+}  // namespace gfa

@@ -63,6 +63,12 @@ class Status {
   static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  /// For callers that re-wrap an existing non-OK code with new context (the
+  /// portfolio engine's attempt summaries). `code` must not be kOk.
+  static Status with_code(StatusCode code, std::string message) {
+    assert(code != StatusCode::kOk && "with_code requires an error code");
+    return Status(code, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

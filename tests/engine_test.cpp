@@ -32,10 +32,11 @@ RunOptions budgeted_options(unsigned k) {
   return options;
 }
 
-TEST(EngineRegistry, GlobalHasTheSixBuiltinsInOrder) {
+TEST(EngineRegistry, GlobalHasTheSevenBuiltinsInOrder) {
   const std::vector<std::string> names = EngineRegistry::global().names();
   const std::vector<std::string> expected = {
-      "abstraction", "sat", "fraig", "bdd", "full-gb", "ideal-membership"};
+      "abstraction", "sat",     "fraig",           "bdd",
+      "full-gb",     "ideal-membership", "portfolio"};
   EXPECT_EQ(names, expected);
 }
 

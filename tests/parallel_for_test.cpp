@@ -65,5 +65,24 @@ TEST(ParallelFor, ThreadCountIsPositive) {
   EXPECT_GE(parallel_thread_count(), 1u);
 }
 
+// With several indices throwing, the exception that propagates must be the
+// one from the lowest index, independent of thread schedule: the later
+// errors (700+) are thrown from many chunks at once and will often be
+// *recorded* first in wall-clock time, but index 400's chunk was claimed
+// earlier off the monotonic cursor and must win the tie-break.
+TEST(ParallelFor, LowestIndexErrorWinsDeterministically) {
+  for (int round = 0; round < 25; ++round) {
+    try {
+      parallel_for(2000, [&](std::size_t i) {
+        if (i == 400) throw std::runtime_error("low");
+        if (i >= 700) throw std::runtime_error("high");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low") << "round " << round;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gfa

@@ -121,5 +121,25 @@ TEST(Parser, FileRoundTrip) {
   EXPECT_THROW(read_netlist_file("/nonexistent/xyz.net"), std::runtime_error);
 }
 
+// A deep dependency chain declared deepest-first: emitting the first declared
+// gate requires the whole chain, which must not overflow the call stack (the
+// emitter is an explicit work stack; found by tools/fuzz_parser).
+TEST(Parser, DeepReversedChainDoesNotOverflowTheStack) {
+  const int depth = 100000;
+  std::string text = "module deep\ninput a\n";
+  for (int d = depth - 1; d >= 1; --d)
+    text += "buf c" + std::to_string(d) + " c" + std::to_string(d - 1) + "\n";
+  text += "buf c0 a\n";
+  text += "output c" + std::to_string(depth - 1) + "\nendmodule\n";
+  const Netlist nl = parse_netlist(text);
+  EXPECT_EQ(nl.num_logic_gates(), static_cast<std::size_t>(depth));
+}
+
+TEST(Parser, CycleInReversedChainIsAParseErrorNotARunaway) {
+  EXPECT_THROW(parse_netlist("module m\ninput a\n"
+                             "buf x y\nbuf y x\noutput x\nendmodule\n"),
+               ParseError);
+}
+
 }  // namespace
 }  // namespace gfa

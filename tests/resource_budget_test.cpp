@@ -1,0 +1,189 @@
+// Tests for util/resource_budget.h: accounting, limits, rollback on trip,
+// lease RAII, byte-size flag parsing, and the end-to-end path where
+// run_engine() installs a budget from RunOptions::memory_budget_bytes and the
+// engine unwinds with kResourceExhausted plus a recorded peak.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "engine/registry.h"
+#include "engine/report.h"
+#include "util/exec_control.h"
+#include "util/parse_number.h"
+#include "util/resource_budget.h"
+
+namespace gfa {
+namespace {
+
+TEST(ResourceBudget, ChargesReleasesAndRetainsPeak) {
+  ResourceBudget budget(1000);
+  budget.charge(BudgetSite::kMpolyTerms, 400);
+  budget.charge(BudgetSite::kPairQueue, 200);
+  EXPECT_EQ(budget.used_bytes(), 600u);
+  EXPECT_EQ(budget.peak_bytes(), 600u);
+  EXPECT_EQ(budget.site_used_bytes(BudgetSite::kMpolyTerms), 400u);
+  budget.release(BudgetSite::kMpolyTerms, 400);
+  EXPECT_EQ(budget.used_bytes(), 200u);
+  EXPECT_EQ(budget.peak_bytes(), 600u);  // peak survives release
+  EXPECT_EQ(budget.site_peak_bytes(BudgetSite::kMpolyTerms), 400u);
+  EXPECT_EQ(budget.charge_calls(), 2u);
+}
+
+TEST(ResourceBudget, TrippingTheLimitThrowsAndRollsBack) {
+  ResourceBudget budget(100);
+  budget.charge(BudgetSite::kBddNodes, 80);
+  try {
+    budget.charge(BudgetSite::kBddNodes, 50);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(e.status.message().find("bdd.nodes"), std::string::npos);
+  }
+  // The failed charge must not stick...
+  EXPECT_EQ(budget.used_bytes(), 80u);
+  // ...but the attempted high-water mark is retained for the report.
+  EXPECT_GE(budget.peak_bytes(), 100u);
+  // The budget stays usable below the limit.
+  budget.charge(BudgetSite::kBddNodes, 10);
+  EXPECT_EQ(budget.used_bytes(), 90u);
+}
+
+TEST(ResourceBudget, PerSiteLimitTripsBeforeTheTotal) {
+  ResourceBudget budget(1 << 20);
+  budget.set_site_limit(BudgetSite::kSatClauses, 64);
+  budget.charge(BudgetSite::kRewriterTerms, 1000);  // other sites unaffected
+  EXPECT_THROW(budget.charge(BudgetSite::kSatClauses, 65), StatusError);
+  budget.charge(BudgetSite::kSatClauses, 64);  // exactly at the cap is fine
+}
+
+TEST(ResourceBudget, ZeroLimitAccountsButNeverTrips) {
+  ResourceBudget budget;  // limit 0 = measure only
+  budget.charge(BudgetSite::kMpolyTerms, std::size_t{1} << 40);
+  EXPECT_EQ(budget.peak_bytes(), std::size_t{1} << 40);
+}
+
+TEST(ResourceBudget, ReleaseClampsAtZero) {
+  ResourceBudget budget(100);
+  budget.charge(BudgetSite::kPairQueue, 10);
+  budget.release(BudgetSite::kPairQueue, 999);  // over-release must not wrap
+  EXPECT_EQ(budget.used_bytes(), 0u);
+}
+
+TEST(ResourceBudget, SiteNamesAreCanonical) {
+  EXPECT_STREQ(budget_site_name(BudgetSite::kMpolyTerms), "mpoly.terms");
+  EXPECT_STREQ(budget_site_name(BudgetSite::kPairQueue), "pair.queue");
+  EXPECT_STREQ(budget_site_name(BudgetSite::kBddNodes), "bdd.nodes");
+  EXPECT_STREQ(budget_site_name(BudgetSite::kSatClauses), "sat.clauses");
+  EXPECT_STREQ(budget_site_name(BudgetSite::kRewriterTerms), "rewriter.terms");
+}
+
+TEST(BudgetLease, NullBudgetIsANoOp) {
+  BudgetLease lease(nullptr, BudgetSite::kMpolyTerms);
+  EXPECT_FALSE(lease.active());
+  lease.set_bytes(1 << 20);  // all no-ops, nothing to trip
+  lease.add(5);
+  lease.sub(3);
+  EXPECT_EQ(lease.held_bytes(), 0u);
+}
+
+TEST(BudgetLease, TracksAContainerThatGrowsAndShrinks) {
+  ResourceBudget budget(1000);
+  {
+    BudgetLease lease(&budget, BudgetSite::kRewriterTerms);
+    lease.set_bytes(600);
+    EXPECT_EQ(budget.used_bytes(), 600u);
+    lease.set_bytes(200);  // shrink releases the delta
+    EXPECT_EQ(budget.used_bytes(), 200u);
+    lease.add(100);
+    lease.sub(50);
+    EXPECT_EQ(lease.held_bytes(), 250u);
+    EXPECT_EQ(budget.used_bytes(), 250u);
+  }
+  // Destruction releases whatever was still held.
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 600u);
+}
+
+TEST(BudgetLease, FailedChargeLeavesTheLeaseConsistent) {
+  ResourceBudget budget(100);
+  BudgetLease lease(&budget, BudgetSite::kMpolyTerms);
+  lease.set_bytes(90);
+  EXPECT_THROW(lease.set_bytes(200), StatusError);
+  EXPECT_EQ(lease.held_bytes(), 90u);  // unchanged: unwind releases 90
+  EXPECT_EQ(budget.used_bytes(), 90u);
+}
+
+TEST(ParseByteSize, AcceptsPlainAndSuffixedForms) {
+  EXPECT_EQ(*parse_byte_size("1048576"), 1048576u);
+  EXPECT_EQ(*parse_byte_size("64K"), 64u * 1024);
+  EXPECT_EQ(*parse_byte_size("64k"), 64u * 1024);
+  EXPECT_EQ(*parse_byte_size("512M"), 512ull << 20);
+  EXPECT_EQ(*parse_byte_size("2G"), 2ull << 30);
+  EXPECT_EQ(*parse_byte_size("1T"), 1ull << 40);
+}
+
+TEST(ParseByteSize, RejectsGarbageAndOverflow) {
+  EXPECT_FALSE(parse_byte_size("").ok());
+  EXPECT_FALSE(parse_byte_size("G").ok());
+  EXPECT_FALSE(parse_byte_size("12Q").ok());
+  EXPECT_FALSE(parse_byte_size("-5").ok());
+  EXPECT_FALSE(parse_byte_size("99999999999G").ok());  // would overflow u64
+}
+
+// ---------------------------------------------------------------------------
+// End to end through the engine layer.
+
+TEST(EngineMemoryBudget, StarvedRunIsResourceExhaustedWithPeakInTheReport) {
+  const Gf2k field = Gf2k::make(8);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  const Netlist impl = make_montgomery_multiplier_flat(field);
+  engine::RunOptions options;
+  options.memory_budget_bytes = 4 * 1024;  // nowhere near enough at k = 8
+  const engine::EngineRun run = engine::run_engine(
+      *engine::EngineRegistry::global().find("abstraction"), spec, impl, field,
+      options);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(run.budget_limit_bytes, 4u * 1024);
+  EXPECT_GT(run.budget_peak_bytes, 0u);
+
+  std::ostringstream out;
+  engine::write_run_report(out, "verify", 8, {run});
+  EXPECT_NE(out.str().find("budget_peak_bytes"), std::string::npos);
+}
+
+TEST(EngineMemoryBudget, AmpleBudgetSucceedsAndRecordsThePeak) {
+  const Gf2k field = Gf2k::make(8);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  const Netlist impl = make_montgomery_multiplier_flat(field);
+  engine::RunOptions options;
+  options.memory_budget_bytes = std::size_t{1} << 30;
+  const engine::EngineRun run = engine::run_engine(
+      *engine::EngineRegistry::global().find("abstraction"), spec, impl, field,
+      options);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  EXPECT_EQ(run.verdict, engine::Verdict::kEquivalent);
+  EXPECT_GT(run.budget_peak_bytes, 0u);
+  EXPECT_LT(run.budget_peak_bytes, std::size_t{1} << 30);
+}
+
+TEST(EngineMemoryBudget, CallerInstalledBudgetIsRespectedNotReplaced) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  const Netlist impl = make_montgomery_multiplier_flat(field);
+  ResourceBudget mine;  // measure-only
+  engine::RunOptions options;
+  options.control.budget = &mine;
+  options.memory_budget_bytes = 1;  // must NOT shadow the caller's budget
+  const engine::EngineRun run = engine::run_engine(
+      *engine::EngineRegistry::global().find("abstraction"), spec, impl, field,
+      options);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  EXPECT_GT(mine.peak_bytes(), 0u);  // charges landed in the caller's budget
+}
+
+}  // namespace
+}  // namespace gfa

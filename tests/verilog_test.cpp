@@ -151,5 +151,63 @@ TEST(Verilog, FileRoundTrip) {
   EXPECT_THROW(read_verilog_file("/nonexistent/x.v"), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Hardening found by tools/fuzz_parser: pathological-but-cheap inputs must
+// produce a line-numbered VerilogError (or parse fine), never a crash.
+
+TEST(Verilog, DeepReversedAssignChainDoesNotOverflowTheStack) {
+  const int depth = 50000;
+  std::string text = "module deep (input a, output z);\n";
+  text += "  wire";
+  for (int d = 0; d < depth; ++d)
+    text += (d ? ", c" : " c") + std::to_string(d);
+  text += ";\n";
+  // Deepest-first: emitting z pulls the entire chain through the emitter.
+  text += "  assign z = c" + std::to_string(depth - 1) + ";\n";
+  for (int d = depth - 1; d >= 1; --d)
+    text += "  assign c" + std::to_string(d) + " = ~c" +
+            std::to_string(d - 1) + ";\n";
+  text += "  assign c0 = ~a;\nendmodule\n";
+  const Netlist nl = parse_verilog(text);
+  EXPECT_GE(nl.num_logic_gates(), static_cast<std::size_t>(depth));
+}
+
+TEST(Verilog, HugeVectorWidthIsRejectedNotAllocated) {
+  const Result<Netlist> r = try_parse_verilog(
+      "module m (input a, output z);\n  wire [1048577:0] h;\n"
+      "  assign z = a;\nendmodule\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Verilog, OverflowingIndexLiteralIsAParseErrorNotUb) {
+  const Result<Netlist> r = try_parse_verilog(
+      "module m (input a, output z);\n"
+      "  wire [99999999999999999999:0] h;\n  assign z = a;\nendmodule\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Verilog, ModeratelyNestedParensParse) {
+  std::string expr(64, '(');
+  expr += "a";
+  expr.append(64, ')');
+  const Netlist nl = parse_verilog("module m (input a, output z);\n  assign z = " +
+                                   expr + ";\nendmodule\n");
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Verilog, RunawayExpressionNestingIsRejected) {
+  std::string expr(1000, '(');
+  expr += "a";
+  expr.append(1000, ')');
+  const Result<Netlist> r = try_parse_verilog(
+      "module m (input a, output z);\n  assign z = " + expr +
+      ";\nendmodule\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("nest"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gfa

@@ -4,7 +4,9 @@
 //       arch: mastrovito | montgomery | karatsuba | squarer | adder | mac
 //   gfa_tool extract <file> <k> [--timeout=<s>]
 //   gfa_tool verify <spec> <impl> <k> [--engine=<name>] [--timeout=<s>]
-//                   [--report=<file>]
+//                   [--report=<file>] [--memory-budget=<bytes|64K|512M|2G>]
+//                   [--attempt-timeout=<s>] [--portfolio-engines=<a,b,…>]
+//                   [--race]
 //   gfa_tool compare <spec> <impl> <k> [--engines=<a,b,…>] [--timeout=<s>]
 //                    [--report=<file>]
 //   gfa_tool engines                       list registered engines
@@ -16,6 +18,11 @@
 //                        after the command and embed into --report JSON
 //   --trace=<file>       record phase spans, write Chrome trace-event JSON
 //   --log-level=<level>  error|warn|info|debug (overrides GFA_LOG)
+//
+// Fault injection (test/debug builds only; see DESIGN.md "Robustness"):
+//   --inject=<site[:n]>  arm a deterministic fault at the named site's nth
+//                        hit (same syntax as GFA_INJECT); exits 69 when the
+//                        binary was built with -DGFA_FAULT_INJECTION=OFF
 //
 // Flags accept both --name=value and --name value.
 //
@@ -50,6 +57,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault_inject.h"
 #include "util/parse_number.h"
 
 namespace {
@@ -97,6 +105,11 @@ struct Flags {
   std::string trace;    // Chrome trace-event output file, empty = off
   bool metrics = false;
   std::string log_level;  // empty = GFA_LOG / default
+  std::uint64_t memory_budget_bytes = 0;  // 0 = unbounded
+  double attempt_timeout_seconds = 0;     // portfolio per-attempt cap
+  std::string portfolio_engines;  // comma-separated order, empty = default
+  bool race = false;              // portfolio: race instead of escalate
+  std::string inject;             // fault site spec, empty = off
 };
 
 Result<Flags> parse_flags(int argc, char** argv) {
@@ -119,6 +132,18 @@ Result<Flags> parse_flags(int argc, char** argv) {
       Result<obs::LogLevel> level = obs::parse_log_level(value);
       if (!level.ok()) return level.status();
       flags.log_level = value;
+    } else if (name == "--memory-budget") {
+      Result<std::uint64_t> bytes = parse_byte_size(value);
+      if (!bytes.ok()) return bytes.status();
+      flags.memory_budget_bytes = *bytes;
+    } else if (name == "--attempt-timeout") {
+      Result<double> t = parse_double(value, 0.0, 1e9);
+      if (!t.ok()) return t.status();
+      flags.attempt_timeout_seconds = *t;
+    } else if (name == "--portfolio-engines") {
+      flags.portfolio_engines = value;
+    } else if (name == "--inject") {
+      flags.inject = value;
     } else {
       return Status::invalid_argument("unknown flag '" + std::string(name) +
                                       "'");
@@ -133,6 +158,10 @@ Result<Flags> parse_flags(int argc, char** argv) {
     }
     if (arg == "--metrics") {
       flags.metrics = true;
+      continue;
+    }
+    if (arg == "--race") {
+      flags.race = true;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -188,7 +217,27 @@ engine::RunOptions run_options_from(const Flags& flags) {
   engine::RunOptions options;
   if (flags.timeout_seconds > 0)
     options.control.deadline = Deadline::after(flags.timeout_seconds);
+  options.memory_budget_bytes =
+      static_cast<std::size_t>(flags.memory_budget_bytes);
+  options.attempt_timeout_seconds = flags.attempt_timeout_seconds;
+  options.portfolio_race = flags.race;
+  std::string_view rest = flags.portfolio_engines;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view name = rest.substr(0, comma);
+    if (!name.empty()) options.portfolio_engines.emplace_back(name);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+  }
   return options;
+}
+
+/// Arms --inject (same spec syntax as GFA_INJECT). A binary compiled with
+/// -DGFA_FAULT_INJECTION=OFF reports kUnsupported — exit 69 — rather than
+/// silently running without the fault.
+Status apply_inject_flag(const Flags& flags) {
+  if (flags.inject.empty()) return Status();
+  return fault::arm_spec(flags.inject);
 }
 
 /// Writes the report file when --report was given; warns on I/O failure
@@ -430,6 +479,8 @@ void usage() {
       "  gfa_tool extract <file> <k> [--timeout=<s>]\n"
       "  gfa_tool verify <spec> <impl> <k> [--engine=<name>] [--timeout=<s>]"
       " [--report=<file>]\n"
+      "          [--memory-budget=<bytes|64K|512M|2G>] [--attempt-timeout=<s>]"
+      " [--portfolio-engines=<a,b,...>] [--race]\n"
       "  gfa_tool compare <spec> <impl> <k> [--engines=<a,b,...>]"
       " [--timeout=<s>] [--report=<file>]\n"
       "  gfa_tool engines\n"
@@ -439,7 +490,10 @@ void usage() {
       "  --metrics              collect + print engine metrics\n"
       "  --trace=<file>         write Chrome trace-event JSON\n"
       "  --log-level=<level>    error|warn|info|debug (default: GFA_LOG or"
-      " warn)\n");
+      " warn)\n"
+      "fault injection (requires a -DGFA_FAULT_INJECTION=ON build):\n"
+      "  --inject=<site[:n]>    arm a deterministic fault at the site's nth"
+      " hit\n");
 }
 
 }  // namespace
@@ -453,6 +507,7 @@ int main(int argc, char** argv) {
   const Result<Flags> flags = parse_flags(argc - 2, argv + 2);
   if (!flags.ok()) return fail(flags.status());
   apply_observability_flags(*flags);
+  if (const Status s = apply_inject_flag(*flags); !s.ok()) return fail(s);
   try {
     int rc = kUsage;
     if (cmd == "gen") rc = cmd_gen(*flags);
