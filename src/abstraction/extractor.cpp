@@ -9,13 +9,82 @@
 #include "abstraction/rato.h"
 #include "abstraction/rewriter.h"
 #include "abstraction/word_lift.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel_for.h"
+#include "worker/checkpoint.h"
 
 namespace gfa {
 
 namespace {
+
+/// Resolved checkpoint plumbing for one extract_for_word call: the file this
+/// (circuit, word) pair maps to, plus the saved state when resuming.
+struct CheckpointPlan {
+  bool active = false;
+  std::uint64_t interval = 0;
+  std::string path;
+  std::uint64_t circuit_hash = 0;
+  /// Non-empty terms + step > 0 when a valid matching checkpoint was loaded.
+  std::uint64_t resume_step = 0;
+  std::vector<std::pair<BitMono, Gf2Poly>> resume_terms;
+  bool resumed = false;
+};
+
+CheckpointPlan plan_checkpoint(const Netlist& netlist, unsigned k,
+                               const Word* out_word,
+                               const ExtractionOptions& options) {
+  CheckpointPlan plan;
+  const ExtractionCheckpoint* ck = options.checkpoint;
+  if (ck == nullptr || ck->directory.empty()) return plan;
+  plan.active = true;
+  plan.interval = ck->interval == 0 ? 1000 : ck->interval;
+  plan.circuit_hash = worker::netlist_content_hash(netlist);
+  plan.path =
+      worker::checkpoint_path(ck->directory, plan.circuit_hash, out_word->name);
+  if (!ck->resume) return plan;
+  Result<worker::ReductionCheckpoint> loaded =
+      worker::load_checkpoint(plan.path);
+  if (!loaded.ok()) {
+    GFA_LOG_WARN("extract", "cannot resume: " << loaded.status().message()
+                                              << "; starting fresh");
+    return plan;
+  }
+  if (loaded->k != k || loaded->circuit_hash != plan.circuit_hash ||
+      loaded->word != out_word->name) {
+    GFA_LOG_WARN("extract",
+                 "checkpoint '" << plan.path
+                                << "' was written for a different "
+                                   "circuit/field/word; starting fresh");
+    return plan;
+  }
+  plan.resume_step = loaded->step;
+  plan.resume_terms = std::move(loaded->terms);
+  plan.resumed = true;
+  GFA_LOG_INFO("extract", "resuming word '" << out_word->name << "' at step "
+                                            << plan.resume_step);
+  return plan;
+}
+
+/// Snapshots the rewriter's term map in a deterministic (sorted) order and
+/// writes it. Save failures are logged, not fatal — checkpointing is an
+/// optimization, never a correctness dependency.
+void save_progress(const CheckpointPlan& plan, const Word* out_word,
+                   unsigned k, std::uint64_t step,
+                   const BitPoly::TermMap& terms) {
+  worker::ReductionCheckpoint cp;
+  cp.k = k;
+  cp.circuit_hash = plan.circuit_hash;
+  cp.word = out_word->name;
+  cp.step = step;
+  cp.terms.reserve(terms.size());
+  for (const auto& [mono, coeff] : terms) cp.terms.emplace_back(mono, coeff);
+  std::sort(cp.terms.begin(), cp.terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (const Status s = worker::save_checkpoint(plan.path, cp); !s.ok())
+    GFA_LOG_WARN("extract", "checkpoint save failed: " << s.message());
+}
 
 WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
                               const Word* out_word,
@@ -48,6 +117,8 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   BackwardRewriter rw(field, std::move(substitutable), options.max_terms,
                       options.control);
   ExtractionStats stats;
+  CheckpointPlan ckpt = plan_checkpoint(netlist, k, out_word, options);
+  stats.resumed = ckpt.resumed;
   try {
     std::vector<NetId> rato;
     {
@@ -57,19 +128,41 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
       rato = rato_net_order(netlist);
     }
     const obs::TraceSpan chain_span("reduction_chain", "abstraction");
-    for (unsigned j = 0; j < k; ++j)
-      rw.add(BitMono{out_word->bits[j]}, basis_elem(j));
+    if (ckpt.resumed) {
+      // Seed the rewriter with the checkpointed intermediate polynomial; the
+      // occurrence index rebuilds itself through add(). The first
+      // resume_step substitutions of the (deterministic) RATO chain are
+      // already folded in and get skipped below.
+      for (auto& [mono, coeff] : ckpt.resume_terms)
+        rw.add(std::move(mono), coeff);
+      ckpt.resume_terms.clear();
+    } else {
+      for (unsigned j = 0; j < k; ++j)
+        rw.add(BitMono{out_word->bits[j]}, basis_elem(j));
+    }
     stats.peak_terms = rw.num_terms();
+    std::uint64_t to_skip = ckpt.resume_step;
+    std::uint64_t chain_step = ckpt.resume_step;  // position in the chain
     for (NetId n : rato) {
       if (is_input[n]) continue;
+      if (to_skip > 0) {
+        --to_skip;
+        continue;
+      }
       throw_if_stopped(options.control);
       rw.substitute(n, gate_tail_bitpoly(field, netlist.gate(n)));
       ++stats.substitutions;
+      ++chain_step;
       stats.peak_terms = std::max(stats.peak_terms, rw.num_terms());
+      if (ckpt.active && chain_step % ckpt.interval == 0)
+        save_progress(ckpt, out_word, k, chain_step, rw.terms());
     }
   } catch (const RewriteBudgetExceeded& e) {
     throw ExtractionBudgetExceeded(e.what());
   }
+  // The chain is done; a leftover checkpoint would only invite a pointless
+  // (if harmless) resume of a finished run.
+  if (ckpt.active) worker::remove_checkpoint(ckpt.path);
   GFA_COUNT("extract.words", 1);
   GFA_COUNT("extract.substitutions", stats.substitutions);
   GFA_COUNT("reduction_steps", stats.substitutions);

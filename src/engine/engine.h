@@ -37,6 +37,10 @@ enum class Verdict {
 /// Canonical lowercase spelling: "equivalent" / "not-equivalent" / "unknown".
 const char* verdict_name(Verdict v);
 
+/// Inverse of verdict_name(); unknown spellings are kInvalidArgument. Used by
+/// the worker protocol (src/worker/) to decode a verdict off the wire.
+Result<Verdict> verdict_from_name(std::string_view name);
+
 struct RunOptions {
   /// Deadline and cancellation, threaded into every engine's deep loops.
   ExecControl control;
@@ -72,6 +76,25 @@ struct RunOptions {
   /// failure/unknown; true = race them via parallel_for, first definitive
   /// verdict (lowest index on ties) wins and cancels the rest.
   bool portfolio_race = false;
+  /// Portfolio: run every attempt in a forked worker process (see
+  /// src/worker/harness.h), so one engine segfaulting or tripping an rlimit
+  /// becomes a fall-through instead of taking the portfolio down. Requires
+  /// the circuits to be reachable as files (worker_spec_path/worker_impl_path
+  /// below); incompatible with portfolio_race (forking from pool threads is
+  /// rejected as kInvalidArgument).
+  bool isolate_attempts = false;
+  /// Circuit files backing spec/impl for isolate_attempts: the worker child
+  /// re-reads them rather than inheriting in-memory netlists. Both must be
+  /// set when isolate_attempts is.
+  std::string worker_spec_path;
+  std::string worker_impl_path;
+  /// Checkpoint/resume for the abstraction engine's reduction chain (see
+  /// src/worker/checkpoint.h). Empty directory = no checkpointing.
+  std::string checkpoint_dir;
+  /// Save every N substitution steps (0 = the extractor's default cadence).
+  std::uint64_t checkpoint_interval = 0;
+  /// Resume from a matching checkpoint in checkpoint_dir when one exists.
+  bool checkpoint_resume = false;
 };
 
 /// One portfolio attempt, embedded in VerifyResult/EngineRun and serialized
@@ -102,6 +125,9 @@ struct VerifyResult {
   std::map<std::string, double> stats;
   /// Per-attempt history; only the portfolio engine fills this in.
   std::vector<AttemptRecord> attempts;
+  /// True when the run continued from a reduction-chain checkpoint instead
+  /// of starting fresh (abstraction engine with RunOptions::checkpoint_*).
+  bool resumed = false;
 };
 
 class EquivEngine {

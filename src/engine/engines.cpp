@@ -61,12 +61,21 @@ class AbstractionEngine final : public EquivEngine {
     ExtractionOptions eo;
     eo.max_terms = options.max_terms;
     eo.control = &options.control;
+    ExtractionCheckpoint ck;
+    if (!options.checkpoint_dir.empty()) {
+      ck.directory = options.checkpoint_dir;
+      if (options.checkpoint_interval != 0)
+        ck.interval = options.checkpoint_interval;
+      ck.resume = options.checkpoint_resume;
+      eo.checkpoint = &ck;
+    }
     Result<EquivalenceResult> r = try_check_equivalence(spec, impl, field, eo);
     if (!r.ok()) return r.status();
     VerifyResult out;
     out.verdict =
         r->equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
     out.detail = r->difference;
+    out.resumed = r->spec.stats.resumed || r->impl.stats.resumed;
     out.stats["spec_substitutions"] =
         static_cast<double>(r->spec.stats.substitutions);
     out.stats["impl_substitutions"] =

@@ -21,6 +21,7 @@
 //    definitive verdict by list position wins and cancels the rest.
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,6 +34,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/parallel_for.h"
+#include "worker/harness.h"
 
 namespace gfa::engine {
 
@@ -105,6 +107,16 @@ class PortfolioEngine final : public EquivEngine {
             "the portfolio cannot contain itself");
       engines.push_back(*e);
     }
+    if (options.isolate_attempts) {
+      if (options.portfolio_race)
+        return Status::invalid_argument(
+            "--race cannot be combined with isolated attempts (forking from "
+            "pool threads is not supported); drop one of the two");
+      if (options.worker_spec_path.empty() || options.worker_impl_path.empty())
+        return Status::invalid_argument(
+            "isolated portfolio attempts need the circuit file paths "
+            "(worker_spec_path / worker_impl_path)");
+    }
     GFA_COUNT("portfolio.runs", 1);
     return options.portfolio_race
                ? race(engines, names, spec, impl, field, options)
@@ -128,6 +140,36 @@ class PortfolioEngine final : public EquivEngine {
     return ao;
   }
 
+  /// Builds the worker request for one isolated attempt: the attempt's
+  /// engine plus the shared limits; the wall clock is the tighter of the
+  /// per-attempt timeout and what remains of the overall deadline.
+  static worker::WorkerRequest worker_request_of(const RunOptions& options,
+                                                 const std::string& engine,
+                                                 unsigned k) {
+    worker::WorkerRequest req;
+    req.spec_path = options.worker_spec_path;
+    req.impl_path = options.worker_impl_path;
+    req.k = k;
+    req.engine = engine;
+    double timeout = options.attempt_timeout_seconds;
+    if (!options.control.deadline.is_infinite()) {
+      const double left =
+          std::max(0.001, options.control.deadline.remaining_seconds());
+      timeout = timeout > 0 ? std::min(timeout, left) : left;
+    }
+    req.timeout_seconds = timeout;
+    req.sat_conflict_limit = options.sat_conflict_limit;
+    req.bdd_node_limit = options.bdd_node_limit;
+    req.max_terms = options.max_terms;
+    req.gb_max_reductions = options.gb_max_reductions;
+    req.gb_max_poly_terms = options.gb_max_poly_terms;
+    req.memory_budget_bytes = options.memory_budget_bytes;
+    req.checkpoint_dir = options.checkpoint_dir;
+    req.checkpoint_interval = options.checkpoint_interval;
+    req.checkpoint_resume = options.checkpoint_resume;
+    return req;
+  }
+
   Result<VerifyResult> escalate(const std::vector<const EquivEngine*>& engines,
                                 const std::vector<std::string>& names,
                                 const Netlist& spec, const Netlist& impl,
@@ -135,6 +177,7 @@ class PortfolioEngine final : public EquivEngine {
                                 const RunOptions& options) const {
     VerifyResult out;
     std::size_t ran = 0;
+    std::size_t leaked_bytes = 0;
     for (std::size_t i = 0; i < engines.size(); ++i) {
       if (options.control.should_stop()) {
         Status stop = options.control.check();
@@ -144,9 +187,29 @@ class PortfolioEngine final : public EquivEngine {
                                        std::to_string(ran) + " attempt(s) [" +
                                        summarize(out.attempts) + "]");
       }
-      const EngineRun run =
-          run_engine(*engines[i], spec, impl, field, attempt_options(options));
+      EngineRun run;
+      if (options.isolate_attempts) {
+        // A forked worker owns its whole address space; a crash (or rlimit
+        // trip) in one engine is an attempt-local kWorkerCrashed that falls
+        // through to the next, exactly like a mem-out does in-process.
+        run = worker::run_in_worker(worker_request_of(options, names[i],
+                                                      field.k()));
+      } else {
+        // The portfolio owns each attempt's budget (rather than letting
+        // run_engine wrap one) so it can verify the attempt released every
+        // lease — a leak here would silently starve later attempts if the
+        // budget were ever shared.
+        RunOptions ao = attempt_options(options);
+        std::optional<ResourceBudget> attempt_budget;
+        if (options.memory_budget_bytes != 0) {
+          attempt_budget.emplace(options.memory_budget_bytes);
+          ao.control.budget = &*attempt_budget;
+        }
+        run = run_engine(*engines[i], spec, impl, field, ao);
+        if (attempt_budget) leaked_bytes += attempt_budget->used_bytes();
+      }
       ++ran;
+      if (run.resumed) out.resumed = true;
       out.attempts.push_back(record_of(run));
       if (definitive(run)) {
         GFA_COUNT("portfolio.attempts", ran);
@@ -155,7 +218,7 @@ class PortfolioEngine final : public EquivEngine {
               names[j], names[i] + " already produced a verdict"));
         out.verdict = run.verdict;
         out.detail = names[i] + (run.detail.empty() ? "" : ": " + run.detail);
-        finish_stats(out, ran);
+        finish_stats(out, ran, leaked_bytes);
         return out;
       }
       // Ok(kUnknown) and attempt-local failures both fall through; a parent
@@ -169,7 +232,7 @@ class PortfolioEngine final : public EquivEngine {
                                              ? "trying next engine"
                                              : "no engines left"));
     }
-    return conclude_undecided(std::move(out), ran, options);
+    return conclude_undecided(std::move(out), ran, leaked_bytes, options);
   }
 
   Result<VerifyResult> race(const std::vector<const EquivEngine*>& engines,
@@ -186,6 +249,13 @@ class PortfolioEngine final : public EquivEngine {
     CancelToken race_cancel;
     if (options.control.cancel.cancelled()) race_cancel.request_cancel();
     std::vector<std::optional<EngineRun>> runs(engines.size());
+    // Loser hygiene: every attempt gets its own budget, created and checked
+    // on the attempt's thread. A cancelled loser unwinds through its
+    // BudgetLease destructors before run_engine returns, so by the time the
+    // winner is reported no loser may still hold leased bytes — any residue
+    // is surfaced in budget_leaked_bytes instead of silently vanishing with
+    // the budget object.
+    std::atomic<std::size_t> leaked{0};
     try {
       parallel_for(
           engines.size(),
@@ -194,7 +264,15 @@ class PortfolioEngine final : public EquivEngine {
               return;  // a winner (or the parent) already ended the race
             RunOptions ao = attempt_options(options);
             ao.control.cancel = race_cancel;
+            std::optional<ResourceBudget> attempt_budget;
+            if (options.memory_budget_bytes != 0) {
+              attempt_budget.emplace(options.memory_budget_bytes);
+              ao.control.budget = &*attempt_budget;
+            }
             runs[i] = run_engine(*engines[i], spec, impl, field, ao);
+            if (attempt_budget)
+              leaked.fetch_add(attempt_budget->used_bytes(),
+                               std::memory_order_relaxed);
             if (definitive(*runs[i])) race_cancel.request_cancel();
           },
           &options.control);
@@ -223,12 +301,14 @@ class PortfolioEngine final : public EquivEngine {
             skipped_record(names[i], "race decided before this engine ran"));
       }
     }
+    for (const std::optional<EngineRun>& r : runs)
+      if (r && r->resumed) out.resumed = true;
     if (winner < engines.size()) {
       const EngineRun& run = *runs[winner];
       out.verdict = run.verdict;
       out.detail =
           names[winner] + (run.detail.empty() ? "" : ": " + run.detail);
-      finish_stats(out, ran);
+      finish_stats(out, ran, leaked.load(std::memory_order_relaxed));
       return out;
     }
     if (options.control.should_stop()) {
@@ -236,7 +316,8 @@ class PortfolioEngine final : public EquivEngine {
       return Status::with_code(stop.code(), stop.message() + " during portfolio race [" +
                                      summarize(out.attempts) + "]");
     }
-    return conclude_undecided(std::move(out), ran, options);
+    return conclude_undecided(std::move(out), ran,
+                              leaked.load(std::memory_order_relaxed), options);
   }
 
   /// Shared no-winner ending: any Ok(kUnknown) attempt means the portfolio
@@ -244,6 +325,7 @@ class PortfolioEngine final : public EquivEngine {
   /// (most severe code wins so a mem-out is not masked by an unsupported).
   static Result<VerifyResult> conclude_undecided(VerifyResult out,
                                                  std::size_t ran,
+                                                 std::size_t leaked_bytes,
                                                  const RunOptions& options) {
     GFA_COUNT("portfolio.attempts", ran);
     GFA_COUNT("portfolio.undecided", 1);
@@ -255,7 +337,7 @@ class PortfolioEngine final : public EquivEngine {
     if (any_unknown) {
       out.verdict = Verdict::kUnknown;
       out.detail = "no engine was definitive [" + summarize(out.attempts) + "]";
-      finish_stats(out, ran);
+      finish_stats(out, ran, leaked_bytes);
       return out;
     }
     if (options.control.should_stop()) {
@@ -274,9 +356,15 @@ class PortfolioEngine final : public EquivEngine {
                             summarize(out.attempts) + "]");
   }
 
-  static void finish_stats(VerifyResult& out, std::size_t ran) {
+  /// `leaked_bytes` sums each finished attempt's ResourceBudget::used_bytes()
+  /// at retirement — bytes an attempt still held leased after its run ended.
+  /// Always emitted (0 when budgets were off) so tests can assert losers
+  /// released everything.
+  static void finish_stats(VerifyResult& out, std::size_t ran,
+                           std::size_t leaked_bytes) {
     out.stats["attempts_run"] = static_cast<double>(ran);
     out.stats["attempts_total"] = static_cast<double>(out.attempts.size());
+    out.stats["budget_leaked_bytes"] = static_cast<double>(leaked_bytes);
   }
 };
 

@@ -17,6 +17,15 @@ const char* verdict_name(Verdict v) {
   return "unknown";
 }
 
+Result<Verdict> verdict_from_name(std::string_view name) {
+  for (Verdict v :
+       {Verdict::kEquivalent, Verdict::kNotEquivalent, Verdict::kUnknown}) {
+    if (name == verdict_name(v)) return v;
+  }
+  return Status::invalid_argument("unknown verdict '" + std::string(name) +
+                                  "'");
+}
+
 const EngineRegistry& EngineRegistry::global() {
   static const EngineRegistry* instance = [] {
     auto* r = new EngineRegistry();

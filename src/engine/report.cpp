@@ -60,6 +60,7 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
     run.detail = std::move(r->detail);
     run.stats = std::move(r->stats);
     run.attempts = std::move(r->attempts);
+    run.resumed = r->resumed;
   } else {
     run.status = r.status();
     run.detail = r.status().message();
@@ -87,6 +88,7 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
     if (run.status.ok()) w.member("verdict", verdict_name(run.verdict));
     w.member("detail", run.detail);
     w.member("wall_ms", run.wall_ms);
+    if (run.resumed) w.member("resumed", true);
     w.key("stats");
     w.begin_object();
     for (const auto& [key, value] : run.stats) w.member(key, value);

@@ -36,8 +36,12 @@ struct EngineRun {
   /// recorded on success *and* on a kResourceExhausted unwind.
   std::size_t budget_limit_bytes = 0;
   std::size_t budget_peak_bytes = 0;
-  /// Portfolio attempt history (empty for ordinary engines).
+  /// Portfolio attempt history (empty for ordinary engines) — or, for
+  /// isolated runs under a retry policy, the per-fork attempt history.
   std::vector<AttemptRecord> attempts;
+  /// True when the run continued from a reduction-chain checkpoint; emitted
+  /// as "resumed": true in the JSON report.
+  bool resumed = false;
 };
 
 /// Runs `engine` on the instance, timing the call. Never throws: failures are

@@ -17,6 +17,8 @@ enum class Action {
   kBudgetExhausted,  // throw StatusError(kResourceExhausted)
   kBadAlloc,         // throw std::bad_alloc, as a real failed allocation would
   kCancel,           // throw StatusError(kCancelled)
+  kCaller,           // consumed via fault::consume(); the caller enacts the
+                     // failure (worker crash/hang, checkpoint corruption)
 };
 
 struct SiteInfo {
@@ -39,6 +41,9 @@ constexpr SiteInfo kSites[] = {
     {"oom:bdd.make", Action::kBadAlloc},
     {"oom:sat.learn", Action::kBadAlloc},
     {"cancel:checkpoint", Action::kCancel},
+    {"worker:crash", Action::kCaller},
+    {"worker:hang", Action::kCaller},
+    {"checkpoint:corrupt", Action::kCaller},
 };
 constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 
@@ -72,6 +77,11 @@ const SiteInfo* find_site(std::string_view name) {
     case Action::kCancel:
       throw StatusError(Status::cancelled(std::string("fault injection: ") +
                                           site.name + " fired"));
+    case Action::kCaller:
+      // Caller-enacted sites are queried via consume(), never via point().
+      throw StatusError(Status::internal(
+          std::string("fault site ") + site.name +
+          " is caller-enacted; production code must use fault::consume()"));
     case Action::kBudgetExhausted:
     default:
       throw StatusError(Status::resource_exhausted(
@@ -131,6 +141,22 @@ void point(const char* site) {
   // fetch_sub returning 1 means this hit is the Nth: exactly one thread
   // fires, later hits see a negative countdown and pass.
   if (s.countdown.fetch_sub(1, std::memory_order_relaxed) == 1) fire(*armed_site);
+}
+
+bool consume(const char* site) {
+  State& s = state();
+  if (!s.armed.load(std::memory_order_relaxed)) return false;
+  const SiteInfo* armed_site = s.site;
+  if (armed_site == nullptr || std::strcmp(site, armed_site->name) != 0)
+    return false;
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  if (s.countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    // Same one-shot semantics as fire(), minus the throw.
+    s.fired.store(true, std::memory_order_relaxed);
+    s.armed.store(false, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 Status arm(std::string_view site, std::uint64_t n) {

@@ -36,6 +36,15 @@ bool enabled();
 /// `site` must be one of registered_sites().
 void point(const char* site);
 
+/// Non-throwing variant for sites whose failure is *enacted by the caller*
+/// rather than thrown here: the worker supervisor ("worker:crash",
+/// "worker:hang" — the parent decides per attempt, so one-shot semantics
+/// survive retries across forked children) and the checkpoint writer
+/// ("checkpoint:corrupt"). Counts a hit against the armed site and returns
+/// true exactly when this hit is the Nth — the caller then produces the
+/// failure. Always false when compiled out or when another site is armed.
+bool consume(const char* site);
+
 /// Arms `site` to fire on its `n`th hit (n >= 1). Replaces any previous
 /// arming and resets the hit counter. Errors: kInvalidArgument for an
 /// unregistered site or n == 0, kUnsupported when compiled out.

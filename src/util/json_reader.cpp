@@ -1,0 +1,337 @@
+#include "util/json_reader.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace gfa {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  Status error(const std::string& what) const {
+    return Status::parse_error("JSON: " + what + " at offset " +
+                               std::to_string(pos));
+  }
+
+  Status parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (at_end()) return error("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (Status st = parse_string(s); !st.ok()) return st;
+        out = JsonValue::make_string(std::move(s));
+        return Status();
+      }
+      case 't':
+        if (text.substr(pos, 4) == "true") {
+          pos += 4;
+          out = JsonValue::make_bool(true);
+          return Status();
+        }
+        return error("bad literal");
+      case 'f':
+        if (text.substr(pos, 5) == "false") {
+          pos += 5;
+          out = JsonValue::make_bool(false);
+          return Status();
+        }
+        return error("bad literal");
+      case 'n':
+        if (text.substr(pos, 4) == "null") {
+          pos += 4;
+          out = JsonValue::make_null();
+          return Status();
+        }
+        return error("bad literal");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  Status parse_object(JsonValue& out, int depth) {
+    ++pos;  // '{'
+    out = JsonValue::make_object();
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      return Status();
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return error("expected object key");
+      std::string key;
+      if (Status st = parse_string(key); !st.ok()) return st;
+      skip_ws();
+      if (at_end() || peek() != ':') return error("expected ':'");
+      ++pos;
+      JsonValue value;
+      if (Status st = parse_value(value, depth + 1); !st.ok()) return st;
+      out.mutable_members().emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return error("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return Status();
+      }
+      return error("expected ',' or '}'");
+    }
+  }
+
+  Status parse_array(JsonValue& out, int depth) {
+    ++pos;  // '['
+    out = JsonValue::make_array();
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      return Status();
+    }
+    for (;;) {
+      JsonValue value;
+      if (Status st = parse_value(value, depth + 1); !st.ok()) return st;
+      out.mutable_items().push_back(std::move(value));
+      skip_ws();
+      if (at_end()) return error("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return Status();
+      }
+      return error("expected ',' or ']'");
+    }
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status parse_hex4(unsigned& out) {
+    if (pos + 4 > text.size()) return error("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + i];
+      unsigned d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+      else return error("bad \\u escape");
+      v = (v << 4) | d;
+    }
+    pos += 4;
+    out = v;
+    return Status();
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos;  // opening quote
+    out.clear();
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return Status();
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return error("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (at_end()) return error("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp;
+          if (Status st = parse_hex4(cp); !st.ok()) return st;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a following \uDC00-\uDFFF pair.
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u')
+              return error("lone high surrogate");
+            pos += 2;
+            unsigned lo;
+            if (Status st = parse_hex4(lo); !st.ok()) return st;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return error("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return error("bad escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  bool digit_at(std::size_t p) const {
+    return p < text.size() && text[p] >= '0' && text[p] <= '9';
+  }
+
+  Status parse_number(JsonValue& out) {
+    // Walk the strict JSON number grammar — -?(0|[1-9]\d*)(\.\d+)?([eE][+-]?\d+)?
+    // — so forms strtod tolerates ("01", "1.", "+1", "0x2") stay rejected.
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    if (!digit_at(pos)) return error("expected a value");
+    if (peek() == '0')
+      ++pos;  // a leading zero stands alone
+    else
+      while (digit_at(pos)) ++pos;
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (!digit_at(pos)) return error("expected digits after '.'");
+      while (digit_at(pos)) ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digit_at(pos)) return error("expected exponent digits");
+      while (digit_at(pos)) ++pos;
+    }
+    const std::string slice(text.substr(start, pos - start));
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size() || errno == ERANGE ||
+        !std::isfinite(v)) {
+      pos = start;
+      return error("bad number '" + slice + "'");
+    }
+    out = JsonValue::make_number(v);
+    return Status();
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::uint64_t JsonValue::u64_or(std::string_view key,
+                                std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  const double n = v->as_number();
+  if (n < 0 || n > 1.8e19) return fallback;
+  return static_cast<std::uint64_t>(n);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Result<JsonValue> parse_json(std::string_view text) {
+  Parser p{text};
+  JsonValue out;
+  if (Status st = p.parse_value(out, 0); !st.ok()) return st;
+  p.skip_ws();
+  if (!p.at_end()) return p.error("trailing data after the document");
+  return out;
+}
+
+}  // namespace gfa

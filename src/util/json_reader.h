@@ -1,0 +1,82 @@
+#pragma once
+// Minimal JSON parser: the read-side counterpart of util/json_writer.h.
+//
+// The worker-isolation layer (src/worker/) speaks length-prefixed JSON frames
+// over a pipe; the supervisor needs to parse the child's response (and the
+// child the parent's request) without any third-party dependency. This is a
+// strict recursive-descent parser over the JSON the JsonWriter emits —
+// objects, arrays, strings with escapes, finite numbers, booleans, null —
+// with a nesting-depth cap so hostile input cannot blow the stack.
+//
+// Numbers are held as double (53-bit integer precision — plenty for byte
+// budgets, wall times, and stats). Object members keep their source order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gfa {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Tolerant typed getters for protocol decoding: the fallback is returned
+  // when the member is absent or has the wrong type.
+  double number_or(std::string_view key, double fallback) const;
+  std::uint64_t u64_or(std::string_view key, std::uint64_t fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_object();
+  static JsonValue make_array();
+
+  // Mutable builders, used by the parser.
+  std::vector<JsonValue>& mutable_items() { return items_; }
+  std::vector<std::pair<std::string, JsonValue>>& mutable_members() {
+    return members_;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed;
+/// anything after the value is kParseError). Depth is capped at 64.
+Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace gfa

@@ -62,25 +62,102 @@ Result<double> parse_double(std::string_view text, double min, double max) {
   return v;
 }
 
+namespace {
+
+std::uint64_t byte_scale_of(char c) {
+  switch (c) {
+    case 'k': case 'K': return 1ull << 10;
+    case 'm': case 'M': return 1ull << 20;
+    case 'g': case 'G': return 1ull << 30;
+    case 't': case 'T': return 1ull << 40;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
 Result<std::uint64_t> parse_byte_size(std::string_view text) {
   if (text.empty())
     return Status::parse_error("expected a byte size, got empty string");
+  // Split into the leading digit run and whatever follows, so trailing junk
+  // after a valid suffix ("2Gb", "64KB") is called out explicitly instead of
+  // surfacing as a confusing "not an integer" error.
+  std::size_t digits_end = 0;
+  while (digits_end < text.size() && text[digits_end] >= '0' &&
+         text[digits_end] <= '9')
+    ++digits_end;
+  const std::string_view digits = text.substr(0, digits_end);
+  const std::string_view rest = text.substr(digits_end);
   std::uint64_t scale = 1;
-  std::string_view digits = text;
-  switch (text.back()) {
-    case 'k': case 'K': scale = 1ull << 10; break;
-    case 'm': case 'M': scale = 1ull << 20; break;
-    case 'g': case 'G': scale = 1ull << 30; break;
-    case 't': case 'T': scale = 1ull << 40; break;
-    default: break;
+  if (!rest.empty()) {
+    scale = byte_scale_of(rest.front());
+    if (scale == 0)
+      return Status::parse_error("bad byte size " + quoted(text) +
+                                 " (want e.g. 1048576, 64K, 512M, 2G)");
+    if (rest.size() > 1)
+      return Status::invalid_argument(
+          "bad byte size " + quoted(text) + ": trailing " +
+          quoted(rest.substr(1)) + " after the " + quoted(rest.substr(0, 1)) +
+          " suffix (want e.g. 1048576, 64K, 512M, 2G)");
   }
-  if (scale != 1) digits.remove_suffix(1);
   const Result<std::uint64_t> r = parse_u64(digits, 1, UINT64_MAX / scale);
   if (!r.ok())
     return Status::parse_error("bad byte size " + quoted(text) +
                                " (want e.g. 1048576, 64K, 512M, 2G): " +
                                r.status().message());
   return *r * scale;
+}
+
+Result<double> parse_duration_seconds(std::string_view text) {
+  if (text.empty())
+    return Status::parse_error("expected a duration, got empty string");
+  // Number prefix: digits with an optional fractional part (no sign, no
+  // exponent — this is a CLI duration, not scientific notation).
+  std::size_t num_end = 0;
+  bool saw_digit = false, saw_dot = false;
+  while (num_end < text.size()) {
+    const char c = text[num_end];
+    if (c >= '0' && c <= '9') {
+      saw_digit = true;
+    } else if (c == '.' && !saw_dot) {
+      saw_dot = true;
+    } else {
+      break;
+    }
+    ++num_end;
+  }
+  if (!saw_digit)
+    return Status::parse_error("expected a duration like 1.5, 500ms, 2m, got " +
+                               quoted(text));
+  const std::string_view rest = text.substr(num_end);
+  double scale = 1.0;
+  std::string_view suffix;
+  if (!rest.empty()) {
+    // Longest match first: "ms" before "m".
+    if (rest.substr(0, 2) == "ms") {
+      scale = 1e-3;
+      suffix = rest.substr(0, 2);
+    } else if (rest.front() == 's') {
+      suffix = rest.substr(0, 1);
+    } else if (rest.front() == 'm') {
+      scale = 60.0;
+      suffix = rest.substr(0, 1);
+    } else if (rest.front() == 'h') {
+      scale = 3600.0;
+      suffix = rest.substr(0, 1);
+    } else {
+      return Status::parse_error("bad duration " + quoted(text) +
+                                 " (want e.g. 1.5, 500ms, 30s, 2m, 1h)");
+    }
+    if (rest.size() > suffix.size())
+      return Status::invalid_argument(
+          "bad duration " + quoted(text) + ": trailing " +
+          quoted(rest.substr(suffix.size())) + " after the " + quoted(suffix) +
+          " suffix (want e.g. 1.5, 500ms, 30s, 2m, 1h)");
+  }
+  const Result<double> v = parse_double(text.substr(0, num_end), 0.0, 1e12);
+  if (!v.ok()) return v.status();
+  return *v * scale;
 }
 
 }  // namespace gfa

@@ -29,7 +29,15 @@ Result<double> parse_double(std::string_view text, double min, double max);
 
 /// Parses a byte count with an optional binary-scale suffix: "1048576",
 /// "64K", "512M", "2G", "1T" (case-insensitive, powers of 1024). Rejects
-/// zero, overflow, and trailing garbage; for "--memory-budget=2G".
+/// zero, overflow, and — as kInvalidArgument naming the junk — any trailing
+/// characters after a valid suffix ("2Gb", "64KB"); for "--memory-budget=2G".
 Result<std::uint64_t> parse_byte_size(std::string_view text);
+
+/// Parses a duration into seconds: a bare decimal number means seconds
+/// ("1.5"), or a number with a unit suffix "ms", "s", "m", "h" ("500ms",
+/// "2m"). Trailing characters after a valid suffix ("500msx", "1sx") are
+/// kInvalidArgument naming the junk; negative and non-finite values are
+/// rejected. For "--retry-backoff=250ms".
+Result<double> parse_duration_seconds(std::string_view text);
 
 }  // namespace gfa

@@ -14,8 +14,21 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kUnsupported: return "kUnsupported";
     case StatusCode::kResourceExhausted: return "kResourceExhausted";
     case StatusCode::kInternal: return "kInternal";
+    case StatusCode::kWorkerCrashed: return "kWorkerCrashed";
   }
   return "k?";
+}
+
+Result<StatusCode> status_code_from_name(std::string_view name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kUnsupported, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kWorkerCrashed}) {
+    if (name == status_code_name(code)) return code;
+  }
+  return Status::invalid_argument("unknown status code '" + std::string(name) +
+                                  "'");
 }
 
 int exit_code_for(StatusCode code) {
@@ -26,6 +39,7 @@ int exit_code_for(StatusCode code) {
     case StatusCode::kInvalidArgument: return 66;
     case StatusCode::kUnsupported: return 69;
     case StatusCode::kResourceExhausted: return 70;
+    case StatusCode::kWorkerCrashed: return 71;
     case StatusCode::kCancelled: return 74;
     case StatusCode::kDeadlineExceeded: return 75;
   }

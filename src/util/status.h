@@ -13,6 +13,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace gfa {
@@ -26,6 +27,8 @@ enum class StatusCode {
   kUnsupported,        // the engine cannot handle this instance shape
   kResourceExhausted,  // a memory-shaped budget tripped (terms, BDD nodes)
   kInternal,           // escape hatch: unexpected exception at the boundary
+  kWorkerCrashed,      // an isolated worker process died (signal, OOM-kill,
+                       // protocol corruption) without producing a verdict
 };
 
 /// Canonical spelling, e.g. "kDeadlineExceeded".
@@ -34,7 +37,7 @@ const char* status_code_name(StatusCode code);
 /// The documented CLI exit code for each Status code (see README):
 ///   kOk 0, kInternal 2, usage 64 (not a Status), kParseError 65,
 ///   kInvalidArgument 66, kUnsupported 69, kResourceExhausted 70,
-///   kCancelled 74, kDeadlineExceeded 75.
+///   kWorkerCrashed 71, kCancelled 74, kDeadlineExceeded 75.
 int exit_code_for(StatusCode code);
 
 class Status {
@@ -62,6 +65,9 @@ class Status {
   }
   static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status worker_crashed(std::string message) {
+    return Status(StatusCode::kWorkerCrashed, std::move(message));
   }
   /// For callers that re-wrap an existing non-OK code with new context (the
   /// portfolio engine's attempt summaries). `code` must not be kOk.
@@ -136,6 +142,12 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Inverse of status_code_name(): resolves a canonical spelling (e.g.
+/// "kDeadlineExceeded") back to its code; unknown spellings are
+/// kInvalidArgument. Used by the worker protocol to reconstruct a Status
+/// from its wire form.
+Result<StatusCode> status_code_from_name(std::string_view name);
 
 /// Maps an in-flight exception (caught via catch (...)) to a Status:
 /// StatusError -> its payload, std::bad_alloc -> kResourceExhausted,

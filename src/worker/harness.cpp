@@ -1,0 +1,387 @@
+#include "worker/harness.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "circuit/parser.h"
+#include "circuit/verilog.h"
+#include "engine/registry.h"
+#include "obs/log.h"
+#include "util/fault_inject.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GFA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define GFA_ASAN 1
+#endif
+
+namespace gfa::worker {
+
+namespace {
+
+/// A worker child dying mid-conversation must surface as a classified
+/// Status, not kill the supervisor with SIGPIPE.
+void ignore_sigpipe_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Result<Netlist> load_circuit(const std::string& path) {
+  return has_suffix(path, ".v") ? try_read_verilog_file(path)
+                                : try_read_netlist_file(path);
+}
+
+/// Hard caps applied inside the child, between the handshake and the run.
+/// These are the last line of defense behind the cooperative budget and
+/// deadline: a loop that stops polling still cannot outlive RLIMIT_CPU, and
+/// an allocation path the byte accounting cannot see still hits RLIMIT_AS.
+void apply_child_rlimits(const WorkerRequest& req,
+                         const WorkerConfig& config) {
+#if !defined(GFA_ASAN)
+  if (req.memory_budget_bytes != 0) {
+    // Headroom over the counted budget for code, stacks, and allocator
+    // slack; the cooperative ResourceBudget is expected to trip first.
+    const double want =
+        static_cast<double>(req.memory_budget_bytes) *
+            config.address_space_headroom +
+        256.0 * 1024 * 1024;
+    struct rlimit as_limit;
+    as_limit.rlim_cur = static_cast<rlim_t>(
+        std::min(want, 9.0e18));
+    as_limit.rlim_max = as_limit.rlim_cur;
+    (void)setrlimit(RLIMIT_AS, &as_limit);  // best effort
+  }
+#else
+  (void)config;
+#endif
+  if (req.timeout_seconds > 0) {
+    struct rlimit cpu_limit;
+    cpu_limit.rlim_cur = static_cast<rlim_t>(req.timeout_seconds) + 1 +
+                         config.cpu_rlimit_slack_seconds;
+    cpu_limit.rlim_max = cpu_limit.rlim_cur + 5;
+    (void)setrlimit(RLIMIT_CPU, &cpu_limit);
+  }
+}
+
+engine::RunOptions run_options_of(const WorkerRequest& req) {
+  engine::RunOptions options;
+  if (req.timeout_seconds > 0)
+    options.control.deadline = Deadline::after(req.timeout_seconds);
+  options.sat_conflict_limit = req.sat_conflict_limit;
+  options.bdd_node_limit = static_cast<std::size_t>(req.bdd_node_limit);
+  options.max_terms = static_cast<std::size_t>(req.max_terms);
+  options.gb_max_reductions = static_cast<std::size_t>(req.gb_max_reductions);
+  options.gb_max_poly_terms = static_cast<std::size_t>(req.gb_max_poly_terms);
+  options.memory_budget_bytes =
+      static_cast<std::size_t>(req.memory_budget_bytes);
+  options.attempt_timeout_seconds = req.attempt_timeout_seconds;
+  options.portfolio_engines = req.portfolio_engines;
+  options.portfolio_race = req.portfolio_race;
+  options.checkpoint_dir = req.checkpoint_dir;
+  options.checkpoint_interval = req.checkpoint_interval;
+  options.checkpoint_resume = req.checkpoint_resume;
+  return options;
+}
+
+/// The child's engine run, already flattened into a response.
+WorkerResponse execute_request(const WorkerRequest& req) {
+  WorkerResponse resp;
+  const Result<Netlist> spec = load_circuit(req.spec_path);
+  if (!spec.ok()) {
+    resp.status = spec.status();
+    return resp;
+  }
+  const Result<Netlist> impl = load_circuit(req.impl_path);
+  if (!impl.ok()) {
+    resp.status = impl.status();
+    return resp;
+  }
+  const Result<Gf2k> field = Gf2k::try_make(req.k);
+  if (!field.ok()) {
+    resp.status = field.status();
+    return resp;
+  }
+  const Result<const engine::EquivEngine*> eng =
+      engine::EngineRegistry::global().require(req.engine);
+  if (!eng.ok()) {
+    resp.status = eng.status();
+    return resp;
+  }
+  const engine::EngineRun run =
+      engine::run_engine(**eng, *spec, *impl, *field, run_options_of(req));
+  resp.status = run.status;
+  resp.verdict = run.verdict;
+  resp.detail = run.detail;
+  resp.stats = run.stats;
+  resp.attempts = run.attempts;
+  resp.resumed = run.resumed;
+  resp.wall_ms = run.wall_ms;
+  resp.budget_limit_bytes = run.budget_limit_bytes;
+  resp.budget_peak_bytes = run.budget_peak_bytes;
+  return resp;
+}
+
+/// Reaps the child, escalating SIGTERM -> (grace) -> SIGKILL if it is still
+/// alive. Returns the raw waitpid status.
+int reap_child(pid_t pid, double grace_seconds) {
+  int wstatus = 0;
+  pid_t r = waitpid(pid, &wstatus, WNOHANG);
+  if (r == pid) return wstatus;
+  kill(pid, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(grace_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    r = waitpid(pid, &wstatus, WNOHANG);
+    if (r == pid) return wstatus;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill(pid, SIGKILL);
+  while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  return wstatus;
+}
+
+/// Maps the child's raw termination status to a supervisor Status; only
+/// consulted when no valid response frame arrived.
+Status classify_termination(int wstatus, const Status& read_status) {
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    if (code == 0)
+      return Status::worker_crashed(
+          "worker exited cleanly without a valid response frame (protocol "
+          "corruption: " +
+          read_status.message() + ")");
+    return Status::worker_crashed("worker exited with status " +
+                                  std::to_string(code) +
+                                  " without a response (" +
+                                  read_status.message() + ")");
+  }
+  if (WIFSIGNALED(wstatus)) {
+    const int sig = WTERMSIG(wstatus);
+    if (sig == SIGXCPU)
+      return Status::deadline_exceeded(
+          "worker exceeded its CPU rlimit (SIGXCPU)");
+    const char* name = strsignal(sig);
+    return Status::worker_crashed(
+        "worker killed by signal " + std::to_string(sig) + " (" +
+        (name != nullptr ? name : "?") +
+        (sig == SIGKILL ? "; possibly the kernel OOM killer or an external "
+                          "kill"
+                        : "") +
+        ")");
+  }
+  return Status::worker_crashed("worker ended with unrecognized wait status " +
+                                std::to_string(wstatus));
+}
+
+}  // namespace
+
+void worker_child_main(int in_fd, int out_fd, const WorkerConfig& config) {
+  WorkerRequest req;
+  {
+    // The request follows the fork immediately; EOF here means the parent
+    // died, and anything unparseable is a protocol bug worth a loud exit.
+    Result<std::string> frame = read_frame(in_fd, Deadline::infinite());
+    if (!frame.ok()) _exit(3);
+    Result<WorkerRequest> decoded = decode_request(*frame);
+    if (!decoded.ok()) _exit(3);
+    req = std::move(*decoded);
+  }
+  if (req.simulate_crash) {
+    // Injected "worker:crash": die the way a heap-corruption abort would.
+    std::abort();
+  }
+  if (req.simulate_hang) {
+    // Injected "worker:hang": stop cooperating entirely — ignore SIGTERM so
+    // only the supervisor's SIGKILL escalation can end this process.
+    std::signal(SIGTERM, SIG_IGN);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  apply_child_rlimits(req, config);
+  try {
+    const WorkerResponse resp = execute_request(req);
+    const std::string payload = encode_response(resp);
+    if (!write_frame(out_fd, payload).ok()) _exit(3);
+  } catch (...) {
+    _exit(4);
+  }
+  _exit(0);
+}
+
+engine::EngineRun run_in_worker(const WorkerRequest& request,
+                                const WorkerConfig& config) {
+  ignore_sigpipe_once();
+  engine::EngineRun run;
+  run.engine = request.engine;
+
+  // Consume caller-enacted fault sites in the parent: forked children
+  // inherit the armed one-shot state, so firing them child-side would
+  // re-trigger on every retry. Consuming here disarms before fork() and
+  // relays the fault through the request instead.
+  WorkerRequest req = request;
+  if (fault::consume("worker:crash")) req.simulate_crash = true;
+  if (fault::consume("worker:hang")) req.simulate_hang = true;
+
+  int to_child[2];   // parent writes request
+  int from_child[2]; // child writes response
+  if (pipe(to_child) != 0) {
+    run.status = Status::internal(std::string("pipe failed: ") +
+                                  std::strerror(errno));
+    run.detail = run.status.message();
+    return run;
+  }
+  if (pipe(from_child) != 0) {
+    close(to_child[0]);
+    close(to_child[1]);
+    run.status = Status::internal(std::string("pipe failed: ") +
+                                  std::strerror(errno));
+    run.detail = run.status.message();
+    return run;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]})
+      close(fd);
+    run.status = Status::internal(std::string("fork failed: ") +
+                                  std::strerror(errno));
+    run.detail = run.status.message();
+    return run;
+  }
+  if (pid == 0) {
+    close(to_child[1]);
+    close(from_child[0]);
+    worker_child_main(to_child[0], from_child[1], config);  // never returns
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  if (config.on_spawn) config.on_spawn(pid);
+
+  GFA_LOG_INFO("worker", "spawned worker " << pid << " for engine "
+                                           << req.engine);
+
+  Status outcome;
+  WorkerResponse resp;
+  bool have_response = false;
+  {
+    const Status sent = write_frame(to_child[1], encode_request(req));
+    // An EPIPE here means the child is already dead; fall through to the
+    // read (immediate EOF) so the crash is classified off waitpid.
+    if (!sent.ok() && sent.code() != StatusCode::kWorkerCrashed)
+      outcome = sent;
+  }
+  close(to_child[1]);
+
+  if (outcome.ok()) {
+    // Wall-clock supervision: the child's own deadline should end the run
+    // cleanly first; the extra grace covers serialization and scheduling.
+    const Deadline wait_deadline =
+        req.timeout_seconds > 0
+            ? Deadline::after(req.timeout_seconds +
+                              config.kill_grace_seconds + 1.0)
+            : Deadline::infinite();
+    Result<std::string> frame = read_frame(from_child[0], wait_deadline);
+    if (frame.ok()) {
+      Result<WorkerResponse> decoded = decode_response(*frame);
+      if (decoded.ok()) {
+        resp = std::move(*decoded);
+        have_response = true;
+      } else {
+        outcome = Status::worker_crashed("worker response unparseable: " +
+                                         decoded.status().message());
+      }
+    } else {
+      outcome = frame.status();
+    }
+  }
+  close(from_child[0]);
+
+  const int wstatus = reap_child(pid, config.kill_grace_seconds);
+  const auto end = std::chrono::steady_clock::now();
+  run.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+
+  if (have_response) {
+    run.status = resp.status;
+    run.verdict = resp.verdict;
+    run.detail = resp.status.ok() ? resp.detail : resp.status.message();
+    run.stats = std::move(resp.stats);
+    run.attempts = std::move(resp.attempts);
+    run.resumed = resp.resumed;
+    run.budget_limit_bytes =
+        static_cast<std::size_t>(resp.budget_limit_bytes);
+    run.budget_peak_bytes = static_cast<std::size_t>(resp.budget_peak_bytes);
+    return run;
+  }
+  run.status = outcome.code() == StatusCode::kDeadlineExceeded
+                   ? Status::deadline_exceeded(
+                         "worker exceeded the wall clock; terminated "
+                         "(SIGTERM, then SIGKILL after " +
+                         std::to_string(config.kill_grace_seconds) + "s)")
+                   : classify_termination(wstatus, outcome);
+  run.detail = run.status.message();
+  GFA_LOG_WARN("worker", "worker " << pid << " failed: "
+                                   << run.status.to_string());
+  return run;
+}
+
+engine::EngineRun run_isolated_with_retry(WorkerRequest request,
+                                          const RetryPolicy& policy,
+                                          const WorkerConfig& config) {
+  const unsigned max_attempts = std::max(1u, policy.max_attempts);
+  std::vector<engine::AttemptRecord> history;
+  engine::EngineRun run;
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    const double delay = policy.delay_before_attempt(attempt);
+    if (delay > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    run = run_in_worker(request, config);
+
+    engine::AttemptRecord record;
+    record.engine = request.engine;
+    record.status = run.status;
+    record.verdict = run.verdict;
+    record.wall_ms = run.wall_ms;
+    record.budget_peak_bytes = run.budget_peak_bytes;
+    record.detail = "attempt " + std::to_string(attempt) + "/" +
+                    std::to_string(max_attempts) +
+                    (run.detail.empty() ? "" : ": " + run.detail);
+    history.push_back(std::move(record));
+
+    if (run.status.ok() || !RetryPolicy::retryable(run.status.code())) break;
+    if (attempt < max_attempts) {
+      GFA_LOG_WARN("worker", "attempt " << attempt << " failed ("
+                                        << run.status.to_string()
+                                        << "), retrying");
+      if (policy.budget_escalation > 1.0 && request.memory_budget_bytes != 0)
+        request.memory_budget_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(request.memory_budget_bytes) *
+            policy.budget_escalation);
+    }
+  }
+  run.stats["worker_attempts"] = static_cast<double>(history.size());
+  // With retries in play the crash/retry history is the interesting attempt
+  // story; a single clean attempt keeps whatever the engine itself reported
+  // (e.g. portfolio attempts from inside the worker).
+  if (history.size() > 1) run.attempts = std::move(history);
+  return run;
+}
+
+}  // namespace gfa::worker

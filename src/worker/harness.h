@@ -1,0 +1,82 @@
+#pragma once
+// Process-isolated engine execution with crash recovery.
+//
+// run_in_worker() forks a child, hands it a WorkerRequest over a pipe (see
+// protocol.h), and supervises: the child applies hard setrlimit caps
+// (RLIMIT_AS from the memory budget, RLIMIT_CPU from the deadline), resolves
+// the engine from the registry, runs it, and streams the result back as one
+// response frame. The parent classifies every way the child can end:
+//
+//   termination                    -> Status
+//   -------------------------------------------------------------------
+//   valid response frame              the response's own status
+//   clean exit, no/garbled frame      kWorkerCrashed ("protocol corruption")
+//   nonzero exit                      kWorkerCrashed (exit code in message)
+//   SIGSEGV / SIGABRT / SIGKILL / …   kWorkerCrashed (signal in message)
+//   SIGXCPU (RLIMIT_CPU tripped)      kDeadlineExceeded
+//   wall-clock overrun                SIGTERM, grace, SIGKILL;
+//                                     kDeadlineExceeded
+//
+// kWorkerCrashed maps to exit code 71, so scripts can tell "the engine said
+// not-equivalent" from "the engine process died".
+//
+// run_isolated_with_retry() wraps run_in_worker() in a RetryPolicy: crashed
+// (or mem-killed) attempts re-fork after an exponential backoff, optionally
+// with an escalated memory budget, and every attempt is recorded in the
+// returned EngineRun's attempts array — the JSON report shows the crash
+// history next to the final verdict.
+
+#include <functional>
+#include <sys/types.h>
+
+#include "engine/report.h"
+#include "worker/protocol.h"
+#include "worker/retry.h"
+
+namespace gfa::worker {
+
+struct WorkerConfig {
+  /// Grace between SIGTERM and SIGKILL when the parent ends an overrunning
+  /// or abandoned worker.
+  double kill_grace_seconds = 2.0;
+  /// RLIMIT_CPU slack added on top of the wall-clock timeout, so the
+  /// cooperative deadline (which unwinds cleanly) fires first and SIGXCPU is
+  /// the backstop for a compute loop that stopped polling.
+  unsigned cpu_rlimit_slack_seconds = 5;
+  /// RLIMIT_AS = memory_budget_bytes * this factor + a fixed base, leaving
+  /// headroom for code, stacks, and allocator slack above the counted
+  /// budget. The cooperative ResourceBudget still trips first in the common
+  /// case; the rlimit catches what it cannot see. Skipped entirely under
+  /// AddressSanitizer (shadow memory needs the full address space).
+  double address_space_headroom = 8.0;
+  /// Test hook, called in the parent right after fork() with the child pid —
+  /// crash-recovery tests use it to SIGKILL the worker mid-run.
+  std::function<void(pid_t)> on_spawn;
+};
+
+/// Runs one request in one freshly forked worker. The returned EngineRun
+/// carries the response (engine name, status, verdict, stats, resumed flag)
+/// or the supervisor's classification of the child's death; wall_ms is the
+/// parent-observed wall clock. Consumes the "worker:crash" / "worker:hang"
+/// fault sites parent-side before forking, so an armed site fires in exactly
+/// one attempt even across retries.
+engine::EngineRun run_in_worker(const WorkerRequest& request,
+                                const WorkerConfig& config = {});
+
+/// run_in_worker() under a RetryPolicy: retries retryable failures (worker
+/// crashes, resource exhaustion, internal errors) up to policy.max_attempts
+/// total attempts, sleeping policy.delay_before_attempt() between them and
+/// multiplying the memory budget by policy.budget_escalation per retry. The
+/// attempts array records every try; stats gains "worker_attempts".
+engine::EngineRun run_isolated_with_retry(WorkerRequest request,
+                                          const RetryPolicy& policy,
+                                          const WorkerConfig& config = {});
+
+/// The child side, exposed for the harness only: reads one request frame
+/// from in_fd, runs it, writes one response frame to out_fd. Never returns —
+/// _exit(0) on a delivered response, _exit(3) on a protocol error, _exit(4)
+/// on an exception that escaped the engine boundary.
+[[noreturn]] void worker_child_main(int in_fd, int out_fd,
+                                    const WorkerConfig& config = {});
+
+}  // namespace gfa::worker

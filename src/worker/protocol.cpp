@@ -1,0 +1,264 @@
+#include "worker/protocol.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace gfa::worker {
+
+namespace {
+
+/// Shared JSON spellings: requests and responses use kebab-free snake_case
+/// keys matching the RunOptions/EngineRun field names where one exists.
+
+void write_attempt(JsonWriter& w, const engine::AttemptRecord& a) {
+  w.begin_object();
+  w.member("engine", a.engine);
+  w.member("skipped", a.skipped);
+  w.member("status", status_code_name(a.status.code()));
+  w.member("message", a.status.ok() ? "" : a.status.message());
+  w.member("verdict", engine::verdict_name(a.verdict));
+  w.member("detail", a.detail);
+  w.member("wall_ms", a.wall_ms);
+  w.member("budget_peak_bytes",
+           static_cast<std::uint64_t>(a.budget_peak_bytes));
+  w.end_object();
+}
+
+Result<engine::AttemptRecord> read_attempt(const JsonValue& v) {
+  engine::AttemptRecord a;
+  a.engine = v.string_or("engine", "");
+  a.skipped = v.bool_or("skipped", false);
+  const Result<StatusCode> code =
+      status_code_from_name(v.string_or("status", "kOk"));
+  if (!code.ok()) return code.status();
+  if (*code != StatusCode::kOk)
+    a.status = Status::with_code(*code, v.string_or("message", ""));
+  const Result<engine::Verdict> verdict =
+      engine::verdict_from_name(v.string_or("verdict", "unknown"));
+  if (!verdict.ok()) return verdict.status();
+  a.verdict = *verdict;
+  a.detail = v.string_or("detail", "");
+  a.wall_ms = v.number_or("wall_ms", 0.0);
+  a.budget_peak_bytes =
+      static_cast<std::size_t>(v.u64_or("budget_peak_bytes", 0));
+  return a;
+}
+
+}  // namespace
+
+std::string encode_request(const WorkerRequest& req) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.member("spec_path", req.spec_path);
+  w.member("impl_path", req.impl_path);
+  w.member("k", req.k);
+  w.member("engine", req.engine);
+  w.member("timeout_seconds", req.timeout_seconds);
+  w.member("sat_conflict_limit", req.sat_conflict_limit);
+  w.member("bdd_node_limit", req.bdd_node_limit);
+  w.member("max_terms", req.max_terms);
+  w.member("gb_max_reductions", req.gb_max_reductions);
+  w.member("gb_max_poly_terms", req.gb_max_poly_terms);
+  w.member("memory_budget_bytes", req.memory_budget_bytes);
+  w.member("attempt_timeout_seconds", req.attempt_timeout_seconds);
+  w.key("portfolio_engines");
+  w.begin_array();
+  for (const std::string& name : req.portfolio_engines) w.value(name);
+  w.end_array();
+  w.member("portfolio_race", req.portfolio_race);
+  w.member("checkpoint_dir", req.checkpoint_dir);
+  w.member("checkpoint_interval", req.checkpoint_interval);
+  w.member("checkpoint_resume", req.checkpoint_resume);
+  w.member("simulate_crash", req.simulate_crash);
+  w.member("simulate_hang", req.simulate_hang);
+  w.end_object();
+  return out.str();
+}
+
+Result<WorkerRequest> decode_request(std::string_view json) {
+  Result<JsonValue> doc = parse_json(json);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object())
+    return Status::invalid_argument("worker request is not a JSON object");
+  WorkerRequest req;
+  req.spec_path = doc->string_or("spec_path", "");
+  req.impl_path = doc->string_or("impl_path", "");
+  req.k = static_cast<unsigned>(doc->u64_or("k", 0));
+  req.engine = doc->string_or("engine", "abstraction");
+  req.timeout_seconds = doc->number_or("timeout_seconds", 0.0);
+  req.sat_conflict_limit = doc->u64_or("sat_conflict_limit", 0);
+  req.bdd_node_limit = doc->u64_or("bdd_node_limit", 0);
+  req.max_terms = doc->u64_or("max_terms", 0);
+  req.gb_max_reductions = doc->u64_or("gb_max_reductions", 0);
+  req.gb_max_poly_terms = doc->u64_or("gb_max_poly_terms", 0);
+  req.memory_budget_bytes = doc->u64_or("memory_budget_bytes", 0);
+  req.attempt_timeout_seconds = doc->number_or("attempt_timeout_seconds", 0.0);
+  if (const JsonValue* engines = doc->find("portfolio_engines");
+      engines != nullptr && engines->is_array()) {
+    for (const JsonValue& item : engines->items())
+      if (item.is_string()) req.portfolio_engines.push_back(item.as_string());
+  }
+  req.portfolio_race = doc->bool_or("portfolio_race", false);
+  req.checkpoint_dir = doc->string_or("checkpoint_dir", "");
+  req.checkpoint_interval = doc->u64_or("checkpoint_interval", 0);
+  req.checkpoint_resume = doc->bool_or("checkpoint_resume", false);
+  req.simulate_crash = doc->bool_or("simulate_crash", false);
+  req.simulate_hang = doc->bool_or("simulate_hang", false);
+  if (req.spec_path.empty() || req.impl_path.empty())
+    return Status::invalid_argument("worker request is missing circuit paths");
+  if (req.k < 2)
+    return Status::invalid_argument("worker request carries k < 2");
+  return req;
+}
+
+std::string encode_response(const WorkerResponse& resp) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.member("status", status_code_name(resp.status.code()));
+  w.member("message", resp.status.ok() ? "" : resp.status.message());
+  w.member("verdict", engine::verdict_name(resp.verdict));
+  w.member("detail", resp.detail);
+  w.key("stats");
+  w.begin_object();
+  for (const auto& [key, value] : resp.stats) w.member(key, value);
+  w.end_object();
+  w.key("attempts");
+  w.begin_array();
+  for (const engine::AttemptRecord& a : resp.attempts) write_attempt(w, a);
+  w.end_array();
+  w.member("resumed", resp.resumed);
+  w.member("wall_ms", resp.wall_ms);
+  w.member("budget_limit_bytes", resp.budget_limit_bytes);
+  w.member("budget_peak_bytes", resp.budget_peak_bytes);
+  w.end_object();
+  return out.str();
+}
+
+Result<WorkerResponse> decode_response(std::string_view json) {
+  Result<JsonValue> doc = parse_json(json);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object())
+    return Status::invalid_argument("worker response is not a JSON object");
+  WorkerResponse resp;
+  const Result<StatusCode> code =
+      status_code_from_name(doc->string_or("status", ""));
+  if (!code.ok()) return code.status();
+  if (*code != StatusCode::kOk)
+    resp.status = Status::with_code(*code, doc->string_or("message", ""));
+  const Result<engine::Verdict> verdict =
+      engine::verdict_from_name(doc->string_or("verdict", "unknown"));
+  if (!verdict.ok()) return verdict.status();
+  resp.verdict = *verdict;
+  resp.detail = doc->string_or("detail", "");
+  if (const JsonValue* stats = doc->find("stats");
+      stats != nullptr && stats->is_object()) {
+    for (const auto& [key, value] : stats->members())
+      if (value.is_number()) resp.stats[key] = value.as_number();
+  }
+  if (const JsonValue* attempts = doc->find("attempts");
+      attempts != nullptr && attempts->is_array()) {
+    for (const JsonValue& item : attempts->items()) {
+      Result<engine::AttemptRecord> a = read_attempt(item);
+      if (!a.ok()) return a.status();
+      resp.attempts.push_back(std::move(*a));
+    }
+  }
+  resp.resumed = doc->bool_or("resumed", false);
+  resp.wall_ms = doc->number_or("wall_ms", 0.0);
+  resp.budget_limit_bytes = doc->u64_or("budget_limit_bytes", 0);
+  resp.budget_peak_bytes = doc->u64_or("budget_peak_bytes", 0);
+  return resp;
+}
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    return Status::invalid_argument("frame payload exceeds 64 MiB");
+  unsigned char header[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<unsigned char>((len >> (8 * i)) & 0xFF);
+  std::string buf(reinterpret_cast<const char*>(header), 4);
+  buf.append(payload);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE)
+        return Status::worker_crashed(
+            "peer closed the pipe before the frame was written");
+      return Status::internal(std::string("frame write failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes, polling against the deadline between reads.
+Status read_exact(int fd, char* out, std::size_t n, const Deadline& deadline) {
+  std::size_t off = 0;
+  while (off < n) {
+    if (!deadline.is_infinite()) {
+      const double remaining = deadline.remaining_seconds();
+      if (remaining <= 0) return Status::deadline_exceeded();
+      struct pollfd pfd {fd, POLLIN, 0};
+      const int timeout_ms =
+          static_cast<int>(std::min(remaining * 1000.0, 2147483000.0)) + 1;
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return Status::internal(std::string("poll failed: ") +
+                                std::strerror(errno));
+      }
+      if (pr == 0) return Status::deadline_exceeded();
+    }
+    const ssize_t r = ::read(fd, out + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::internal(std::string("frame read failed: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0)
+      return Status::worker_crashed(
+          off == 0 ? "pipe closed before a frame arrived"
+                   : "pipe closed mid-frame");
+    off += static_cast<std::size_t>(r);
+  }
+  return Status();
+}
+
+}  // namespace
+
+Result<std::string> read_frame(int fd, const Deadline& deadline) {
+  char header[4];
+  if (Status s = read_exact(fd, header, 4, deadline); !s.ok()) return s;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[i]))
+           << (8 * i);
+  if (len > kMaxFrameBytes)
+    return Status::invalid_argument("frame length " + std::to_string(len) +
+                                    " exceeds the 64 MiB cap (corrupt "
+                                    "prefix?)");
+  std::string payload(len, '\0');
+  if (len > 0) {
+    if (Status s = read_exact(fd, payload.data(), len, deadline); !s.ok())
+      return s;
+  }
+  return payload;
+}
+
+}  // namespace gfa::worker

@@ -1,0 +1,90 @@
+#pragma once
+// The supervisor <-> worker wire protocol.
+//
+// A worker child and its supervising parent talk over two pipes, one frame
+// each way. A frame is a 32-bit little-endian payload length followed by that
+// many bytes of JSON (written by util/json_writer.h, parsed by
+// util/json_reader.h). The request carries everything the child needs to
+// reconstruct the job — circuit file paths, the field degree, the engine
+// name, and the ExecControl-shaped limits — because the child re-reads the
+// circuits itself rather than inheriting parent memory it cannot trust after
+// a crashy run. The response is the flattened run outcome: a Status in wire
+// form (code name + message), the verdict, detail, stats, and the portfolio
+// attempt history when the isolated engine was itself a portfolio.
+//
+// Frames are capped at 64 MiB: a length prefix beyond that is treated as
+// protocol corruption, not an allocation request.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/exec_control.h"
+#include "util/status.h"
+
+namespace gfa::worker {
+
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+struct WorkerRequest {
+  std::string spec_path;
+  std::string impl_path;
+  unsigned k = 0;
+  std::string engine = "abstraction";
+  /// Wall-clock limit the child turns into its own Deadline (0 = none). The
+  /// parent enforces the same limit externally with SIGTERM-then-SIGKILL.
+  double timeout_seconds = 0.0;
+  // RunOptions limits, mirrored field-for-field (see engine/engine.h).
+  std::uint64_t sat_conflict_limit = 0;
+  std::uint64_t bdd_node_limit = 0;
+  std::uint64_t max_terms = 0;
+  std::uint64_t gb_max_reductions = 0;
+  std::uint64_t gb_max_poly_terms = 0;
+  std::uint64_t memory_budget_bytes = 0;
+  double attempt_timeout_seconds = 0.0;
+  std::vector<std::string> portfolio_engines;
+  bool portfolio_race = false;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_interval = 0;
+  bool checkpoint_resume = false;
+  /// Fault-injection relays: the parent consumes "worker:crash" /
+  /// "worker:hang" (see fault::consume) and sets these so exactly one
+  /// attempt misbehaves even across retries of forked children.
+  bool simulate_crash = false;
+  bool simulate_hang = false;
+};
+
+struct WorkerResponse {
+  /// The engine's own outcome (kOk with a verdict, or why it failed).
+  /// Supervisor-detected failures (crashes, timeouts) never appear here —
+  /// they are synthesized parent-side from the child's termination.
+  Status status;
+  engine::Verdict verdict = engine::Verdict::kUnknown;
+  std::string detail;
+  std::map<std::string, double> stats;
+  std::vector<engine::AttemptRecord> attempts;
+  bool resumed = false;
+  double wall_ms = 0.0;
+  std::uint64_t budget_limit_bytes = 0;
+  std::uint64_t budget_peak_bytes = 0;
+};
+
+std::string encode_request(const WorkerRequest& req);
+Result<WorkerRequest> decode_request(std::string_view json);
+
+std::string encode_response(const WorkerResponse& resp);
+Result<WorkerResponse> decode_response(std::string_view json);
+
+/// Writes one length-prefixed frame, retrying short writes. EPIPE (the child
+/// died before reading) is kWorkerCrashed; other write errors kInternal.
+Status write_frame(int fd, std::string_view payload);
+
+/// Reads one frame, polling against `deadline` (infinite = block forever).
+/// kDeadlineExceeded on timeout, kWorkerCrashed on EOF/short frame, and
+/// kInvalidArgument on an oversized length prefix.
+Result<std::string> read_frame(int fd, const Deadline& deadline);
+
+}  // namespace gfa::worker

@@ -30,7 +30,8 @@ TEST(FaultInject, RegistryListsEveryDocumentedSite) {
   for (const char* site :
        {"budget:mpoly.terms", "budget:pair.queue", "budget:bdd.nodes",
         "budget:sat.clauses", "budget:rewriter.terms", "oom:rewriter.add",
-        "oom:bdd.make", "oom:sat.learn", "cancel:checkpoint"}) {
+        "oom:bdd.make", "oom:sat.learn", "cancel:checkpoint", "worker:crash",
+        "worker:hang", "checkpoint:corrupt"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), std::string_view(site)),
               sites.end())
         << site;
@@ -67,6 +68,24 @@ TEST(FaultInject, FiresExactlyOnceOnTheNthHit) {
   EXPECT_EQ(fault::hits(), 3u);
   fault::point("cancel:checkpoint");  // one-shot: later hits pass through
   EXPECT_FALSE(fault::enabled());     // nothing armed anymore
+}
+
+TEST(FaultInject, ConsumeFiresOnceOnTheNthHitWithoutThrowing) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  ASSERT_TRUE(fault::arm("worker:crash", 2).ok());
+  EXPECT_FALSE(fault::consume("worker:crash"));   // hit 1
+  EXPECT_FALSE(fault::consume("worker:hang"));    // other site: no effect
+  EXPECT_TRUE(fault::consume("worker:crash"));    // hit 2 fires
+  EXPECT_TRUE(fault::fired());
+  EXPECT_FALSE(fault::consume("worker:crash"));   // one-shot
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(FaultInject, ConsumeIsInertWhenNothingIsArmed) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  EXPECT_FALSE(fault::consume("worker:crash"));
+  EXPECT_FALSE(fault::consume("checkpoint:corrupt"));
 }
 
 TEST(FaultInject, ArmSpecParsesSiteColonCount) {

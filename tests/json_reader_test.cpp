@@ -1,0 +1,113 @@
+// Tests for util/json_reader.h: the strict recursive-descent parser behind
+// the worker wire protocol. Round-trips against json_writer output, escape
+// and surrogate-pair decoding, number edge cases, the nesting-depth cap, and
+// rejection of trailing garbage.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace gfa {
+namespace {
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_EQ(parse_json("42")->as_number(), 42.0);
+  EXPECT_EQ(parse_json("-3.5e2")->as_number(), -350.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+  EXPECT_EQ(parse_json("  0.125  ")->as_number(), 0.125);
+}
+
+TEST(JsonReader, ParsesObjectsKeepingMemberOrder) {
+  const Result<JsonValue> v =
+      parse_json("{\"b\": 1, \"a\": [2, {\"c\": null}], \"d\": \"x\"}");
+  ASSERT_TRUE(v.ok()) << v.status().to_string();
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "b");
+  EXPECT_EQ(v->members()[1].first, "a");
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 2u);
+  EXPECT_EQ(a->items()[0].as_number(), 2.0);
+  EXPECT_TRUE(a->items()[1].find("c")->is_null());
+  EXPECT_EQ(v->find("nope"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(parse_json("\"a\\\\b\\\"c\\n\\t\\u0041\"")->as_string(),
+            "a\\b\"c\n\tA");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json("\"\\uD83D\\uDE00\"")->as_string(),
+            "\xF0\x9F\x98\x80");
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(parse_json("\"\\uD83D\"").ok());
+  EXPECT_FALSE(parse_json("\"\\q\"").ok());
+}
+
+TEST(JsonReader, TypedGettersFallBackOnAbsenceOrWrongType) {
+  const Result<JsonValue> v =
+      parse_json("{\"n\": 7, \"s\": \"x\", \"b\": true}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->number_or("n", -1), 7.0);
+  EXPECT_EQ(v->number_or("s", -1), -1.0);
+  EXPECT_EQ(v->number_or("missing", -1), -1.0);
+  EXPECT_EQ(v->u64_or("n", 0), 7u);
+  EXPECT_EQ(v->string_or("s", "d"), "x");
+  EXPECT_EQ(v->string_or("n", "d"), "d");
+  EXPECT_TRUE(v->bool_or("b", false));
+  EXPECT_TRUE(v->bool_or("missing", true));
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "   ", "{", "[1, 2", "{\"a\": }", "{\"a\" 1}", "nul",
+        "01", "1.", "+1", "\"unterminated", "{\"a\": 1,}", "[1,]",
+        "1 2", "{} []", "{\"a\": 1} x"}) {
+    EXPECT_FALSE(parse_json(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonReader, CapsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).ok());
+  std::string ok(40, '[');
+  ok += std::string(40, ']');
+  EXPECT_TRUE(parse_json(ok).ok());
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.begin_object();
+    w.member("name", std::string("line1\nline2\t\"quoted\""));
+    w.member("count", 12345);
+    w.member("ratio", 0.25);
+    w.member("flag", true);
+    w.key("list");
+    w.begin_array();
+    for (int i = 0; i < 3; ++i) w.value(i);
+    w.end_array();
+    w.end_object();
+  }
+  const Result<JsonValue> v = parse_json(out.str());
+  ASSERT_TRUE(v.ok()) << v.status().to_string() << " for " << out.str();
+  EXPECT_EQ(v->string_or("name", ""), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(v->u64_or("count", 0), 12345u);
+  EXPECT_EQ(v->number_or("ratio", 0), 0.25);
+  EXPECT_TRUE(v->bool_or("flag", false));
+  ASSERT_EQ(v->find("list")->items().size(), 3u);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -1,0 +1,79 @@
+// Tests for util/parse_number.h, focused on the trailing-garbage hardening:
+// every accepted form is listed next to the near-miss that must be rejected
+// ("2G" vs "2Gb", "500ms" vs "500msx"), so a silently-ignored suffix can
+// never misconfigure a budget or a backoff again.
+
+#include <gtest/gtest.h>
+
+#include "util/parse_number.h"
+
+namespace gfa {
+namespace {
+
+TEST(ParseU64, AcceptsDigitsOnly) {
+  EXPECT_EQ(*parse_u64("0"), 0u);
+  EXPECT_EQ(*parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(parse_u64("").ok());
+  EXPECT_FALSE(parse_u64("12x").ok());
+  EXPECT_FALSE(parse_u64(" 12").ok());
+  EXPECT_FALSE(parse_u64("+12").ok());
+  EXPECT_FALSE(parse_u64("18446744073709551616").ok());  // overflow
+  EXPECT_FALSE(parse_u64("5", 10, 20).ok());             // below min
+  EXPECT_FALSE(parse_u64("25", 10, 20).ok());            // above max
+}
+
+TEST(ParseDouble, AcceptsFiniteDecimalsWithinRange) {
+  EXPECT_EQ(*parse_double("1.5", 0, 10), 1.5);
+  EXPECT_EQ(*parse_double("0", 0, 10), 0.0);
+  EXPECT_FALSE(parse_double("1.5x", 0, 10).ok());
+  EXPECT_FALSE(parse_double("nan", 0, 10).ok());
+  EXPECT_FALSE(parse_double("inf", 0, 10).ok());
+  EXPECT_FALSE(parse_double("11", 0, 10).ok());
+}
+
+TEST(ParseByteSize, EachValidFormParses) {
+  EXPECT_EQ(*parse_byte_size("1048576"), 1048576u);
+  EXPECT_EQ(*parse_byte_size("64K"), 64ull << 10);
+  EXPECT_EQ(*parse_byte_size("64k"), 64ull << 10);
+  EXPECT_EQ(*parse_byte_size("512M"), 512ull << 20);
+  EXPECT_EQ(*parse_byte_size("512m"), 512ull << 20);
+  EXPECT_EQ(*parse_byte_size("2G"), 2ull << 30);
+  EXPECT_EQ(*parse_byte_size("1T"), 1ull << 40);
+}
+
+TEST(ParseByteSize, TrailingGarbageAfterAValidSuffixIsInvalidArgument) {
+  // "2Gb" and "64KB" used to silently parse as 2G / 64K; now the junk is
+  // named in a kInvalidArgument.
+  for (const char* bad : {"2Gb", "2GB", "64KB", "64Kb", "512MiB", "1Tx"}) {
+    const Result<std::uint64_t> r = parse_byte_size(bad);
+    ASSERT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_FALSE(parse_byte_size("").ok());
+  EXPECT_FALSE(parse_byte_size("G").ok());
+  EXPECT_FALSE(parse_byte_size("-5").ok());
+}
+
+TEST(ParseDuration, EachValidFormParses) {
+  EXPECT_EQ(*parse_duration_seconds("1.5"), 1.5);       // bare = seconds
+  EXPECT_EQ(*parse_duration_seconds("500ms"), 0.5);
+  EXPECT_EQ(*parse_duration_seconds("2s"), 2.0);
+  EXPECT_EQ(*parse_duration_seconds("2m"), 120.0);      // "m" is minutes...
+  EXPECT_EQ(*parse_duration_seconds("1.5h"), 5400.0);
+  EXPECT_EQ(*parse_duration_seconds("250ms"), 0.25);    // ..."ms" wins here
+}
+
+TEST(ParseDuration, TrailingGarbageAfterAValidSuffixIsInvalidArgument) {
+  for (const char* bad : {"500msx", "1sx", "2mm", "1hh"}) {
+    const Result<double> r = parse_duration_seconds(bad);
+    ASSERT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_FALSE(parse_duration_seconds("").ok());
+  EXPECT_FALSE(parse_duration_seconds("ms").ok());
+  EXPECT_FALSE(parse_duration_seconds("-1s").ok());
+  EXPECT_FALSE(parse_duration_seconds("3 s").ok());  // bad suffix, not junk
+}
+
+}  // namespace
+}  // namespace gfa

@@ -157,6 +157,39 @@ TEST(Portfolio, RaceModeProducesADefinitiveVerdict) {
   EXPECT_EQ(r->attempts.size(), 2u);
 }
 
+TEST(Portfolio, RaceReleasesEveryLoserBudgetLease) {
+  // Regression: a cancelled race loser must unwind through its BudgetLease
+  // destructors before the winner's result is reported. Any bytes an attempt
+  // still held leased at retirement land in budget_leaked_bytes — which must
+  // be zero. k = 32 makes the losing engines do real leased work before the
+  // winner cancels them.
+  const Gf2k field = Gf2k::make(32);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  const Netlist impl = make_montgomery_multiplier_flat(field);
+  RunOptions options;
+  options.portfolio_engines = {"abstraction", "sat", "bdd"};
+  options.portfolio_race = true;
+  options.memory_budget_bytes = std::size_t{1} << 30;
+  const Result<VerifyResult> r = portfolio().verify(spec, impl, field, options);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->verdict, Verdict::kEquivalent);
+  ASSERT_NE(r->stats.find("budget_leaked_bytes"), r->stats.end());
+  EXPECT_EQ(r->stats.at("budget_leaked_bytes"), 0.0);
+}
+
+TEST(Portfolio, EscalationReportsZeroLeakedBudgetBytes) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  const Netlist impl = make_montgomery_multiplier_flat(field);
+  RunOptions options;
+  options.portfolio_engines = {"abstraction", "sat"};
+  options.max_terms = 2;  // first attempt mem-outs, then sat decides
+  options.memory_budget_bytes = std::size_t{1} << 30;
+  const Result<VerifyResult> r = portfolio().verify(spec, impl, field, options);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->stats.at("budget_leaked_bytes"), 0.0);
+}
+
 TEST(Portfolio, PerAttemptBudgetsGivePeaksPerAttempt) {
   const Gf2k field = Gf2k::make(4);
   const Netlist spec = make_mastrovito_multiplier(field);

@@ -1,0 +1,394 @@
+// Tests for the process-isolation layer (src/worker/): the length-prefixed
+// frame protocol and its JSON codecs, supervised forked runs, termination
+// classification (clean exit, injected crash, real SIGKILL, hang past the
+// wall clock), retry-with-backoff, and the portfolio falling through a
+// crashed isolated attempt. The CI job runs this under ASan+UBSan: every
+// fork/kill path must stay clean.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "circuit/parser.h"
+#include "engine/registry.h"
+#include "util/fault_inject.h"
+#include "worker/harness.h"
+#include "worker/protocol.h"
+#include "worker/retry.h"
+
+namespace gfa::worker {
+namespace {
+
+/// Disarms on scope exit so a failing assertion cannot poison later tests.
+struct Disarmer {
+  ~Disarmer() { fault::disarm(); }
+};
+
+/// The Mastrovito/Montgomery pair for F_2^k written under a fresh temp
+/// directory, plus a request pointing at the files.
+struct Instance {
+  std::string dir;
+  WorkerRequest req;
+};
+
+Instance make_instance(unsigned k) {
+  Instance inst;
+  std::string tmpl = ::testing::TempDir() + "gfa_worker_XXXXXX";
+  const char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  inst.dir = dir;
+  const Gf2k field = Gf2k::make(k);
+  write_netlist_file(make_mastrovito_multiplier(field),
+                     inst.dir + "/spec.net");
+  write_netlist_file(make_montgomery_multiplier_flat(field),
+                     inst.dir + "/impl.net");
+  inst.req.spec_path = inst.dir + "/spec.net";
+  inst.req.impl_path = inst.dir + "/impl.net";
+  inst.req.k = k;
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(WorkerProtocol, RequestCodecRoundTrips) {
+  WorkerRequest req;
+  req.spec_path = "/tmp/a \"quoted\".net";
+  req.impl_path = "/tmp/b.net";
+  req.k = 163;
+  req.engine = "portfolio";
+  req.timeout_seconds = 12.5;
+  req.sat_conflict_limit = 1000;
+  req.bdd_node_limit = 2000;
+  req.max_terms = 3000;
+  req.gb_max_reductions = 4000;
+  req.gb_max_poly_terms = 5000;
+  req.memory_budget_bytes = std::uint64_t{3} << 30;
+  req.attempt_timeout_seconds = 1.25;
+  req.portfolio_engines = {"abstraction", "sat"};
+  req.portfolio_race = false;
+  req.checkpoint_dir = "/tmp/ck";
+  req.checkpoint_interval = 500;
+  req.checkpoint_resume = true;
+  req.simulate_crash = false;
+  req.simulate_hang = true;
+  const Result<WorkerRequest> back = decode_request(encode_request(req));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->spec_path, req.spec_path);
+  EXPECT_EQ(back->impl_path, req.impl_path);
+  EXPECT_EQ(back->k, req.k);
+  EXPECT_EQ(back->engine, req.engine);
+  EXPECT_EQ(back->timeout_seconds, req.timeout_seconds);
+  EXPECT_EQ(back->sat_conflict_limit, req.sat_conflict_limit);
+  EXPECT_EQ(back->bdd_node_limit, req.bdd_node_limit);
+  EXPECT_EQ(back->max_terms, req.max_terms);
+  EXPECT_EQ(back->gb_max_reductions, req.gb_max_reductions);
+  EXPECT_EQ(back->gb_max_poly_terms, req.gb_max_poly_terms);
+  EXPECT_EQ(back->memory_budget_bytes, req.memory_budget_bytes);
+  EXPECT_EQ(back->attempt_timeout_seconds, req.attempt_timeout_seconds);
+  EXPECT_EQ(back->portfolio_engines, req.portfolio_engines);
+  EXPECT_EQ(back->checkpoint_dir, req.checkpoint_dir);
+  EXPECT_EQ(back->checkpoint_interval, req.checkpoint_interval);
+  EXPECT_TRUE(back->checkpoint_resume);
+  EXPECT_FALSE(back->simulate_crash);
+  EXPECT_TRUE(back->simulate_hang);
+}
+
+TEST(WorkerProtocol, RequestDecodeRejectsMissingPathsAndBadK) {
+  WorkerRequest req;
+  req.spec_path = "";
+  req.impl_path = "/tmp/b.net";
+  req.k = 8;
+  EXPECT_FALSE(decode_request(encode_request(req)).ok());
+  req.spec_path = "/tmp/a.net";
+  req.k = 1;
+  EXPECT_FALSE(decode_request(encode_request(req)).ok());
+  EXPECT_FALSE(decode_request("not json").ok());
+}
+
+TEST(WorkerProtocol, ResponseCodecRoundTrips) {
+  WorkerResponse resp;
+  resp.status = Status::resource_exhausted("out of terms");
+  resp.verdict = engine::Verdict::kNotEquivalent;
+  resp.detail = "counterexample at A=3";
+  resp.stats["substitutions"] = 123.0;
+  resp.stats["peak_terms"] = 456.0;
+  resp.resumed = true;
+  resp.wall_ms = 78.5;
+  resp.budget_limit_bytes = 1u << 20;
+  resp.budget_peak_bytes = 1234;
+  engine::AttemptRecord a;
+  a.engine = "abstraction";
+  a.status = Status::worker_crashed("signal 11");
+  a.detail = "attempt 1/2";
+  a.wall_ms = 3.5;
+  resp.attempts.push_back(a);
+  engine::AttemptRecord b;
+  b.engine = "sat";
+  b.skipped = true;
+  b.detail = "already decided";
+  resp.attempts.push_back(b);
+  const Result<WorkerResponse> back = decode_response(encode_response(resp));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(back->status.message(), "out of terms");
+  EXPECT_EQ(back->verdict, engine::Verdict::kNotEquivalent);
+  EXPECT_EQ(back->detail, resp.detail);
+  EXPECT_EQ(back->stats, resp.stats);
+  EXPECT_TRUE(back->resumed);
+  EXPECT_EQ(back->wall_ms, resp.wall_ms);
+  EXPECT_EQ(back->budget_limit_bytes, resp.budget_limit_bytes);
+  EXPECT_EQ(back->budget_peak_bytes, resp.budget_peak_bytes);
+  ASSERT_EQ(back->attempts.size(), 2u);
+  EXPECT_EQ(back->attempts[0].engine, "abstraction");
+  EXPECT_EQ(back->attempts[0].status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_FALSE(back->attempts[0].skipped);
+  EXPECT_TRUE(back->attempts[1].skipped);
+  EXPECT_EQ(back->attempts[1].detail, "already decided");
+}
+
+TEST(WorkerProtocol, FramesCrossAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::string payload = "{\"hello\": \"world\"}";
+  ASSERT_TRUE(write_frame(fds[1], payload).ok());
+  const Result<std::string> got = read_frame(fds[0], Deadline::infinite());
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, payload);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WorkerProtocol, ClosedPipeReadsAsWorkerCrashed) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[1]);  // writer gone before any frame
+  const Result<std::string> got = read_frame(fds[0], Deadline::infinite());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kWorkerCrashed);
+  close(fds[0]);
+}
+
+TEST(WorkerProtocol, OversizedLengthPrefixIsProtocolCorruption) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  unsigned char header[4] = {
+      static_cast<unsigned char>(huge & 0xFF),
+      static_cast<unsigned char>((huge >> 8) & 0xFF),
+      static_cast<unsigned char>((huge >> 16) & 0xFF),
+      static_cast<unsigned char>((huge >> 24) & 0xFF)};
+  ASSERT_EQ(write(fds[1], header, 4), 4);
+  const Result<std::string> got = read_frame(fds[0], Deadline::infinite());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy.
+
+TEST(RetryPolicy, DelaysAreDeterministicBoundedAndClamped) {
+  RetryPolicy p;
+  p.backoff_seconds = 0.1;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_seconds = 0.35;
+  p.jitter_seed = 42;
+  const double d2 = p.delay_before_attempt(2);
+  const double d3 = p.delay_before_attempt(3);
+  const double d4 = p.delay_before_attempt(4);
+  // Same seed, same attempt -> same delay; jitter stays within [0.75, 1.25).
+  EXPECT_EQ(d2, p.delay_before_attempt(2));
+  EXPECT_GE(d2, 0.1 * 0.75);
+  EXPECT_LT(d2, 0.1 * 1.25);
+  EXPECT_GE(d3, 0.2 * 0.75);
+  EXPECT_LT(d3, 0.2 * 1.25);
+  // 0.4 clamps to 0.35 before jitter.
+  EXPECT_LT(d4, 0.35 * 1.25);
+  RetryPolicy other = p;
+  other.jitter_seed = 43;
+  EXPECT_NE(p.delay_before_attempt(2), other.delay_before_attempt(2));
+}
+
+TEST(RetryPolicy, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(RetryPolicy::retryable(StatusCode::kWorkerCrashed));
+  EXPECT_TRUE(RetryPolicy::retryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(RetryPolicy::retryable(StatusCode::kInternal));
+  EXPECT_FALSE(RetryPolicy::retryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(RetryPolicy::retryable(StatusCode::kParseError));
+  EXPECT_FALSE(RetryPolicy::retryable(StatusCode::kUnsupported));
+  EXPECT_FALSE(RetryPolicy::retryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(RetryPolicy::retryable(StatusCode::kCancelled));
+}
+
+// ---------------------------------------------------------------------------
+// Supervised forked runs.
+
+TEST(WorkerHarness, CleanIsolatedRunDecidesEquivalent) {
+  const Instance inst = make_instance(8);
+  const engine::EngineRun run = run_in_worker(inst.req);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  EXPECT_EQ(run.verdict, engine::Verdict::kEquivalent);
+  EXPECT_GT(run.wall_ms, 0.0);
+  EXPECT_GT(run.stats.at("spec_substitutions"), 0.0);
+}
+
+TEST(WorkerHarness, MissingCircuitFileFailsInsideTheSandbox) {
+  Instance inst = make_instance(4);
+  inst.req.spec_path = inst.dir + "/no_such_file.net";
+  const engine::EngineRun run = run_in_worker(inst.req);
+  ASSERT_FALSE(run.status.ok());
+  // The child reports its own parse failure over the pipe — this is the
+  // engine's status, not a supervisor crash classification.
+  EXPECT_NE(run.status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_FALSE(RetryPolicy::retryable(run.status.code()));
+}
+
+TEST(WorkerHarness, InjectedCrashClassifiesAsWorkerCrashedExit71) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  const Instance inst = make_instance(8);
+  ASSERT_TRUE(fault::arm("worker:crash", 1).ok());
+  const engine::EngineRun run = run_in_worker(inst.req);
+  EXPECT_TRUE(fault::fired());
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_EQ(exit_code_for(run.status.code()), 71);
+}
+
+TEST(WorkerHarness, RealSigkillMidRunIsWorkerCrashed) {
+  const Instance inst = make_instance(32);
+  WorkerConfig config;
+  config.on_spawn = [](pid_t pid) { kill(pid, SIGKILL); };
+  const engine::EngineRun run = run_in_worker(inst.req, config);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_NE(run.status.message().find("signal 9"), std::string::npos)
+      << run.status.message();
+}
+
+TEST(WorkerHarness, HangingWorkerIsKilledAtTheWallClock) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  Instance inst = make_instance(8);
+  inst.req.timeout_seconds = 0.3;
+  ASSERT_TRUE(fault::arm("worker:hang", 1).ok());
+  WorkerConfig config;
+  config.kill_grace_seconds = 0.2;  // the hang ignores SIGTERM; SIGKILL wins
+  const engine::EngineRun run = run_in_worker(inst.req, config);
+  EXPECT_TRUE(fault::fired());
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kDeadlineExceeded)
+      << run.status.to_string();
+  EXPECT_LT(run.wall_ms, 10000.0);
+}
+
+TEST(WorkerHarness, RetryRecoversFromAnInjectedCrash) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  const Instance inst = make_instance(8);
+  ASSERT_TRUE(fault::arm("worker:crash", 1).ok());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_seconds = 0.01;  // keep the test fast
+  const engine::EngineRun run = run_isolated_with_retry(inst.req, policy);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  EXPECT_EQ(run.verdict, engine::Verdict::kEquivalent);
+  EXPECT_EQ(run.stats.at("worker_attempts"), 2.0);
+  ASSERT_EQ(run.attempts.size(), 2u);
+  EXPECT_EQ(run.attempts[0].status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_TRUE(run.attempts[1].status.ok());
+}
+
+TEST(WorkerHarness, CrashWithoutRetriesStaysFailed) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  const Instance inst = make_instance(8);
+  ASSERT_TRUE(fault::arm("worker:crash", 1).ok());
+  RetryPolicy policy;  // max_attempts = 1: never retry
+  const engine::EngineRun run = run_isolated_with_retry(inst.req, policy);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kWorkerCrashed);
+}
+
+TEST(WorkerHarness, NonRetryableFailureRunsExactlyOnce) {
+  Instance inst = make_instance(4);
+  inst.req.spec_path = inst.dir + "/no_such_file.net";
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_seconds = 0.01;
+  const engine::EngineRun run = run_isolated_with_retry(inst.req, policy);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.stats.at("worker_attempts"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio over isolated attempts.
+
+TEST(WorkerHarness, PortfolioFallsThroughACrashedIsolatedAttempt) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  const Instance inst = make_instance(4);
+  const Gf2k field = Gf2k::make(4);
+  const Result<Netlist> spec = try_read_netlist_file(inst.req.spec_path);
+  const Result<Netlist> impl = try_read_netlist_file(inst.req.impl_path);
+  ASSERT_TRUE(spec.ok() && impl.ok());
+  engine::RunOptions options;
+  options.portfolio_engines = {"abstraction", "sat"};
+  options.isolate_attempts = true;
+  options.worker_spec_path = inst.req.spec_path;
+  options.worker_impl_path = inst.req.impl_path;
+  ASSERT_TRUE(fault::arm("worker:crash", 1).ok());
+  const Result<engine::VerifyResult> r =
+      engine::EngineRegistry::global().find("portfolio")->verify(
+          *spec, *impl, field, options);
+  EXPECT_TRUE(fault::fired());
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->verdict, engine::Verdict::kEquivalent);
+  ASSERT_EQ(r->attempts.size(), 2u);
+  EXPECT_EQ(r->attempts[0].status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_TRUE(r->attempts[1].status.ok());
+}
+
+TEST(WorkerHarness, RaceRejectsIsolatedAttempts) {
+  const Instance inst = make_instance(4);
+  const Gf2k field = Gf2k::make(4);
+  const Result<Netlist> spec = try_read_netlist_file(inst.req.spec_path);
+  const Result<Netlist> impl = try_read_netlist_file(inst.req.impl_path);
+  ASSERT_TRUE(spec.ok() && impl.ok());
+  engine::RunOptions options;
+  options.portfolio_engines = {"abstraction", "sat"};
+  options.isolate_attempts = true;
+  options.portfolio_race = true;
+  options.worker_spec_path = inst.req.spec_path;
+  options.worker_impl_path = inst.req.impl_path;
+  const Result<engine::VerifyResult> r =
+      engine::EngineRegistry::global().find("portfolio")->verify(
+          *spec, *impl, field, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkerHarness, IsolatedAttemptsNeedTheCircuitPaths) {
+  const Instance inst = make_instance(4);
+  const Gf2k field = Gf2k::make(4);
+  const Result<Netlist> spec = try_read_netlist_file(inst.req.spec_path);
+  const Result<Netlist> impl = try_read_netlist_file(inst.req.impl_path);
+  ASSERT_TRUE(spec.ok() && impl.ok());
+  engine::RunOptions options;
+  options.isolate_attempts = true;  // but no worker_*_path
+  const Result<engine::VerifyResult> r =
+      engine::EngineRegistry::global().find("portfolio")->verify(
+          *spec, *impl, field, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gfa::worker

@@ -7,6 +7,11 @@
 //                   [--report=<file>] [--memory-budget=<bytes|64K|512M|2G>]
 //                   [--attempt-timeout=<s>] [--portfolio-engines=<a,b,…>]
 //                   [--race]
+//                   [--isolate] [--retries=<n>] [--retry-backoff=<dur>]
+//                   [--retry-seed=<n>] [--retry-budget-escalation=<f>]
+//                   [--isolate-attempts]
+//                   [--checkpoint=<dir>] [--checkpoint-interval=<steps>]
+//                   [--resume]
 //   gfa_tool compare <spec> <impl> <k> [--engines=<a,b,…>] [--timeout=<s>]
 //                    [--report=<file>]
 //   gfa_tool engines                       list registered engines
@@ -34,7 +39,8 @@
 //   1  NOT EQUIVALENT              66 invalid argument
 //   2  internal error              69 unsupported instance
 //   3  UNKNOWN verdict             70 resource budget exhausted
-//   64 usage                       74 cancelled
+//   64 usage                       71 worker process crashed (--isolate)
+//                                  74 cancelled
 //                                  75 deadline (--timeout) exceeded
 
 #include <cstdio>
@@ -59,6 +65,8 @@
 #include "obs/trace.h"
 #include "util/fault_inject.h"
 #include "util/parse_number.h"
+#include "worker/harness.h"
+#include "worker/retry.h"
 
 namespace {
 
@@ -110,6 +118,17 @@ struct Flags {
   std::string portfolio_engines;  // comma-separated order, empty = default
   bool race = false;              // portfolio: race instead of escalate
   std::string inject;             // fault site spec, empty = off
+  // Worker isolation & recovery (verify only).
+  bool isolate = false;           // fork the engine into a supervised child
+  bool isolate_attempts = false;  // portfolio: fork each attempt
+  unsigned retries = 0;           // extra isolated attempts after the first
+  bool retries_set = false;       // --retries given (needs --isolate)
+  double retry_backoff_seconds = 0.25;
+  std::uint64_t retry_seed = 0;
+  double retry_budget_escalation = 1.0;
+  std::string checkpoint_dir;        // empty = checkpointing off
+  std::uint64_t checkpoint_interval = 0;  // 0 = library default
+  bool resume = false;               // load a matching checkpoint if present
 };
 
 Result<Flags> parse_flags(int argc, char** argv) {
@@ -144,6 +163,29 @@ Result<Flags> parse_flags(int argc, char** argv) {
       flags.portfolio_engines = value;
     } else if (name == "--inject") {
       flags.inject = value;
+    } else if (name == "--retries") {
+      Result<unsigned> n = parse_unsigned(value, 0, 1000);
+      if (!n.ok()) return n.status();
+      flags.retries = *n;
+      flags.retries_set = true;
+    } else if (name == "--retry-backoff") {
+      Result<double> d = parse_duration_seconds(value);
+      if (!d.ok()) return d.status();
+      flags.retry_backoff_seconds = *d;
+    } else if (name == "--retry-seed") {
+      Result<std::uint64_t> n = parse_u64(value);
+      if (!n.ok()) return n.status();
+      flags.retry_seed = *n;
+    } else if (name == "--retry-budget-escalation") {
+      Result<double> f = parse_double(value, 1.0, 100.0);
+      if (!f.ok()) return f.status();
+      flags.retry_budget_escalation = *f;
+    } else if (name == "--checkpoint") {
+      flags.checkpoint_dir = value;
+    } else if (name == "--checkpoint-interval") {
+      Result<std::uint64_t> n = parse_u64(value, 1);
+      if (!n.ok()) return n.status();
+      flags.checkpoint_interval = *n;
     } else {
       return Status::invalid_argument("unknown flag '" + std::string(name) +
                                       "'");
@@ -162,6 +204,18 @@ Result<Flags> parse_flags(int argc, char** argv) {
     }
     if (arg == "--race") {
       flags.race = true;
+      continue;
+    }
+    if (arg == "--isolate") {
+      flags.isolate = true;
+      continue;
+    }
+    if (arg == "--isolate-attempts") {
+      flags.isolate_attempts = true;
+      continue;
+    }
+    if (arg == "--resume") {
+      flags.resume = true;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -221,6 +275,10 @@ engine::RunOptions run_options_from(const Flags& flags) {
       static_cast<std::size_t>(flags.memory_budget_bytes);
   options.attempt_timeout_seconds = flags.attempt_timeout_seconds;
   options.portfolio_race = flags.race;
+  options.isolate_attempts = flags.isolate_attempts;
+  options.checkpoint_dir = flags.checkpoint_dir;
+  options.checkpoint_interval = flags.checkpoint_interval;
+  options.checkpoint_resume = flags.resume;
   std::string_view rest = flags.portfolio_engines;
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');
@@ -302,23 +360,80 @@ int cmd_extract(const Flags& flags) {
   return 0;
 }
 
+/// Builds the request one isolated `verify` run ships to its forked worker:
+/// the circuit *paths* (the child parses them itself — a parse crash then
+/// stays inside the sandbox too) plus every engine limit the flags carry.
+worker::WorkerRequest worker_request_from(const Flags& flags, unsigned k) {
+  worker::WorkerRequest req;
+  req.spec_path = flags.positional[0];
+  req.impl_path = flags.positional[1];
+  req.k = k;
+  req.engine = flags.engine;
+  req.timeout_seconds = flags.timeout_seconds;
+  req.memory_budget_bytes = flags.memory_budget_bytes;
+  req.attempt_timeout_seconds = flags.attempt_timeout_seconds;
+  req.portfolio_race = flags.race;
+  std::string_view rest = flags.portfolio_engines;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view name = rest.substr(0, comma);
+    if (!name.empty()) req.portfolio_engines.emplace_back(name);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+  }
+  req.checkpoint_dir = flags.checkpoint_dir;
+  req.checkpoint_interval = flags.checkpoint_interval;
+  req.checkpoint_resume = flags.resume;
+  return req;
+}
+
+Status check_verify_flags(const Flags& flags) {
+  if (flags.retries_set && !flags.isolate)
+    return Status::invalid_argument(
+        "--retries only applies to isolated runs; add --isolate");
+  if (flags.resume && flags.checkpoint_dir.empty())
+    return Status::invalid_argument(
+        "--resume needs --checkpoint=<dir> to know where checkpoints live");
+  if (flags.isolate && flags.isolate_attempts)
+    return Status::invalid_argument(
+        "--isolate already forks the whole run; drop --isolate-attempts");
+  return Status();
+}
+
 int cmd_verify(const Flags& flags) {
   if (flags.positional.size() != 3) return kUsage;
-  const Result<Netlist> spec = load(flags.positional[0]);
-  if (!spec.ok()) return fail(spec.status());
-  const Result<Netlist> impl = load(flags.positional[1]);
-  if (!impl.ok()) return fail(impl.status());
+  if (const Status s = check_verify_flags(flags); !s.ok()) return fail(s);
   const Result<unsigned> k = parse_unsigned(flags.positional[2], 2, 100000);
   if (!k.ok()) return fail(k.status());
-  const Result<Gf2k> field = Gf2k::try_make(*k);
-  if (!field.ok()) return fail(field.status());
-  const Result<const engine::EquivEngine*> eng =
-      engine::EngineRegistry::global().require(flags.engine);
-  if (!eng.ok()) return fail(eng.status());
 
-  const engine::RunOptions options = run_options_from(flags);
-  const engine::EngineRun run =
-      engine::run_engine(**eng, *spec, *impl, *field, options);
+  engine::EngineRun run;
+  if (flags.isolate) {
+    worker::RetryPolicy policy;
+    policy.max_attempts = flags.retries + 1;
+    policy.backoff_seconds = flags.retry_backoff_seconds;
+    policy.jitter_seed = flags.retry_seed;
+    policy.budget_escalation = flags.retry_budget_escalation;
+    run = worker::run_isolated_with_retry(worker_request_from(flags, *k),
+                                          policy);
+  } else {
+    const Result<Netlist> spec = load(flags.positional[0]);
+    if (!spec.ok()) return fail(spec.status());
+    const Result<Netlist> impl = load(flags.positional[1]);
+    if (!impl.ok()) return fail(impl.status());
+    const Result<Gf2k> field = Gf2k::try_make(*k);
+    if (!field.ok()) return fail(field.status());
+    const Result<const engine::EquivEngine*> eng =
+        engine::EngineRegistry::global().require(flags.engine);
+    if (!eng.ok()) return fail(eng.status());
+    engine::RunOptions options = run_options_from(flags);
+    if (flags.isolate_attempts) {
+      // The portfolio forks each attempt; its workers re-read the circuits
+      // from disk, so hand the paths through.
+      options.worker_spec_path = flags.positional[0];
+      options.worker_impl_path = flags.positional[1];
+    }
+    run = engine::run_engine(**eng, *spec, *impl, *field, options);
+  }
   maybe_write_report(flags, "verify", *k, {run});
   if (!run.status.ok()) return fail(run.status);
   for (const auto& [key, value] : run.stats)
@@ -481,6 +596,10 @@ void usage() {
       " [--report=<file>]\n"
       "          [--memory-budget=<bytes|64K|512M|2G>] [--attempt-timeout=<s>]"
       " [--portfolio-engines=<a,b,...>] [--race]\n"
+      "          [--isolate] [--retries=<n>] [--retry-backoff=<dur>]"
+      " [--retry-seed=<n>] [--retry-budget-escalation=<f>]\n"
+      "          [--isolate-attempts] [--checkpoint=<dir>]"
+      " [--checkpoint-interval=<steps>] [--resume]\n"
       "  gfa_tool compare <spec> <impl> <k> [--engines=<a,b,...>]"
       " [--timeout=<s>] [--report=<file>]\n"
       "  gfa_tool engines\n"
