@@ -82,7 +82,10 @@ int main(int argc, char** argv) {
       "paper_reference",
       "k=163:4351s/153K gates, k=233:5777s/167K, k=283:40114s/399K, "
       "k=409:72708s/508K, k=571:TO/1.6M (24h limit, 2014 Xeon)");
-  for (unsigned k : gfa::bench::ladder({16, 32, 64, 96, 128}, 163)) {
+  // The sharded reduction chain promoted k=233 from opt-in to the default
+  // ladder (ROADMAP item 2); GFA_BENCH_MAX_K still trims it for CI.
+  const std::vector<unsigned> sizes = gfa::bench::ladder({16, 32, 64, 96, 128}, 233);
+  for (unsigned k : sizes) {
     benchmark::RegisterBenchmark("Table1/Mastrovito", BM_MastrovitoAbstraction)
         ->Arg(static_cast<int>(k))
         ->Unit(benchmark::kMillisecond)
@@ -92,6 +95,18 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Scaling section: reduction-chain time vs pool width at the ladder's top
+  // k, with the cross-width determinism check.
+  if (!sizes.empty()) {
+    const unsigned k = sizes.back();
+    const gfa::Gf2k field = gfa::Gf2k::make(k);
+    const gfa::Netlist netlist = make_mastrovito_multiplier(field);
+    const gfa::WordLift lift(&field);
+    gfa::ExtractionOptions options;
+    options.shared_lift = &lift;
+    gfa::bench::add_scaling_records(reporter(), "Table1/ScalingReductionChain",
+                                    field, netlist, options);
+  }
   reporter().write();
   return 0;
 }

@@ -12,16 +12,20 @@
 // the repo is recorded run over run (k, wall time, peak terms, substitutions,
 // plus bench-specific extras such as kernel-vs-generic speedups).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "abstraction/extractor.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "util/json_writer.h"
+#include "util/parallel_for.h"
 #include "util/parse_number.h"
 
 namespace gfa::bench {
@@ -87,12 +91,14 @@ inline std::vector<std::pair<std::string, double>> drain_phase_times() {
   return out;
 }
 
-/// Accumulates records and writes BENCH_<name>.json (an array of objects) on
-/// destruction or on an explicit write().
+/// Accumulates records and writes BENCH_<name>.json on destruction or on an
+/// explicit write(). The file is one object: a header ("bench", "threads" —
+/// the pool width the ladder ran at) plus the "records" array; scaling
+/// records carry their own per-record "threads" extra.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string bench_name)
-      : path_("BENCH_" + std::move(bench_name) + ".json") {}
+      : bench_(bench_name), path_("BENCH_" + std::move(bench_name) + ".json") {}
 
   JsonReporter(const JsonReporter&) = delete;
   JsonReporter& operator=(const JsonReporter&) = delete;
@@ -114,6 +120,10 @@ class JsonReporter {
       return;
     }
     JsonWriter w(out);
+    w.begin_object();
+    w.member("bench", bench_);
+    w.member("threads", parallel_thread_count());
+    w.key("records");
     w.begin_array();
     for (const BenchRecord& r : records_) {
       w.begin_object();
@@ -132,14 +142,57 @@ class JsonReporter {
       w.end_object();
     }
     w.end_array();
+    w.end_object();
     out << "\n";
   }
 
   const std::string& path() const { return path_; }
 
  private:
+  std::string bench_;
   std::string path_;
   std::vector<BenchRecord> records_;
 };
+
+/// Scaling section: re-extracts one circuit at pool widths 1/2/4/8 and adds
+/// one record per width (the per-record "threads" extra plus the usual
+/// "phases" object, so reduction_chain ms vs width is directly readable from
+/// BENCH_*.json). The sharded chain's determinism contract is enforced here:
+/// a canonical polynomial that differs across widths aborts the bench.
+/// Restores the pool width it found.
+inline void add_scaling_records(JsonReporter& reporter, const std::string& name,
+                                const Gf2k& field, const Netlist& netlist,
+                                const ExtractionOptions& base_options) {
+  const unsigned restore = parallel_thread_count();
+  std::optional<MPoly> reference;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    set_parallel_thread_count(threads);
+    obs::Tracer::instance().clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    const WordFunction fn = extract_word_function(netlist, field, base_options);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    if (!reference) {
+      reference = fn.g;
+    } else if (!(fn.g == *reference)) {
+      std::fprintf(stderr,
+                   "%s: canonical polynomial at %u threads differs from the "
+                   "1-thread result\n",
+                   name.c_str(), threads);
+      std::exit(3);
+    }
+    BenchRecord rec;
+    rec.name = name;
+    rec.k = field.k();
+    rec.wall_ms = wall_ms;
+    rec.peak_terms = fn.stats.peak_terms;
+    rec.substitutions = fn.stats.substitutions;
+    rec.extra = {{"threads", static_cast<double>(threads)}};
+    rec.phases = drain_phase_times();
+    reporter.add(rec);
+  }
+  set_parallel_thread_count(restore);
+}
 
 }  // namespace gfa::bench

@@ -28,13 +28,24 @@ namespace gfa {
 using BitMono = std::vector<VarId>;
 
 struct BitMonoHash {
+  /// splitmix64 finalizer: full-width mixing so every input bit reaches
+  /// every output bit. The earlier FNV-1a loop xored whole 32-bit VarIds at
+  /// once; consecutive net ids (the common case — monomials over neighboring
+  /// circuit nets) then differed only in a few low bits and the map's bucket
+  /// distribution degraded exactly when the term map was largest.
+  static std::uint64_t mix(std::uint64_t z) {
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z;
+  }
+
   std::size_t operator()(const BitMono& m) const {
-    std::size_t h = 14695981039346656037ull;
-    for (VarId v : m) {
-      h ^= v;
-      h *= 1099511628211ull;
-    }
-    return h;
+    std::uint64_t h = 0x9e3779b97f4a7c15ull * (m.size() + 1);
+    for (VarId v : m) h = mix(h + 0x9e3779b97f4a7c15ull + v);
+    return static_cast<std::size_t>(h);
   }
 };
 

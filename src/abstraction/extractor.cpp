@@ -114,11 +114,22 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
                                     : field.alpha_pow(std::uint64_t{j});
   };
 
-  BackwardRewriter rw(field, std::move(substitutable), options.max_terms,
-                      options.control);
   ExtractionStats stats;
   CheckpointPlan ckpt = plan_checkpoint(netlist, k, out_word, options);
   stats.resumed = ckpt.resumed;
+  // Seed sharding: the chain is linear in the seed polynomial, so S
+  // sub-chains over a partition of the seeds XOR-merge to the serial result
+  // at every step (ShardedRewriter). A checkpoint's terms re-shard on resume
+  // the same way — any partition is valid — so a run saved at one thread
+  // count resumes at another.
+  const std::size_t seed_count =
+      ckpt.resumed ? ckpt.resume_terms.size() : k;
+  unsigned shards = options.chain_shards != 0 ? options.chain_shards
+                                              : parallel_available_width();
+  if (seed_count > 0 && shards > seed_count)
+    shards = static_cast<unsigned>(seed_count);
+  ShardedRewriter chain(field, std::move(substitutable), shards,
+                        options.max_terms, options.control);
   try {
     std::vector<NetId> rato;
     {
@@ -129,34 +140,37 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
     }
     const obs::TraceSpan chain_span("reduction_chain", "abstraction");
     if (ckpt.resumed) {
-      // Seed the rewriter with the checkpointed intermediate polynomial; the
-      // occurrence index rebuilds itself through add(). The first
-      // resume_step substitutions of the (deterministic) RATO chain are
-      // already folded in and get skipped below.
+      // Seed the shards with the checkpointed intermediate polynomial (the
+      // occurrence indexes rebuild through add()); the first resume_step
+      // substitutions of the deterministic RATO chain are already folded in.
       for (auto& [mono, coeff] : ckpt.resume_terms)
-        rw.add(std::move(mono), coeff);
+        chain.seed(std::move(mono), coeff);
       ckpt.resume_terms.clear();
     } else {
       for (unsigned j = 0; j < k; ++j)
-        rw.add(BitMono{out_word->bits[j]}, basis_elem(j));
+        chain.seed(BitMono{out_word->bits[j]}, basis_elem(j));
     }
-    stats.peak_terms = rw.num_terms();
-    std::uint64_t to_skip = ckpt.resume_step;
-    std::uint64_t chain_step = ckpt.resume_step;  // position in the chain
-    for (NetId n : rato) {
-      if (is_input[n]) continue;
-      if (to_skip > 0) {
-        --to_skip;
-        continue;
-      }
-      throw_if_stopped(options.control);
-      rw.substitute(n, gate_tail_bitpoly(field, netlist.gate(n)));
-      ++stats.substitutions;
-      ++chain_step;
-      stats.peak_terms = std::max(stats.peak_terms, rw.num_terms());
-      if (ckpt.active && chain_step % ckpt.interval == 0)
-        save_progress(ckpt, out_word, k, chain_step, rw.terms());
+    std::vector<NetId> gates;
+    gates.reserve(rato.size());
+    for (NetId n : rato)
+      if (!is_input[n]) gates.push_back(n);
+    // The chain runs in segments of one checkpoint interval (the whole chain
+    // when checkpointing is off); every segment end is a merge barrier where
+    // the XOR-merged polynomial equals the serial state, so that is where
+    // snapshots happen.
+    std::uint64_t step = ckpt.resume_step;
+    while (step < gates.size()) {
+      const std::uint64_t end =
+          ckpt.active
+              ? std::min<std::uint64_t>(step + ckpt.interval, gates.size())
+              : gates.size();
+      chain.run_segment(netlist, gates, step, end);
+      stats.substitutions += end - step;
+      step = end;
+      if (ckpt.active && step < gates.size())
+        save_progress(ckpt, out_word, k, step, chain.merged());
     }
+    stats.peak_terms = chain.peak_terms();
   } catch (const RewriteBudgetExceeded& e) {
     throw ExtractionBudgetExceeded(e.what());
   }
@@ -169,9 +183,10 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   GFA_GAUGE_MAX("extract.peak_terms", stats.peak_terms);
 
   // The remainder now mentions only primary-input bits.
-  stats.remainder_terms = rw.terms().size();
+  const BitPoly::TermMap remainder = chain.take_merged();
+  stats.remainder_terms = remainder.size();
   bool any_bits = false;
-  for (const auto& [m, c] : rw.terms()) {
+  for (const auto& [m, c] : remainder) {
     stats.remainder_degree = std::max(stats.remainder_degree, m.size());
     if (!m.empty()) any_bits = true;
     for (VarId v : m)
@@ -199,7 +214,7 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
 
   // Remap the remainder onto pool variable ids.
   BitPoly r(&field);
-  for (const auto& [m, c] : rw.terms()) {
+  for (const auto& [m, c] : remainder) {
     BitMono mapped;
     mapped.reserve(m.size());
     for (VarId v : m) {

@@ -1,10 +1,13 @@
 #include "abstraction/hierarchy.h"
 
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "abstraction/word_lift.h"
+#include "util/parallel_for.h"
+#include "util/resource_budget.h"
 
 namespace gfa {
 
@@ -65,17 +68,51 @@ HierarchicalAbstraction abstract_hierarchy(const WordSignalGraph& graph,
   if (block_options.shared_lift == nullptr) block_options.shared_lift = &lift;
 
   // A block netlist instantiated several times (e.g. the shared multiplier of
-  // an Itoh–Tsujii chain) is abstracted once.
+  // an Itoh–Tsujii chain) is abstracted once. The unique blocks (the Fig. 1
+  // blocks of a Montgomery multiplier) are mutually independent, so they are
+  // abstracted concurrently; each extraction's own chain then shards to
+  // whatever width is left (nested loops degrade to serial).
+  std::vector<const Netlist*> unique_blocks;
   std::unordered_map<const Netlist*, WordFunction> memo;
+  for (const WordSignalGraph::Instance& inst : graph.instances) {
+    if (memo.emplace(inst.block, WordFunction{}).second)
+      unique_blocks.push_back(inst.block);
+  }
+  // When the run carries a memory budget, each concurrent block leases from
+  // a proportional slice of it so the blocks together cannot exceed the
+  // parent limit; the child peaks fold back into the parent afterwards so
+  // the run report still sees the hierarchy's high-water mark.
+  ResourceBudget* parent_budget = budget_of(options.control);
+  const std::size_t slice =
+      parent_budget != nullptr && parent_budget->limit_bytes() != 0 &&
+              unique_blocks.size() > 1
+          ? parent_budget->limit_bytes() / unique_blocks.size()
+          : 0;
+  std::vector<std::optional<ResourceBudget>> block_budgets(
+      unique_blocks.size());
+  std::vector<ExecControl> block_controls(unique_blocks.size());
+  std::vector<WordFunction> block_fns(unique_blocks.size());
+  parallel_for(unique_blocks.size(), [&](std::size_t i) {
+    ExtractionOptions o = block_options;
+    if (slice != 0) {
+      block_budgets[i].emplace(slice);
+      block_controls[i] = *options.control;
+      block_controls[i].budget = &*block_budgets[i];
+      o.control = &block_controls[i];
+    }
+    block_fns[i] = extract_word_function(*unique_blocks[i], field, o);
+  }, options.control);
+  if (slice != 0) {
+    std::size_t children_peak = 0;
+    for (const auto& b : block_budgets)
+      if (b) children_peak += b->peak_bytes();
+    parent_budget->fold_peak(children_peak);
+  }
+  for (std::size_t i = 0; i < unique_blocks.size(); ++i)
+    memo[unique_blocks[i]] = std::move(block_fns[i]);
 
   for (const WordSignalGraph::Instance& inst : graph.instances) {
-    auto mit = memo.find(inst.block);
-    if (mit == memo.end()) {
-      mit = memo.emplace(inst.block,
-                         extract_word_function(*inst.block, field, block_options))
-                .first;
-    }
-    WordFunction fn = mit->second;
+    WordFunction fn = memo.at(inst.block);
 
     std::unordered_map<std::string, const MPoly*> bound;
     for (const auto& [block_word, sig] : inst.inputs) {

@@ -2,8 +2,230 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/parallel_for.h"
 
 namespace gfa {
+
+void BackwardRewriter::substitute(VarId v, const BitPoly& tail) {
+  if (occurs_[v].empty()) return;  // cheap skip for sharded chains
+  std::vector<BitMono> pending = std::move(occurs_[v]);
+  occurs_[v] = {};
+  for (const BitMono& dead : pending) {
+    const std::size_t b = occ_entry_bytes(dead);
+    occ_bytes_ = occ_bytes_ > b ? occ_bytes_ - b : 0;
+  }
+
+  const unsigned width =
+      pending.size() < kChunkedSubstitutionMin ? 1 : parallel_available_width();
+  if (width < 2) {
+    // Serial path: erase, strip v, expand — one term at a time.
+    for (BitMono& mono : pending) {
+      auto it = terms_.find(mono);
+      if (it == terms_.end()) continue;  // cancelled since registration
+      const Gf2k::Elem coeff = it->second;
+      terms_.erase(it);
+      BitMono rest;
+      rest.reserve(mono.size() - 1);
+      for (VarId x : mono)
+        if (x != v) rest.push_back(x);
+      for (const auto& [tmono, tcoeff] : tail.terms()) {
+        // Gate tails almost always carry coefficient 1 (AND/XOR/NOT terms);
+        // skip the field multiply on that fast path.
+        add(bitmono_mul(rest, tmono),
+            tcoeff.is_one() ? coeff : field_.mul(coeff, tcoeff));
+      }
+    }
+    return;
+  }
+
+  // Chunked path. First detach every live affected term — pure hash work,
+  // done serially. No expansion of a term containing v can produce another
+  // term containing v (tails mention only fanin variables), so detaching all
+  // of them up front is equivalent to the serial interleaving.
+  std::vector<Affected> work;
+  work.reserve(pending.size());
+  for (const BitMono& mono : pending) {
+    auto it = terms_.find(mono);
+    if (it == terms_.end()) continue;
+    Affected a;
+    a.coeff = it->second;
+    a.rest.reserve(mono.size() - 1);
+    for (VarId x : mono)
+      if (x != v) a.rest.push_back(x);
+    terms_.erase(it);
+    work.push_back(std::move(a));
+  }
+  if (work.size() < kChunkedSubstitutionMin) {
+    // Stale index entries thinned the batch below the profitable size.
+    for (const Affected& a : work)
+      for (const auto& [tmono, tcoeff] : tail.terms())
+        add(bitmono_mul(a.rest, tmono),
+            tcoeff.is_one() ? a.coeff : field_.mul(a.coeff, tcoeff));
+    return;
+  }
+  expand_chunked(work, tail, width);
+}
+
+void BackwardRewriter::expand_chunked(const std::vector<Affected>& work,
+                                      const BitPoly& tail, unsigned width) {
+  const obs::TraceSpan span("reduction_chain_shard", "abstraction");
+  const std::size_t shards =
+      std::min<std::size_t>(width, work.size() / (kChunkedSubstitutionMin / 2));
+  GFA_COUNT("rewriter.shards", shards);
+
+  // Shard-local expansion: strided assignment, thread-private term maps,
+  // per-shard budget leases, control polled inside the loop. Shard s's
+  // content depends only on `work` and `tail`, never on the other shards.
+  std::vector<BitPoly::TermMap> local(shards);
+  std::vector<std::optional<BudgetLease>> leases(shards);
+  parallel_for(shards, [&](std::size_t s) {
+    leases[s].emplace(budget_of(control_), BudgetSite::kRewriterTerms);
+    BitPoly::TermMap& mine = local[s];
+    std::size_t ops = 0;
+    for (std::size_t i = s; i < work.size(); i += shards) {
+      const Affected& a = work[i];
+      for (const auto& [tmono, tcoeff] : tail.terms()) {
+        BitMono m = bitmono_mul(a.rest, tmono);
+        const Gf2k::Elem c =
+            tcoeff.is_one() ? a.coeff : field_.mul(a.coeff, tcoeff);
+        auto [it, inserted] = mine.try_emplace(std::move(m), c);
+        if (!inserted) {
+          it->second += c;
+          if (it->second.is_zero()) mine.erase(it);
+        }
+        if ((++ops & 63u) == 0) {
+          throw_if_stopped(control_);
+          leases[s]->set_bytes(mine.size() * kRewriterTermBytes);
+        }
+      }
+    }
+    leases[s]->set_bytes(mine.size() * kRewriterTermBytes);
+  }, control_);
+
+  // Deterministic merge: fixed shard order, XOR-combine through add() so the
+  // occurrence index, fault point, and budget accounting see every term
+  // exactly as the serial path would. Node extraction moves the monomials
+  // instead of copying them. The shard lease is dropped only after its map
+  // has drained into the main one (transiently double-counted — the safe
+  // direction for a memory bound).
+  std::size_t merge_terms = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    merge_terms += local[s].size();
+    while (!local[s].empty()) {
+      auto nh = local[s].extract(local[s].begin());
+      add(std::move(nh.key()), nh.mapped());
+    }
+    leases[s].reset();
+  }
+  GFA_COUNT("rewriter.merge_terms", merge_terms);
+}
+
+ShardedRewriter::ShardedRewriter(const Gf2k& field,
+                                 std::vector<bool> substitutable,
+                                 unsigned shards, std::size_t max_terms,
+                                 const ExecControl* control)
+    : field_(field), max_terms_(max_terms), control_(control) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<BackwardRewriter>(
+        field, s + 1 == shards ? std::move(substitutable) : substitutable,
+        max_terms, control));
+}
+
+void ShardedRewriter::seed(BitMono mono, const Gf2k::Elem& coeff) {
+  shards_[next_seed_ % shards_.size()]->add(std::move(mono), coeff);
+  ++next_seed_;
+}
+
+void ShardedRewriter::run_segment(const Netlist& netlist,
+                                  const std::vector<NetId>& gates,
+                                  std::size_t from, std::size_t to) {
+  assert(to <= gates.size() && from <= to);
+  const std::size_t n = shards_.size();
+  if (n == 1) {
+    BackwardRewriter& rw = *shards_[0];
+    for (std::size_t i = from; i < to; ++i) {
+      throw_if_stopped(control_);
+      rw.substitute(gates[i],
+                    gate_tail_bitpoly(field_, netlist.gate(gates[i])));
+    }
+    return;
+  }
+  // Tail polynomials are shared read-only across the shards; building them
+  // once (in parallel) instead of once per shard keeps the serial fraction
+  // off the critical path. Blocks bound the tail buffer on million-gate
+  // chains; the inter-block barriers are parallel_for dispatches (~µs) every
+  // few thousand substitutions.
+  constexpr std::size_t kTailBlock = 2048;
+  std::vector<BitPoly> tails;
+  for (std::size_t block = from; block < to; block += kTailBlock) {
+    const std::size_t block_end = std::min(block + kTailBlock, to);
+    tails.assign(block_end - block, BitPoly(&field_));
+    parallel_for(block_end - block, [&](std::size_t i) {
+      tails[i] = gate_tail_bitpoly(field_, netlist.gate(gates[block + i]));
+    }, control_);
+    parallel_for(n, [&](std::size_t s) {
+      BackwardRewriter& rw = *shards_[s];
+      for (std::size_t i = block; i < block_end; ++i) {
+        if (((i - block) & 255u) == 0) throw_if_stopped(control_);
+        rw.substitute(gates[i], tails[i - block]);
+      }
+    }, control_);
+  }
+  check_total_terms();
+}
+
+std::size_t ShardedRewriter::num_terms() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->num_terms();
+  return total;
+}
+
+std::size_t ShardedRewriter::peak_terms() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->peak_terms();
+  return total;
+}
+
+void ShardedRewriter::check_total_terms() const {
+  if (max_terms_ && num_terms() > max_terms_)
+    throw RewriteBudgetExceeded("rewriting term budget exceeded");
+}
+
+BitPoly::TermMap ShardedRewriter::merged() const {
+  BitPoly::TermMap out = shards_[0]->terms();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    for (const auto& [m, c] : shards_[s]->terms()) {
+      auto [it, inserted] = out.try_emplace(m, c);
+      if (!inserted) {
+        it->second += c;
+        if (it->second.is_zero()) out.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+BitPoly::TermMap ShardedRewriter::take_merged() {
+  BitPoly::TermMap out = shards_[0]->take_terms();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    BitPoly::TermMap rest = shards_[s]->take_terms();
+    while (!rest.empty()) {
+      auto nh = rest.extract(rest.begin());
+      auto [it, inserted] = out.try_emplace(std::move(nh.key()), nh.mapped());
+      if (!inserted) {
+        it->second += nh.mapped();
+        if (it->second.is_zero()) out.erase(it);
+      }
+    }
+  }
+  return out;
+}
 
 BitPoly gate_tail_bitpoly(const Gf2k& field, const Netlist::Gate& g) {
   BitPoly one = BitPoly::constant(&field, field.one());

@@ -6,7 +6,27 @@
 // substituting a gate-output variable by its tail touches only the terms that
 // actually contain it. Under RATO this sequence of substitutions *is* the
 // Gröbner-basis reduction chain (see extractor.h).
+//
+// Two layers of parallelism sit on top of the serial engine, both bit-exact:
+//
+//   * Chunked substitution (BackwardRewriter::substitute): when one gate
+//     variable occurs in many terms, the affected terms are collected, the
+//     x → tail(x) expansion runs shard-locally into thread-private term maps
+//     on the pool, and the shards merge back in fixed order. XOR-combining
+//     coefficients in F_{2^k} is exact and commutative, so the merged map
+//     equals the serial result term for term. This helps pending-heavy chains
+//     (flat Montgomery, where most of the time sits in wide substitutions).
+//
+//   * Seed sharding (ShardedRewriter): substitution is linear in the working
+//     polynomial — v → tail(v) is a ring homomorphism on F_{2^k}[x]/J_0, so
+//     chain(p ⊕ q) = chain(p) ⊕ chain(q). Splitting the k seed terms across
+//     S independent rewriters, running the same RATO sequence in each, and
+//     XOR-merging yields the serial polynomial exactly, at every step of the
+//     chain. This helps pending-thin chains (XOR-tree multipliers keep each
+//     substitutable variable in ≤ 1 term, so chunking has nothing to split).
 
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -20,12 +40,17 @@ struct RewriteBudgetExceeded : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Pending-term count above which substitute() fans the tail expansion out
+/// across the pool. Below it the dispatch + merge overhead beats the win.
+inline constexpr std::size_t kChunkedSubstitutionMin = 128;
+
 class BackwardRewriter {
  public:
   /// `substitutable[v]` marks variables that may later be substituted (gate
   /// outputs); only those are indexed. `max_terms` = 0 disables the budget.
   /// A control carrying a ResourceBudget additionally bounds the term map
-  /// and occurrence index in bytes (site rewriter.terms).
+  /// and occurrence index in bytes (site rewriter.terms); its deadline and
+  /// cancel token are polled inside chunked-substitution shard loops.
   BackwardRewriter(const Gf2k& field, std::vector<bool> substitutable,
                    std::size_t max_terms = 0,
                    const ExecControl* control = nullptr)
@@ -33,6 +58,7 @@ class BackwardRewriter {
         substitutable_(std::move(substitutable)),
         occurs_(substitutable_.size()),
         max_terms_(max_terms),
+        control_(control),
         lease_(budget_of(control), BudgetSite::kRewriterTerms) {}
 
   void add(BitMono mono, const Gf2k::Elem& coeff) {
@@ -51,6 +77,7 @@ class BackwardRewriter {
         occ_bytes_ += occ_entry_bytes(it->first);
       }
     }
+    if (terms_.size() > peak_terms_) peak_terms_ = terms_.size();
     if (max_terms_ && terms_.size() > max_terms_)
       throw RewriteBudgetExceeded("rewriting term budget exceeded");
     // Byte accounting is synced every 64 mutations — often enough to stop a
@@ -64,36 +91,35 @@ class BackwardRewriter {
   }
 
   /// Replaces every occurrence of variable v by `tail` (a polynomial over
-  /// variables that will be substituted after v, or never).
-  void substitute(VarId v, const BitPoly& tail) {
-    std::vector<BitMono> pending = std::move(occurs_[v]);
-    occurs_[v].clear();
-    for (const BitMono& dead : pending) {
-      const std::size_t b = occ_entry_bytes(dead);
-      occ_bytes_ = occ_bytes_ > b ? occ_bytes_ - b : 0;
-    }
-    for (BitMono& mono : pending) {
-      auto it = terms_.find(mono);
-      if (it == terms_.end()) continue;  // cancelled since registration
-      const Gf2k::Elem coeff = it->second;
-      terms_.erase(it);
-      BitMono rest;
-      rest.reserve(mono.size() - 1);
-      for (VarId x : mono)
-        if (x != v) rest.push_back(x);
-      for (const auto& [tmono, tcoeff] : tail.terms()) {
-        // Gate tails almost always carry coefficient 1 (AND/XOR/NOT terms);
-        // skip the field multiply on that fast path.
-        add(bitmono_mul(rest, tmono),
-            tcoeff.is_one() ? coeff : field_.mul(coeff, tcoeff));
-      }
-    }
-  }
+  /// variables that will be substituted after v, or never). Fans out across
+  /// the pool when enough terms are affected (see header comment); the
+  /// result is bit-identical either way.
+  void substitute(VarId v, const BitPoly& tail);
 
   std::size_t num_terms() const { return terms_.size(); }
   const BitPoly::TermMap& terms() const { return terms_; }
 
+  /// Destructively hands the term map over (the rewriter is spent after);
+  /// used by ShardedRewriter's final merge to avoid copying every monomial.
+  BitPoly::TermMap take_terms() { return std::move(terms_); }
+
+  /// Largest term-map size seen so far (sampled after every insertion).
+  std::size_t peak_terms() const { return peak_terms_; }
+
+  /// Registered (possibly stale) occurrence-index entries for v.
+  std::size_t occurrences(VarId v) const { return occurs_[v].size(); }
+
  private:
+  /// One affected term, detached from the map: the monomial minus v, plus
+  /// its coefficient.
+  struct Affected {
+    BitMono rest;
+    Gf2k::Elem coeff;
+  };
+
+  void expand_chunked(const std::vector<Affected>& work, const BitPoly& tail,
+                      unsigned width);
+
   /// Heap footprint of one occurrence-index entry (vector slot + the copied
   /// monomial's buffer).
   static std::size_t occ_entry_bytes(const BitMono& m) {
@@ -105,9 +131,69 @@ class BackwardRewriter {
   BitPoly::TermMap terms_;
   std::vector<std::vector<BitMono>> occurs_;
   std::size_t max_terms_;
+  const ExecControl* control_;
   std::size_t occ_bytes_ = 0;    // current occurrence-index footprint
   std::size_t budget_ops_ = 0;   // mutation counter for the sync cadence
+  std::size_t peak_terms_ = 0;   // high-water mark of terms_.size()
   BudgetLease lease_;            // releases everything on destruction
+};
+
+/// One RATO reduction chain run as S independent sub-chains over a partition
+/// of the seed polynomial (see the header comment's linearity argument).
+/// Shards share nothing mutable — gate tails are built once per segment and
+/// read concurrently — and only meet at merge barriers, where the XOR-merge
+/// (fixed shard order) reconstructs the exact serial intermediate
+/// polynomial. Checkpoints therefore snapshot only at barriers.
+///
+/// Budgets: each shard holds its own BudgetLease against rewriter.terms and
+/// its own max_terms cap; on top, the summed term count is checked at every
+/// barrier, so a run that would have tripped serially still trips (possibly
+/// a segment later — budgets bound resources, they are not part of the
+/// canonical answer).
+class ShardedRewriter {
+ public:
+  ShardedRewriter(const Gf2k& field, std::vector<bool> substitutable,
+                  unsigned shards, std::size_t max_terms = 0,
+                  const ExecControl* control = nullptr);
+
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Distributes one seed term round-robin. Call in a fixed order (the
+  /// partition is deterministic given the call sequence; *any* partition
+  /// merges to the same polynomial).
+  void seed(BitMono mono, const Gf2k::Elem& coeff);
+
+  /// Substitutes gates[from, to) — in RATO order — into every shard,
+  /// concurrently. Returns at a merge barrier: all shards have applied
+  /// exactly the first `to` substitutions of the chain.
+  void run_segment(const Netlist& netlist, const std::vector<NetId>& gates,
+                   std::size_t from, std::size_t to);
+
+  /// Summed live terms across shards (≥ the merged size; XOR-cancellation
+  /// between shards only resolves at a merge).
+  std::size_t num_terms() const;
+
+  /// Summed per-shard high-water marks: an upper bound on the largest
+  /// simultaneous footprint, and exactly the serial peak when S = 1.
+  std::size_t peak_terms() const;
+
+  /// Non-destructive XOR-merge (fixed shard order) — the exact serial
+  /// intermediate polynomial at the current step; checkpoint snapshots.
+  BitPoly::TermMap merged() const;
+
+  /// Destructive final merge; the rewriter is spent afterwards.
+  BitPoly::TermMap take_merged();
+
+ private:
+  void check_total_terms() const;
+
+  const Gf2k& field_;
+  std::size_t max_terms_;
+  const ExecControl* control_;
+  std::vector<std::unique_ptr<BackwardRewriter>> shards_;
+  std::size_t next_seed_ = 0;
 };
 
 /// The tail polynomial of a gate over net-id variables (multilinear form of

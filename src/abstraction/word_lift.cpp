@@ -141,17 +141,22 @@ MPoly WordLift::lift_bilinear(const BitPoly& r,
   MPoly out(field_);
   out.add_term(Monomial(), constant);
 
-  // Linear: Σ_i L[i]·w_i = Σ_j (Σ_i L[i]·C[i][j]) · W^{2^j}.
+  // Linear: Σ_i L[i]·w_i = Σ_j (Σ_i L[i]·C[i][j]) · W^{2^j}. The k output
+  // coefficients are independent (k² multiplies each word), so they run on
+  // the pool; terms merge sequentially in j order afterwards.
   for (const auto& [w, vec] : linear) {
     const VarId wv = words[w].word_var;
-    for (unsigned j = 0; j < k; ++j) {
+    std::vector<Elem> coeffs(k);
+    parallel_for(k, [&](std::size_t j) {
       Elem s = field_->zero();
       for (unsigned i = 0; i < k; ++i) {
         if (!vec[i].is_zero() && !c_[i][j].is_zero())
           s += field_->mul(vec[i], c_[i][j]);
       }
-      out.add_term(Monomial(wv, BigUint::pow2(j)), s);
-    }
+      coeffs[j] = s;
+    }, control);
+    for (unsigned j = 0; j < k; ++j)
+      out.add_term(Monomial(wv, BigUint::pow2(j)), coeffs[j]);
   }
 
   // Quadratic: Σ Q[i][l]·u_i·v_l = Σ_{s,t} (Cᵀ·Q·C)[s][t] · U^{2^s}·V^{2^t}.
@@ -201,29 +206,51 @@ MPoly WordLift::lift_general(const BitPoly& r,
   const unsigned k = field_->k();
   const auto loc = index_bits(words);
 
-  // Per-bit expansion polynomials w_i = Σ_j C[i][j]·W^{2^j}, built on demand.
+  // Per-bit expansion polynomials w_i = Σ_j C[i][j]·W^{2^j}, built up front
+  // (serially — k terms per distinct bit) so the expensive per-term products
+  // below can share them read-only across pool threads.
   std::unordered_map<VarId, MPoly> expansion;
-  auto expand_bit = [&](VarId bit) -> const MPoly& {
-    auto it = expansion.find(bit);
-    if (it != expansion.end()) return it->second;
-    const auto lit = loc.find(bit);
-    if (lit == loc.end()) throw std::logic_error("unbound bit variable in remainder");
-    MPoly p(field_);
-    const VarId wv = words[lit->second.word_index].word_var;
-    for (unsigned j = 0; j < k; ++j) {
-      const Elem& coeff = c_[lit->second.bit_index][j];
-      if (!coeff.is_zero()) p.add_term(Monomial(wv, BigUint::pow2(j)), coeff);
-    }
-    return expansion.emplace(bit, std::move(p)).first->second;
-  };
-
-  MPoly out(field_);
   for (const auto& [m, c] : r.terms()) {
-    throw_if_stopped(control);
-    MPoly acc = MPoly::constant(field_, c);
-    for (VarId v : m) acc = (acc * expand_bit(v)).normalized_vanishing(pool);
-    out += acc;
+    for (VarId v : m) {
+      if (expansion.count(v)) continue;
+      const auto lit = loc.find(v);
+      if (lit == loc.end())
+        throw std::logic_error("unbound bit variable in remainder");
+      MPoly p(field_);
+      const VarId wv = words[lit->second.word_index].word_var;
+      for (unsigned j = 0; j < k; ++j) {
+        const Elem& coeff = c_[lit->second.bit_index][j];
+        if (!coeff.is_zero()) p.add_term(Monomial(wv, BigUint::pow2(j)), coeff);
+      }
+      expansion.emplace(v, std::move(p));
+    }
   }
+
+  // Each remainder term expands independently (a product of its bits'
+  // expansion polynomials); terms are strided over width-many chunks, each
+  // chunk accumulating into a private MPoly, merged in fixed chunk order.
+  // Coefficient addition in F_{2^k} is exact, so the result matches the
+  // serial accumulation bit for bit.
+  std::vector<const BitPoly::TermMap::value_type*> terms;
+  terms.reserve(r.terms().size());
+  for (const auto& term : r.terms()) terms.push_back(&term);
+  const std::size_t chunks = std::min<std::size_t>(
+      std::max<unsigned>(parallel_available_width(), 1), terms.size());
+  std::vector<MPoly> partial(chunks, MPoly(field_));
+  parallel_for(chunks, [&](std::size_t chunk) {
+    MPoly acc_sum(field_);
+    for (std::size_t i = chunk; i < terms.size(); i += chunks) {
+      throw_if_stopped(control);
+      const auto& [m, c] = *terms[i];
+      MPoly acc = MPoly::constant(field_, c);
+      for (VarId v : m)
+        acc = (acc * expansion.at(v)).normalized_vanishing(pool);
+      acc_sum += acc;
+    }
+    partial[chunk] = std::move(acc_sum);
+  }, control);
+  MPoly out(field_);
+  for (MPoly& p : partial) out += p;
   return out.normalized_vanishing(pool);
 }
 

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/json_writer.h"
+#include "util/parallel_for.h"
 
 namespace gfa::engine {
 
@@ -79,6 +80,7 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
   w.begin_object();
   w.member("tool", tool);
   w.member("k", k);
+  w.member("threads", parallel_thread_count());
   w.key("runs");
   w.begin_array();
   for (const EngineRun& run : runs) {

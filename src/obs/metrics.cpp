@@ -34,6 +34,10 @@ constexpr KnownMetric kKnownMetrics[] = {
     {"extract.words", MetricKind::kCounter},
     {"extract.substitutions", MetricKind::kCounter},
     {"extract.peak_terms", MetricKind::kGauge},
+    // Chunked substitution (abstraction/rewriter.cpp): shards dispatched and
+    // terms XOR-merged back from shard-local maps.
+    {"rewriter.shards", MetricKind::kCounter},
+    {"rewriter.merge_terms", MetricKind::kCounter},
     // Canonical-form equivalence (abstraction/equivalence.cpp)
     {"equivalence.checks", MetricKind::kCounter},
     // Ideal-membership baseline (baselines/ideal_membership.cpp)

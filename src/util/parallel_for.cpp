@@ -22,7 +22,21 @@ namespace {
 /// caller's side); nested parallel_for calls then run serially.
 thread_local bool tls_in_parallel = false;
 
+/// set_parallel_thread_count() target. Non-zero beats GFA_THREADS so a
+/// --threads flag parsed before the pool's first use takes effect without
+/// spawning (and immediately joining) a throwaway set of workers.
+std::atomic<unsigned> g_thread_override{0};
+/// True once the pool singleton exists; lets set_parallel_thread_count()
+/// avoid constructing it eagerly (a tool that forks isolated workers should
+/// not carry a pre-fork thread pool into its children).
+std::atomic<bool> g_pool_live{false};
+
 unsigned decide_thread_count() {
+  if (const unsigned n = g_thread_override.load(std::memory_order_relaxed)) {
+    GFA_LOG_DEBUG("parallel_for",
+                  "thread pool size " << n << " (set_parallel_thread_count)");
+    return n;
+  }
   if (const char* env = std::getenv("GFA_THREADS")) {
     const Result<unsigned> v = parse_unsigned(env, 1, 1024);
     if (!v.ok()) {
@@ -100,7 +114,31 @@ class Pool {
     return pool;
   }
 
-  unsigned thread_count() const { return static_cast<unsigned>(threads_.size()) + 1; }
+  unsigned thread_count() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins the current workers and respawns `n - 1` of them. Serialized
+  /// against pooled loops via run_mutex, so no worker is mid-chunk when the
+  /// join happens.
+  void resize(unsigned n) {
+    std::lock_guard<std::mutex> run_lock(run_mutex);
+    if (n == thread_count()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = false;
+      size_.store(n, std::memory_order_relaxed);
+    }
+    for (unsigned i = 0; i + 1 < n; ++i)
+      threads_.emplace_back([this] { worker(); });
+  }
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn,
            const ExecControl* control) {
@@ -135,8 +173,10 @@ class Pool {
  private:
   Pool() {
     const unsigned n = decide_thread_count();
+    size_.store(n, std::memory_order_relaxed);
     for (unsigned i = 0; i + 1 < n; ++i)
       threads_.emplace_back([this] { worker(); });
+    g_pool_live.store(true, std::memory_order_release);
   }
 
   ~Pool() {
@@ -171,6 +211,7 @@ class Pool {
   }
 
   std::vector<std::thread> threads_;
+  std::atomic<unsigned> size_{1};  // threads_.size() + 1; lock-free readers
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
@@ -182,6 +223,20 @@ class Pool {
 }  // namespace
 
 unsigned parallel_thread_count() { return Pool::instance().thread_count(); }
+
+void set_parallel_thread_count(unsigned n) {
+  if (n < 1) n = 1;
+  if (n > 1024) n = 1024;
+  g_thread_override.store(n, std::memory_order_relaxed);
+  // Only resize a pool that already exists; otherwise the override is picked
+  // up at first use (keeps pre-fork tools thread-free until they need loops).
+  if (g_pool_live.load(std::memory_order_acquire)) Pool::instance().resize(n);
+}
+
+unsigned parallel_available_width() {
+  if (tls_in_parallel) return 1;
+  return Pool::instance().thread_count();
+}
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   const ExecControl* control) {

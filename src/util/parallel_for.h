@@ -22,6 +22,8 @@
 // malformed value (non-numeric, zero, > 1024, trailing garbage) is rejected
 // with a diagnostic and exit(2) rather than silently falling back — the same
 // policy as GFA_BENCH_MAX_K. Unset means std::thread::hardware_concurrency().
+// set_parallel_thread_count() overrides both at runtime (gfa_tool --threads,
+// the bench scaling sections, the determinism tests).
 
 #include <cstddef>
 #include <functional>
@@ -33,6 +35,17 @@ namespace gfa {
 /// Number of threads participating in parallel loops (>= 1, counting the
 /// caller).
 unsigned parallel_thread_count();
+
+/// Overrides the pool size (clamped to [1, 1024]); beats GFA_THREADS. A live
+/// pool is resized in place: the call blocks until no pooled loop is in
+/// flight, joins the old workers, and respawns. Must not be called from
+/// inside a parallel loop body (it would deadlock on the loop it is part of).
+void set_parallel_thread_count(unsigned n);
+
+/// Number of threads a parallel_for launched *right now* would use: the pool
+/// width at top level, 1 when already inside pool work (nested loops degrade
+/// to serial). Sizing hint for shard counts; not a reservation.
+unsigned parallel_available_width();
 
 /// Runs fn(i) for i in [0, n); see the header comment for guarantees.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,

@@ -41,7 +41,11 @@
 
 namespace gfa::worker {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2: snapshots are taken only at the sharded chain's merge barriers
+// (the XOR-merged polynomial equals the serial state there, so the layout is
+// unchanged) — bumped so files from the pre-sharding era, whose step counts
+// could fall anywhere in the chain, are not resumed into barrier-paced runs.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// CRC-32 (IEEE 802.3, reflected) of `n` bytes.
 std::uint32_t crc32(const void* data, std::size_t n);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "abstraction/rewriter.h"
 #include "test_util.h"
 
@@ -154,6 +158,72 @@ TEST_F(BitPolyTest, GateTailPolynomials) {
   EXPECT_EQ(tail(GateType::kBuf, {a}), var(VarId{a}));
   EXPECT_TRUE(tail(GateType::kConst0, {}).is_zero());
   EXPECT_EQ(tail(GateType::kConst1, {}), one());
+}
+
+// Distribution regressions for BitMonoHash (the splitmix64 mixer). The term
+// maps hash monomials over *consecutive* net ids — exactly the adversarial
+// input for the old xor-whole-VarId FNV loop — so the tests bucket realistic
+// monomial populations by the bits an unordered_map (or a shard selector)
+// would actually consume.
+
+/// Max bucket load over `buckets` power-of-two buckets selected by the hash
+/// bits starting at `shift`.
+template <typename Gen>
+std::size_t max_bucket_load(std::size_t n, std::size_t buckets, unsigned shift,
+                            Gen mono_of) {
+  BitMonoHash hash;
+  std::vector<std::size_t> load(buckets, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = hash(mono_of(i));
+    ++load[(h >> shift) & (buckets - 1)];
+  }
+  std::size_t max = 0;
+  for (std::size_t l : load) max = std::max(max, l);
+  return max;
+}
+
+TEST(BitMonoHashTest, ConsecutiveIdsSpreadAcrossAllHashBits) {
+  // 65536 single-variable monomials over consecutive ids into 1024 buckets:
+  // uniform expectation 64 per bucket; 128 allows ~8σ of slack. Checked on
+  // the low bits and on the high bits (the old hash left the top bits nearly
+  // constant for small ids).
+  const auto single = [](std::size_t i) { return BitMono{VarId(i)}; };
+  EXPECT_LT(max_bucket_load(65536, 1024, 0, single), 128u);
+  EXPECT_LT(max_bucket_load(65536, 1024, 54, single), 128u);
+}
+
+TEST(BitMonoHashTest, QuadraticMonomialsSpreadAcrossAllHashBits) {
+  // The {a_i, b_j} grid of a multiplier's partial products.
+  const auto pair = [](std::size_t i) {
+    const VarId a = VarId(i % 256), b = VarId(256 + i / 256);
+    return BitMono{a, b};
+  };
+  EXPECT_LT(max_bucket_load(65536, 1024, 0, pair), 128u);
+  EXPECT_LT(max_bucket_load(65536, 1024, 54, pair), 128u);
+}
+
+TEST(BitMonoHashTest, SingleBitFlipAvalanchesHalfTheOutput) {
+  // Flipping one input bit should flip ~32 output bits; the old single
+  // multiply left most high bits untouched for small ids.
+  BitMonoHash hash;
+  std::uint64_t total_flipped = 0;
+  const std::size_t trials = 4096;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const VarId v = VarId(i);
+    const std::uint64_t h1 = hash(BitMono{v});
+    const std::uint64_t h2 = hash(BitMono{VarId(v ^ 1u)});
+    total_flipped += __builtin_popcountll(h1 ^ h2);
+  }
+  const double avg = static_cast<double>(total_flipped) / trials;
+  EXPECT_GT(avg, 28.0);
+  EXPECT_LT(avg, 36.0);
+}
+
+TEST(BitMonoHashTest, HashDependsOnEveryVariable) {
+  BitMonoHash hash;
+  EXPECT_NE(hash(BitMono{1, 2, 3}), hash(BitMono{1, 2, 4}));
+  EXPECT_NE(hash(BitMono{1, 2, 3}), hash(BitMono{0, 2, 3}));
+  EXPECT_NE(hash(BitMono{}), hash(BitMono{0}));
 }
 
 }  // namespace

@@ -65,6 +65,42 @@ TEST(ParallelFor, ThreadCountIsPositive) {
   EXPECT_GE(parallel_thread_count(), 1u);
 }
 
+TEST(ParallelFor, SetThreadCountResizesLivePool) {
+  const unsigned before = parallel_thread_count();
+  for (unsigned target : {1u, 3u, 8u, before}) {
+    set_parallel_thread_count(target);
+    EXPECT_EQ(parallel_thread_count(), target);
+    // The resized pool still runs every index exactly once.
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+  EXPECT_EQ(parallel_thread_count(), before);
+}
+
+TEST(ParallelFor, SetThreadCountClampsToValidRange) {
+  const unsigned before = parallel_thread_count();
+  set_parallel_thread_count(0);
+  EXPECT_EQ(parallel_thread_count(), 1u);
+  set_parallel_thread_count(before);
+  EXPECT_EQ(parallel_thread_count(), before);
+}
+
+TEST(ParallelFor, AvailableWidthIsOneInsideLoops) {
+  const unsigned before = parallel_thread_count();
+  set_parallel_thread_count(4);
+  EXPECT_EQ(parallel_available_width(), 4u);
+  std::atomic<unsigned> inner_width{99};
+  parallel_for(8, [&](std::size_t) {
+    inner_width.store(parallel_available_width());
+  });
+  EXPECT_EQ(inner_width.load(), 1u);
+  set_parallel_thread_count(1);
+  EXPECT_EQ(parallel_available_width(), 1u);
+  set_parallel_thread_count(before);
+}
+
 // With several indices throwing, the exception that propagates must be the
 // one from the lowest index, independent of thread schedule: the later
 // errors (700+) are thrown from many chunks at once and will often be

@@ -1,0 +1,219 @@
+// Determinism suite for the parallel sharded reduction chain (rewriter.h):
+// the extracted canonical polynomial must be bit-identical at every pool
+// width, for both the chunked substitution inside one chain and the seed
+// sharding across sub-chains — including when a mid-chain fault unwinds a
+// run, and when a checkpoint saved at one thread count is resumed at
+// another. "Identical" here is exact: the same term set with the same
+// GF(2^k) coefficients, compared both structurally and via to_string.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "abstraction/extractor.h"
+#include "abstraction/rewriter.h"
+#include "circuit/mastrovito.h"
+#include "circuit/montgomery.h"
+#include "util/fault_inject.h"
+#include "util/parallel_for.h"
+#include "worker/checkpoint.h"
+
+namespace gfa {
+namespace {
+
+struct Disarmer {
+  ~Disarmer() { fault::disarm(); }
+};
+
+/// Restores the pool width the test found, however the test exits.
+struct WidthGuard {
+  unsigned before = parallel_thread_count();
+  ~WidthGuard() { set_parallel_thread_count(before); }
+};
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "gfa_det_XXXXXX";
+  const char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+WordFunction extract_at(unsigned threads, const Netlist& nl, const Gf2k& field,
+                        const ExtractionOptions& options = {}) {
+  set_parallel_thread_count(threads);
+  return extract_word_function(nl, field, options);
+}
+
+/// Extracts at 1/2/8 threads and asserts every result is bit-identical to
+/// the 1-thread chain.
+void expect_width_invariant(const Netlist& nl, const Gf2k& field) {
+  WidthGuard guard;
+  const WordFunction ref = extract_at(1, nl, field);
+  const std::string ref_poly = ref.g.to_string(ref.pool);
+  for (unsigned threads : {2u, 8u}) {
+    const WordFunction fn = extract_at(threads, nl, field);
+    EXPECT_TRUE(fn.g == ref.g) << "k=" << field.k() << " threads=" << threads;
+    EXPECT_EQ(fn.g.to_string(fn.pool), ref_poly)
+        << "k=" << field.k() << " threads=" << threads;
+    // The chain does the same work regardless of how it is sharded.
+    EXPECT_EQ(fn.stats.substitutions, ref.stats.substitutions);
+  }
+}
+
+TEST(ReductionDeterminism, MastrovitoIsBitIdenticalAcrossThreadCounts) {
+  for (unsigned k : {8u, 32u, 64u}) {
+    const Gf2k field = Gf2k::make(k);
+    expect_width_invariant(make_mastrovito_multiplier(field), field);
+  }
+}
+
+TEST(ReductionDeterminism, MontgomeryFlatIsBitIdenticalAcrossThreadCounts) {
+  for (unsigned k : {8u, 32u, 64u}) {
+    const Gf2k field = Gf2k::make(k);
+    expect_width_invariant(make_montgomery_multiplier_flat(field), field);
+  }
+}
+
+TEST(ReductionDeterminism, ExplicitShardCountsAgreeWithTheSerialChain) {
+  // chain_shards overrides the auto width: 1 forces the serial chain, larger
+  // values force more sub-chains than the seed-capped auto choice would pick.
+  WidthGuard guard;
+  set_parallel_thread_count(4);
+  const Gf2k field = Gf2k::make(32);
+  const Netlist nl = make_mastrovito_multiplier(field);
+  ExtractionOptions options;
+  options.chain_shards = 1;
+  const WordFunction serial = extract_word_function(nl, field, options);
+  for (unsigned shards : {2u, 3u, 7u, 32u}) {
+    options.chain_shards = shards;
+    const WordFunction fn = extract_word_function(nl, field, options);
+    EXPECT_TRUE(fn.g == serial.g) << "chain_shards=" << shards;
+  }
+}
+
+TEST(ReductionDeterminism, ChunkedSubstitutionMatchesTheSerialExpansion) {
+  // Drive one substitution through the chunked path directly: enough pending
+  // terms to clear kChunkedSubstitutionMin, a multi-term tail, and
+  // coefficients chosen so cross-shard XOR cancellation actually happens.
+  WidthGuard guard;
+  const Gf2k field = Gf2k::make(16);
+  const unsigned n = 3 * kChunkedSubstitutionMin;  // 384 pending terms
+  const VarId v = 0;
+  std::vector<bool> substitutable(n + 8, true);
+
+  const auto fill = [&](BackwardRewriter& rw) {
+    for (unsigned i = 0; i < n; ++i) {
+      // {v, x_i} and a v-free sibling {x_i, y_j} (BitMonos are strictly
+      // increasing, so y lives above every x); alpha powers cycle so
+      // coefficients exercise the full field, not just 1.
+      rw.add({v, VarId(4 + i)}, field.alpha_pow(i % 13 + 1));
+      rw.add({VarId(4 + i), VarId(n + 4 + i % 4)}, field.one());
+    }
+    // A few terms designed to cancel against expansion products.
+    for (unsigned i = 0; i < n; i += 2)
+      rw.add({VarId(1), VarId(4 + i)}, field.alpha_pow(i % 13 + 1));
+  };
+  const BitPoly tail = [&]() {
+    BitPoly t(&field);
+    t.add_term({VarId(1)}, field.one());
+    t.add_term({VarId(2)}, field.alpha());
+    t.add_term({VarId(2), VarId(3)}, field.alpha_pow(5));
+    t.add_term({}, field.one());
+    return t;
+  }();
+
+  set_parallel_thread_count(1);
+  BackwardRewriter serial(field, substitutable);
+  fill(serial);
+  serial.substitute(v, tail);
+
+  set_parallel_thread_count(4);
+  BackwardRewriter chunked(field, substitutable);
+  fill(chunked);
+  ASSERT_GE(chunked.occurrences(v), kChunkedSubstitutionMin);
+  chunked.substitute(v, tail);
+
+  EXPECT_EQ(chunked.num_terms(), serial.num_terms());
+  EXPECT_TRUE(chunked.terms() == serial.terms());
+}
+
+TEST(ReductionDeterminism, CleanRerunAfterMidChainFaultIsIdentical) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  WidthGuard guard;
+  const Gf2k field = Gf2k::make(32);
+  const Netlist nl = make_mastrovito_multiplier(field);
+  const WordFunction ref = extract_at(1, nl, field);
+
+  for (unsigned threads : {2u, 8u}) {
+    set_parallel_thread_count(threads);
+    // Kill the chain partway through (the 400th add lands mid-substitution);
+    // the failure must unwind as a clean status, and a rerun in the same
+    // process must not be perturbed by the aborted shards.
+    ASSERT_TRUE(fault::arm("oom:rewriter.add", 400).ok());
+    const Result<WordFunction> interrupted =
+        try_extract_word_function(nl, field);
+    EXPECT_TRUE(fault::fired()) << "threads=" << threads;
+    ASSERT_FALSE(interrupted.ok()) << "threads=" << threads;
+    EXPECT_EQ(interrupted.status().code(), StatusCode::kResourceExhausted);
+    fault::disarm();
+
+    const WordFunction rerun = extract_word_function(nl, field);
+    EXPECT_TRUE(rerun.g == ref.g) << "threads=" << threads;
+    EXPECT_EQ(rerun.g.to_string(rerun.pool), ref.g.to_string(ref.pool));
+  }
+}
+
+TEST(ReductionDeterminism, ResumeOnADifferentThreadCountMatches) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  WidthGuard guard;
+  const Gf2k field = Gf2k::make(64);
+  const Netlist nl = make_mastrovito_multiplier(field);
+  const WordFunction ref = extract_at(1, nl, field);
+  const std::string ref_poly = ref.g.to_string(ref.pool);
+
+  const std::string dir = make_temp_dir();
+  ExtractionCheckpoint ck;
+  ck.directory = dir;
+  ck.interval = 100;
+  ExecControl control;  // non-null so the cancel fault point is polled
+  ExtractionOptions options;
+  options.control = &control;
+  options.checkpoint = &ck;
+
+  // Save under a 2-thread chain (snapshots only happen at merge barriers,
+  // where the sharded state equals the serial state)... The sharded chain
+  // polls the cancel point once per shard per segment rather than per gate,
+  // so the skip count is small: ~30 polls lands a few thousand gates in,
+  // after many barrier saves but far from the chain's end.
+  set_parallel_thread_count(2);
+  ASSERT_TRUE(fault::arm("cancel:checkpoint", 30).ok());
+  const Result<WordFunction> interrupted =
+      try_extract_word_function(nl, field, options);
+  ASSERT_FALSE(interrupted.ok());
+  EXPECT_EQ(interrupted.status().code(), StatusCode::kCancelled);
+  fault::disarm();
+  const std::string path =
+      worker::checkpoint_path(dir, worker::netlist_content_hash(nl), "Z");
+  ASSERT_TRUE(worker::load_checkpoint(path).ok())
+      << "no checkpoint survived the interruption";
+
+  // ...and resume under an 8-thread chain: the loaded terms are re-sharded
+  // round-robin, so the partition differs from the one that saved — the
+  // polynomial must not.
+  set_parallel_thread_count(8);
+  ck.resume = true;
+  const Result<WordFunction> resumed =
+      try_extract_word_function(nl, field, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().to_string();
+  EXPECT_TRUE(resumed->stats.resumed);
+  EXPECT_LT(resumed->stats.substitutions, ref.stats.substitutions);
+  EXPECT_TRUE(resumed->g == ref.g);
+  EXPECT_EQ(resumed->g.to_string(resumed->pool), ref_poly);
+}
+
+}  // namespace
+}  // namespace gfa

@@ -64,6 +64,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault_inject.h"
+#include "util/parallel_for.h"
 #include "util/parse_number.h"
 #include "worker/harness.h"
 #include "worker/retry.h"
@@ -129,6 +130,7 @@ struct Flags {
   std::string checkpoint_dir;        // empty = checkpointing off
   std::uint64_t checkpoint_interval = 0;  // 0 = library default
   bool resume = false;               // load a matching checkpoint if present
+  unsigned threads = 0;              // 0 = GFA_THREADS / hardware default
 };
 
 Result<Flags> parse_flags(int argc, char** argv) {
@@ -186,6 +188,15 @@ Result<Flags> parse_flags(int argc, char** argv) {
       Result<std::uint64_t> n = parse_u64(value, 1);
       if (!n.ok()) return n.status();
       flags.checkpoint_interval = *n;
+    } else if (name == "--threads") {
+      // Same domain as GFA_THREADS; 0 and garbage are rejected here as
+      // kInvalidArgument (exit 66, like a bad engine name) so the pool
+      // never sees them.
+      Result<unsigned> n = parse_unsigned(value, 1, 1024);
+      if (!n.ok())
+        return Status::invalid_argument(
+            "--threads: " + std::string(n.status().message()));
+      flags.threads = *n;
     } else {
       return Status::invalid_argument("unknown flag '" + std::string(name) +
                                       "'");
@@ -235,6 +246,7 @@ Result<Flags> parse_flags(int argc, char** argv) {
 
 /// Applies the observability flags to the process-wide switches.
 void apply_observability_flags(const Flags& flags) {
+  if (flags.threads != 0) set_parallel_thread_count(flags.threads);
   if (flags.metrics) obs::set_metrics_enabled(true);
   if (!flags.trace.empty()) obs::set_trace_enabled(true);
   if (!flags.log_level.empty())
@@ -606,6 +618,8 @@ void usage() {
       "  gfa_tool sat <spec> <impl> <k> [conflict-limit]\n"
       "  gfa_tool stats <file>\n"
       "observability flags (any command):\n"
+      "  --threads=<n>          thread-pool size, 1..1024 (default:"
+      " GFA_THREADS or all cores)\n"
       "  --metrics              collect + print engine metrics\n"
       "  --trace=<file>         write Chrome trace-event JSON\n"
       "  --log-level=<level>    error|warn|info|debug (default: GFA_LOG or"
