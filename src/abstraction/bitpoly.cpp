@@ -5,81 +5,20 @@
 
 namespace gfa {
 
-BitMono bitmono_mul(const BitMono& a, const BitMono& b) {
-  BitMono out;
+LegacyBitMono bitmono_mul(const LegacyBitMono& a, const LegacyBitMono& b) {
+  LegacyBitMono out;
   out.reserve(a.size() + b.size());
   std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
   return out;
 }
 
-BitPoly BitPoly::constant(const Gf2k* field, Elem c) {
-  BitPoly p(field);
-  p.add_term(BitMono{}, c);
-  return p;
+std::size_t BitRepr<LegacyBitMono>::map_bytes(const TermMap& t) {
+  return t.size() * 96;  // kRewriterTermBytes: node + monomial buffer + coeff
 }
 
-BitPoly BitPoly::variable(const Gf2k* field, VarId v) {
-  BitPoly p(field);
-  p.add_term(BitMono{v}, field->one());
-  return p;
-}
-
-void BitPoly::add_term(const BitMono& m, const Elem& c) {
-  if (c.is_zero()) return;
-  auto [it, inserted] = terms_.try_emplace(m, c);
-  if (!inserted) {
-    it->second += c;  // field add == GF(2)[x] XOR
-    if (it->second.is_zero()) terms_.erase(it);
-  }
-}
-
-void BitPoly::add_term(BitMono&& m, const Elem& c) {
-  if (c.is_zero()) return;
-  auto [it, inserted] = terms_.try_emplace(std::move(m), c);
-  if (!inserted) {
-    it->second += c;
-    if (it->second.is_zero()) terms_.erase(it);
-  }
-}
-
-BitPoly::Elem BitPoly::coeff(const BitMono& m) const {
-  auto it = terms_.find(m);
-  return it == terms_.end() ? field_->zero() : it->second;
-}
-
-BitPoly BitPoly::operator+(const BitPoly& rhs) const {
-  BitPoly out = *this;
-  out += rhs;
-  return out;
-}
-
-BitPoly& BitPoly::operator+=(const BitPoly& rhs) {
-  for (const auto& [m, c] : rhs.terms_) add_term(m, c);
-  return *this;
-}
-
-BitPoly BitPoly::operator*(const BitPoly& rhs) const {
-  BitPoly out(field_);
-  for (const auto& [ma, ca] : terms_)
-    for (const auto& [mb, cb] : rhs.terms_)
-      out.add_term(bitmono_mul(ma, mb), field_->mul(ca, cb));
-  return out;
-}
-
-BitPoly BitPoly::scaled(const Elem& c) const {
-  BitPoly out(field_);
-  if (c.is_zero()) return out;
-  for (const auto& [m, coeff] : terms_) out.add_term(m, field_->mul(coeff, c));
-  return out;
-}
-
-std::size_t BitPoly::max_monomial_size() const {
-  std::size_t mx = 0;
-  for (const auto& [m, c] : terms_) mx = std::max(mx, m.size());
-  return mx;
-}
-
-BitPoly::Elem BitPoly::eval(const std::vector<bool>& assignment) const {
+template <class M>
+typename BasicBitPoly<M>::Elem BasicBitPoly<M>::eval(
+    const std::vector<bool>& assignment) const {
   Elem sum = field_->zero();
   for (const auto& [m, c] : terms_) {
     bool all = true;
@@ -95,10 +34,12 @@ BitPoly::Elem BitPoly::eval(const std::vector<bool>& assignment) const {
   return sum;
 }
 
-std::string BitPoly::to_string(const VarPool& pool) const {
+template <class M>
+std::string BasicBitPoly<M>::to_string(const VarPool& pool) const {
   if (is_zero()) return "0";
-  // Deterministic rendering: sort by monomial (size, then ids).
-  std::vector<const std::pair<const BitMono, Elem>*> sorted;
+  // Deterministic rendering: sort by monomial (ids lexicographic; identical
+  // order across representations, so packed and legacy renderings match).
+  std::vector<const typename TermMap::value_type*> sorted;
   sorted.reserve(terms_.size());
   for (const auto& t : terms_) sorted.push_back(&t);
   std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
@@ -123,5 +64,8 @@ std::string BitPoly::to_string(const VarPool& pool) const {
   }
   return out;
 }
+
+template class BasicBitPoly<PackedMono>;
+template class BasicBitPoly<LegacyBitMono>;
 
 }  // namespace gfa

@@ -68,27 +68,32 @@ CheckpointPlan plan_checkpoint(const Netlist& netlist, unsigned k,
 }
 
 /// Snapshots the rewriter's term map in a deterministic (sorted) order and
-/// writes it. Save failures are logged, not fatal — checkpointing is an
-/// optimization, never a correctness dependency.
+/// writes it. The file format stores packed monomials whichever tier the
+/// chain runs on, so checkpoints transfer across --poly-repr settings. Save
+/// failures are logged, not fatal — checkpointing is an optimization, never
+/// a correctness dependency.
+template <class M>
 void save_progress(const CheckpointPlan& plan, const Word* out_word,
                    unsigned k, std::uint64_t step,
-                   const BitPoly::TermMap& terms) {
+                   const typename BitRepr<M>::TermMap& terms) {
   worker::ReductionCheckpoint cp;
   cp.k = k;
   cp.circuit_hash = plan.circuit_hash;
   cp.word = out_word->name;
   cp.step = step;
   cp.terms.reserve(terms.size());
-  for (const auto& [mono, coeff] : terms) cp.terms.emplace_back(mono, coeff);
+  for (const auto& [mono, coeff] : terms)
+    cp.terms.emplace_back(BitRepr<M>::to_packed(mono), coeff);
   std::sort(cp.terms.begin(), cp.terms.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   if (const Status s = worker::save_checkpoint(plan.path, cp); !s.ok())
     GFA_LOG_WARN("extract", "checkpoint save failed: " << s.message());
 }
 
-WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
-                              const Word* out_word,
-                              const ExtractionOptions& options) {
+template <class M>
+WordFunction extract_for_word_impl(const Netlist& netlist, const Gf2k& field,
+                                   const Word* out_word,
+                                   const ExtractionOptions& options) {
   const obs::TraceSpan extract_span("extract_word", "abstraction");
   const unsigned k = field.k();
   const std::vector<const Word*> in_words = input_words(netlist);
@@ -128,8 +133,8 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
                                               : parallel_available_width();
   if (seed_count > 0 && shards > seed_count)
     shards = static_cast<unsigned>(seed_count);
-  ShardedRewriter chain(field, std::move(substitutable), shards,
-                        options.max_terms, options.control);
+  BasicShardedRewriter<M> chain(field, std::move(substitutable), shards,
+                                options.max_terms, options.control);
   try {
     std::vector<NetId> rato;
     {
@@ -144,11 +149,11 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
       // occurrence indexes rebuild through add()); the first resume_step
       // substitutions of the deterministic RATO chain are already folded in.
       for (auto& [mono, coeff] : ckpt.resume_terms)
-        chain.seed(std::move(mono), coeff);
+        chain.seed(BitRepr<M>::from_packed(std::move(mono)), coeff);
       ckpt.resume_terms.clear();
     } else {
       for (unsigned j = 0; j < k; ++j)
-        chain.seed(BitMono{out_word->bits[j]}, basis_elem(j));
+        chain.seed(M{out_word->bits[j]}, basis_elem(j));
     }
     std::vector<NetId> gates;
     gates.reserve(rato.size());
@@ -168,7 +173,7 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
       stats.substitutions += end - step;
       step = end;
       if (ckpt.active && step < gates.size())
-        save_progress(ckpt, out_word, k, step, chain.merged());
+        save_progress<M>(ckpt, out_word, k, step, chain.merged());
     }
     stats.peak_terms = chain.peak_terms();
   } catch (const RewriteBudgetExceeded& e) {
@@ -183,13 +188,13 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   GFA_GAUGE_MAX("extract.peak_terms", stats.peak_terms);
 
   // The remainder now mentions only primary-input bits.
-  const BitPoly::TermMap remainder = chain.take_merged();
+  const typename BitRepr<M>::TermMap remainder = chain.take_merged();
   stats.remainder_terms = remainder.size();
   bool any_bits = false;
   for (const auto& [m, c] : remainder) {
     stats.remainder_degree = std::max(stats.remainder_degree, m.size());
     if (!m.empty()) any_bits = true;
-    for (VarId v : m)
+    for ([[maybe_unused]] VarId v : m)
       assert(is_input[v] && "non-input variable survived the reduction");
   }
   stats.case1 = !any_bits;
@@ -212,10 +217,14 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
     result.input_words.push_back(w->name);
   }
 
-  // Remap the remainder onto pool variable ids.
+  // Remap the remainder onto pool variable ids. Whichever tier the chain ran
+  // on, the lift boundary takes the packed form — everything downstream of
+  // here is representation-agnostic.
   BitPoly r(&field);
+  r.reserve(remainder.size());
+  std::vector<VarId> mapped;
   for (const auto& [m, c] : remainder) {
-    BitMono mapped;
+    mapped.clear();
     mapped.reserve(m.size());
     for (VarId v : m) {
       if (net_to_var[v] == UINT32_MAX)
@@ -224,7 +233,7 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
       mapped.push_back(net_to_var[v]);
     }
     std::sort(mapped.begin(), mapped.end());
-    r.add_term(std::move(mapped), c);
+    r.add_term(BitMono::from_sorted(mapped.data(), mapped.size()), c);
   }
 
   // Step 2: the Case-2 lift (a no-op beyond copying constants for Case 1).
@@ -243,6 +252,19 @@ WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
   }
   result.stats = stats;
   return result;
+}
+
+/// Tier dispatch: the whole chain (rewriter, checkpoint snapshots, remainder
+/// remap) is instantiated per monomial representation; the two instantiations
+/// produce bit-identical WordFunctions.
+WordFunction extract_for_word(const Netlist& netlist, const Gf2k& field,
+                              const Word* out_word,
+                              const ExtractionOptions& options) {
+  return options.poly_repr == PolyRepr::kVector
+             ? extract_for_word_impl<LegacyBitMono>(netlist, field, out_word,
+                                                    options)
+             : extract_for_word_impl<BitMono>(netlist, field, out_word,
+                                              options);
 }
 
 }  // namespace

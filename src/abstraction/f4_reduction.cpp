@@ -71,23 +71,27 @@ WordFunction extract_word_function_f4(const Netlist& netlist, const Gf2k& field,
         if (it->second.is_zero()) next.erase(it);
       }
     };
+    std::vector<VarId> rest_ids;
+    std::vector<VarId> batch;  // this level's gate variables in the monomial
     for (const auto& [mono, coeff] : r) {
-      BitMono rest;
-      BitMono batch;  // this level's gate variables in the monomial
+      rest_ids.clear();
+      batch.clear();
       for (VarId v : mono) {
         if (!is_input[v] && level[v] == lv)
           batch.push_back(v);
         else
-          rest.push_back(v);
+          rest_ids.push_back(v);
       }
       if (batch.empty()) {
         emit(mono, coeff);
         continue;
       }
       ++stats.substitutions;
-      // Expand the product of the batch's tails onto `rest`.
+      // Expand the product of the batch's tails onto `rest` (the split loop
+      // preserved the sorted order, so from_sorted applies directly).
       BitPoly acc(&field);
-      acc.add_term(rest, coeff);
+      acc.add_term(BitMono::from_sorted(rest_ids.data(), rest_ids.size()),
+                   coeff);
       for (VarId v : batch) acc = acc * tails[v];
       for (const auto& [m, c] : acc.terms()) emit(m, c);
     }
@@ -121,8 +125,10 @@ WordFunction extract_word_function_f4(const Netlist& netlist, const Gf2k& field,
     result.input_words.push_back(w->name);
   }
   BitPoly remainder(&field);
+  remainder.reserve(r.size());
+  std::vector<VarId> mapped;
   for (const auto& [m, c] : r) {
-    BitMono mapped;
+    mapped.clear();
     mapped.reserve(m.size());
     for (VarId v : m) {
       if (net_to_var[v] == UINT32_MAX)
@@ -131,7 +137,7 @@ WordFunction extract_word_function_f4(const Netlist& netlist, const Gf2k& field,
       mapped.push_back(net_to_var[v]);
     }
     std::sort(mapped.begin(), mapped.end());
-    remainder.add_term(std::move(mapped), c);
+    remainder.add_term(BitMono::from_sorted(mapped.data(), mapped.size()), c);
   }
   if (stats.case1) {
     result.g = MPoly::constant(&field, remainder.coeff(BitMono{}));

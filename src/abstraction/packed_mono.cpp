@@ -1,0 +1,173 @@
+#include "abstraction/packed_mono.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace gfa {
+
+namespace detail {
+
+namespace {
+
+/// Size classes in ids: spills start at 7 ids, so the smallest class is 8.
+/// Buffers above the largest class go straight to operator new.
+constexpr std::size_t kClassIds[] = {8, 16, 32, 64, 128, 256};
+constexpr std::size_t kNumClasses = sizeof(kClassIds) / sizeof(kClassIds[0]);
+constexpr std::size_t kMaxCachedPerClass = 64;
+
+int class_of(std::size_t n) {
+  for (std::size_t c = 0; c < kNumClasses; ++c)
+    if (n <= kClassIds[c]) return static_cast<int>(c);
+  return -1;
+}
+
+struct FreeList {
+  VarId* slots[kMaxCachedPerClass];
+  std::size_t count = 0;
+};
+
+/// Global counters (relaxed — stats, not synchronization); the free lists
+/// themselves are thread-local and never shared.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_pool_hits{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+
+FreeList& free_list(std::size_t cls) {
+  thread_local FreeList lists[kNumClasses];
+  return lists[cls];
+}
+
+}  // namespace
+
+std::size_t spill_capacity_bytes(std::size_t n) noexcept {
+  const int cls = class_of(n);
+  const std::size_t ids = cls < 0 ? n : kClassIds[cls];
+  return ids * sizeof(VarId);
+}
+
+VarId* spill_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_live_bytes.fetch_add(spill_capacity_bytes(n), std::memory_order_relaxed);
+  const int cls = class_of(n);
+  if (cls >= 0) {
+    FreeList& fl = free_list(static_cast<std::size_t>(cls));
+    if (fl.count > 0) {
+      g_pool_hits.fetch_add(1, std::memory_order_relaxed);
+      return fl.slots[--fl.count];
+    }
+    return new VarId[kClassIds[cls]];
+  }
+  return new VarId[n];
+}
+
+void spill_free(VarId* p, std::size_t n) noexcept {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  g_live_bytes.fetch_sub(spill_capacity_bytes(n), std::memory_order_relaxed);
+  const int cls = class_of(n);
+  if (cls >= 0) {
+    FreeList& fl = free_list(static_cast<std::size_t>(cls));
+    if (fl.count < kMaxCachedPerClass) {
+      fl.slots[fl.count++] = p;
+      return;
+    }
+  }
+  delete[] p;
+}
+
+}  // namespace detail
+
+SpillPoolStats packed_mono_pool_stats() {
+  SpillPoolStats s;
+  s.allocs = detail::g_allocs.load(std::memory_order_relaxed);
+  s.pool_hits = detail::g_pool_hits.load(std::memory_order_relaxed);
+  s.frees = detail::g_frees.load(std::memory_order_relaxed);
+  s.live_bytes = detail::g_live_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+PackedMono PackedMono::spill_from(const VarId* ids, std::size_t n) {
+  PackedMono m;
+  VarId* buf = detail::spill_alloc(n);
+  std::memcpy(buf, ids, n * sizeof(VarId));
+  m.w0_ = (static_cast<std::uint64_t>(n) << 3) | 7u;
+  m.w1_ = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(buf));
+  return m;
+}
+
+PackedMono::PackedMono(std::initializer_list<VarId> list) {
+  std::vector<VarId> ids(list);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  *this = from_sorted(ids.data(), ids.size());
+}
+
+void PackedMono::copy_from(const PackedMono& o) {
+  w0_ = o.w0_;
+  if (!o.spilled()) {
+    w1_ = o.w1_;
+    return;
+  }
+  const std::size_t n = o.size();
+  VarId* buf = detail::spill_alloc(n);
+  std::memcpy(buf, o.spill_ptr(), n * sizeof(VarId));
+  w1_ = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(buf));
+}
+
+PackedMono PackedMono::without_spilled(VarId v) const {
+  const std::size_t n = size();
+  std::vector<VarId> heap(n);
+  VarId* out = heap.data();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const VarId x = (*this)[i];
+    if (x != v) out[j++] = x;
+  }
+  return from_sorted(out, j);
+}
+
+PackedMono packed_mono_mul_spilled(const PackedMono& a, const PackedMono& b) {
+  const std::size_t na = a.size(), nb = b.size();
+  if (na == 0) return b;
+  if (nb == 0) return a;
+  VarId stack[2 * PackedMono::kMaxInline] = {};
+  std::vector<VarId> heap;
+  VarId* out = stack;
+  if (na + nb > 2 * PackedMono::kMaxInline) {
+    heap.resize(na + nb);
+    out = heap.data();
+  }
+  // Sorted-set union by index; operator[] is a couple of shifts inline.
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < na && j < nb) {
+    const VarId x = a[i], y = b[j];
+    if (x < y) {
+      out[n++] = x;
+      ++i;
+    } else if (y < x) {
+      out[n++] = y;
+      ++j;
+    } else {
+      out[n++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < na; ++i) out[n++] = a[i];
+  for (; j < nb; ++j) out[n++] = b[j];
+  return PackedMono::from_sorted(out, n);
+}
+
+std::ostream& operator<<(std::ostream& os, const PackedMono& m) {
+  os << '{';
+  bool first = true;
+  for (VarId v : m) {
+    if (!first) os << ',';
+    os << v;
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace gfa

@@ -11,6 +11,10 @@
 
 namespace gfa::fault {
 
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
 namespace {
 
 enum class Action {
@@ -48,7 +52,6 @@ constexpr SiteInfo kSites[] = {
 constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 
 struct State {
-  std::atomic<bool> armed{false};
   const SiteInfo* site = nullptr;        // valid while armed
   std::atomic<std::int64_t> countdown{0};  // fires when it reaches 0
   std::atomic<std::uint64_t> hits{0};
@@ -70,7 +73,7 @@ const SiteInfo* find_site(std::string_view name) {
   state().fired.store(true, std::memory_order_relaxed);
   // One-shot: drop the enabled() gate so later GFA_FAULT_POINTs are back to
   // a single relaxed load and pass through. fired()/hits() survive re-read.
-  state().armed.store(false, std::memory_order_relaxed);
+  detail::g_armed.store(false, std::memory_order_relaxed);
   switch (site.action) {
     case Action::kBadAlloc:
       throw std::bad_alloc();
@@ -128,13 +131,9 @@ bool compiled_in() {
 #endif
 }
 
-bool enabled() {
-  return state().armed.load(std::memory_order_relaxed);
-}
-
 void point(const char* site) {
   State& s = state();
-  if (!s.armed.load(std::memory_order_relaxed)) return;
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
   const SiteInfo* armed_site = s.site;
   if (armed_site == nullptr || std::strcmp(site, armed_site->name) != 0) return;
   s.hits.fetch_add(1, std::memory_order_relaxed);
@@ -145,7 +144,7 @@ void point(const char* site) {
 
 bool consume(const char* site) {
   State& s = state();
-  if (!s.armed.load(std::memory_order_relaxed)) return false;
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
   const SiteInfo* armed_site = s.site;
   if (armed_site == nullptr || std::strcmp(site, armed_site->name) != 0)
     return false;
@@ -153,7 +152,7 @@ bool consume(const char* site) {
   if (s.countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
     // Same one-shot semantics as fire(), minus the throw.
     s.fired.store(true, std::memory_order_relaxed);
-    s.armed.store(false, std::memory_order_relaxed);
+    detail::g_armed.store(false, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -177,12 +176,12 @@ Status arm(std::string_view site, std::uint64_t n) {
                                     ")");
   }
   State& s = state();
-  s.armed.store(false, std::memory_order_relaxed);
+  detail::g_armed.store(false, std::memory_order_relaxed);
   s.site = info;
   s.countdown.store(static_cast<std::int64_t>(n), std::memory_order_relaxed);
   s.hits.store(0, std::memory_order_relaxed);
   s.fired.store(false, std::memory_order_relaxed);
-  s.armed.store(true, std::memory_order_release);
+  detail::g_armed.store(true, std::memory_order_release);
   return Status();
 }
 
@@ -207,7 +206,7 @@ Status arm_spec(std::string_view spec) {
 
 void disarm() {
   State& s = state();
-  s.armed.store(false, std::memory_order_relaxed);
+  detail::g_armed.store(false, std::memory_order_relaxed);
   s.site = nullptr;
   s.fired.store(false, std::memory_order_relaxed);
   s.hits.store(0, std::memory_order_relaxed);

@@ -16,6 +16,7 @@
 // macro expands to nothing and arm() reports kUnsupported, so release
 // binaries carry zero overhead and cannot be sabotaged via the environment.
 
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -27,9 +28,18 @@ namespace gfa::fault {
 /// True when the framework was compiled in (GFA_FAULT_INJECTION defined).
 bool compiled_in();
 
-/// True while some site is armed and has not yet fired. Cheap (one relaxed
-/// atomic load); the macro uses it as the fast-path gate.
-bool enabled();
+namespace detail {
+/// The armed/disarmed gate, exposed here so enabled() inlines into hot loops
+/// (the rewriter's add path hits it once per term mutation). All other
+/// injection state stays in fault_inject.cpp.
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True while some site is armed and has not yet fired. One relaxed atomic
+/// load, inline; the macro uses it as the fast-path gate.
+inline bool enabled() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
 
 /// Hot-path hook: fires the armed fault if `site` matches and this is the
 /// Nth hit since arming. No-op (after the `enabled()` gate) otherwise.

@@ -27,6 +27,15 @@ void put_u64(std::string& buf, std::uint64_t v) {
     buf += static_cast<char>((v >> (8 * i)) & 0xFF);
 }
 
+/// LEB128: 7 data bits per byte, high bit = continuation.
+void put_varint(std::string& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf += static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  buf += static_cast<char>(v);
+}
+
 /// Bounded little-endian reads; `pos` advances, failure = past the end.
 struct Reader {
   const std::string& buf;
@@ -57,6 +66,19 @@ struct Reader {
     out.assign(buf, pos, n);
     pos += n;
     return true;
+  }
+
+  /// Rejects truncation and overlong (> 10 byte) encodings.
+  bool read_varint(std::uint64_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      if (pos >= buf.size()) return false;
+      const auto b = static_cast<unsigned char>(buf[pos++]);
+      if (shift == 63 && (b & 0x7E) != 0) return false;  // overflows u64
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return true;
+    }
+    return false;
   }
 };
 
@@ -147,10 +169,18 @@ Status save_checkpoint(const std::string& path, const ReductionCheckpoint& cp) {
   put_u64(buf, cp.step);
   put_u64(buf, cp.terms.size());
   for (const auto& [mono, coeff] : cp.terms) {
-    put_u32(buf, static_cast<std::uint32_t>(mono.size()));
-    for (VarId v : mono) put_u32(buf, v);
+    // v3 term encoding: monomial ids are strictly increasing, so after the
+    // first id only the (≥ 1) deltas are stored, as varints.
+    put_varint(buf, mono.size());
+    VarId prev = 0;
+    bool first = true;
+    for (VarId v : mono) {
+      put_varint(buf, first ? v : v - prev);
+      prev = v;
+      first = false;
+    }
     const std::vector<std::uint64_t>& words = coeff.words();
-    put_u64(buf, words.size());
+    put_varint(buf, words.size());
     for (std::uint64_t w : words) put_u64(buf, w);
   }
   std::uint32_t crc = crc32(buf.data(), buf.size());
@@ -199,10 +229,11 @@ Result<ReductionCheckpoint> load_checkpoint(const std::string& path) {
   ReductionCheckpoint cp;
   std::uint32_t version = 0;
   if (!r.read_u32(version)) return damaged(path, "truncated version");
-  if (version != kCheckpointVersion)
+  if (version < kMinReadableCheckpointVersion || version > kCheckpointVersion)
     return damaged(path, "version skew (file v" + std::to_string(version) +
                              ", this build reads v" +
-                             std::to_string(kCheckpointVersion) + ")");
+                             std::to_string(kMinReadableCheckpointVersion) +
+                             "–v" + std::to_string(kCheckpointVersion) + ")");
   std::uint32_t word_len = 0;
   if (!r.read_u32(cp.k) || !r.read_u64(cp.circuit_hash) ||
       !r.read_u32(word_len) || !r.read_bytes(cp.word, word_len) ||
@@ -211,22 +242,51 @@ Result<ReductionCheckpoint> load_checkpoint(const std::string& path) {
   std::uint64_t num_terms = 0;
   if (!r.read_u64(num_terms)) return damaged(path, "truncated term count");
   cp.terms.reserve(static_cast<std::size_t>(num_terms));
+  std::vector<VarId> ids;
   for (std::uint64_t t = 0; t < num_terms; ++t) {
-    std::uint32_t mono_len = 0;
-    if (!r.read_u32(mono_len)) return damaged(path, "truncated monomial");
-    BitMono mono;
-    mono.reserve(mono_len);
-    for (std::uint32_t i = 0; i < mono_len; ++i) {
-      std::uint32_t v = 0;
-      if (!r.read_u32(v)) return damaged(path, "truncated monomial");
-      mono.push_back(v);
+    std::uint64_t mono_len = 0;
+    if (version == 2) {
+      std::uint32_t len32 = 0;
+      if (!r.read_u32(len32)) return damaged(path, "truncated monomial");
+      mono_len = len32;
+    } else if (!r.read_varint(mono_len)) {
+      return damaged(path, "truncated monomial");
+    }
+    // A monomial longer than the remaining payload cannot be real; bail
+    // before reserving absurd amounts for a corrupt length.
+    if (mono_len > buf.size() - r.pos)
+      return damaged(path, "monomial length exceeds the file");
+    ids.clear();
+    ids.reserve(static_cast<std::size_t>(mono_len));
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < mono_len; ++i) {
+      std::uint64_t v = 0;
+      if (version == 2) {
+        std::uint32_t v32 = 0;
+        if (!r.read_u32(v32)) return damaged(path, "truncated monomial");
+        v = v32;
+      } else {
+        std::uint64_t delta = 0;
+        if (!r.read_varint(delta)) return damaged(path, "truncated monomial");
+        if (i > 0 && delta == 0)
+          return damaged(path, "monomial ids not strictly increasing");
+        v = i == 0 ? delta : prev + delta;
+      }
+      if (i > 0 && v <= prev)
+        return damaged(path, "monomial ids not strictly increasing");
+      if (v > UINT32_MAX) return damaged(path, "monomial id out of range");
+      ids.push_back(static_cast<VarId>(v));
+      prev = v;
     }
     std::uint64_t num_words = 0;
-    if (!r.read_u64(num_words)) return damaged(path, "truncated coefficient");
+    if (version == 2 ? !r.read_u64(num_words) : !r.read_varint(num_words))
+      return damaged(path, "truncated coefficient");
+    if (num_words > (buf.size() - r.pos) / 8 + 1)
+      return damaged(path, "coefficient length exceeds the file");
     std::vector<std::uint64_t> words(static_cast<std::size_t>(num_words));
     for (std::uint64_t i = 0; i < num_words; ++i)
       if (!r.read_u64(words[i])) return damaged(path, "truncated coefficient");
-    cp.terms.emplace_back(std::move(mono),
+    cp.terms.emplace_back(BitMono::from_sorted(ids.data(), ids.size()),
                           Gf2Poly::from_words(words.data(), words.size()));
   }
   if (r.pos != buf.size() - 4)

@@ -27,9 +27,12 @@ class BitPolyTest : public ::testing::Test {
 };
 
 TEST_F(BitPolyTest, MonoMulIsUnion) {
-  EXPECT_EQ(bitmono_mul({0, 2}, {1, 2}), (BitMono{0, 1, 2}));
-  EXPECT_EQ(bitmono_mul({}, {3}), (BitMono{3}));
-  EXPECT_EQ(bitmono_mul({5}, {5}), (BitMono{5}));  // x² = x
+  EXPECT_EQ(bitmono_mul(BitMono{0, 2}, BitMono{1, 2}), (BitMono{0, 1, 2}));
+  EXPECT_EQ(bitmono_mul(BitMono{}, BitMono{3}), (BitMono{3}));
+  EXPECT_EQ(bitmono_mul(BitMono{5}, BitMono{5}), (BitMono{5}));  // x² = x
+  // The legacy tier's union agrees.
+  EXPECT_EQ(bitmono_mul(LegacyBitMono{0, 2}, LegacyBitMono{1, 2}),
+            (LegacyBitMono{0, 1, 2}));
 }
 
 TEST_F(BitPolyTest, AdditionCancels) {
@@ -160,11 +163,13 @@ TEST_F(BitPolyTest, GateTailPolynomials) {
   EXPECT_EQ(tail(GateType::kConst1, {}), one());
 }
 
-// Distribution regressions for BitMonoHash (the splitmix64 mixer). The term
-// maps hash monomials over *consecutive* net ids — exactly the adversarial
-// input for the old xor-whole-VarId FNV loop — so the tests bucket realistic
-// monomial populations by the bits an unordered_map (or a shard selector)
-// would actually consume.
+// Distribution regressions for BitMonoHash (the splitmix64 mixer, applied to
+// the legacy vector monomials of the kVector tier). The term maps hash
+// monomials over *consecutive* net ids — exactly the adversarial input for
+// the old xor-whole-VarId FNV loop — so the tests bucket realistic monomial
+// populations by the bits an unordered_map (or a shard selector) would
+// actually consume. The packed tier's word-level hash has the same
+// regressions in packed_mono_test.cpp.
 
 /// Max bucket load over `buckets` power-of-two buckets selected by the hash
 /// bits starting at `shift`.
@@ -187,7 +192,7 @@ TEST(BitMonoHashTest, ConsecutiveIdsSpreadAcrossAllHashBits) {
   // uniform expectation 64 per bucket; 128 allows ~8σ of slack. Checked on
   // the low bits and on the high bits (the old hash left the top bits nearly
   // constant for small ids).
-  const auto single = [](std::size_t i) { return BitMono{VarId(i)}; };
+  const auto single = [](std::size_t i) { return LegacyBitMono{VarId(i)}; };
   EXPECT_LT(max_bucket_load(65536, 1024, 0, single), 128u);
   EXPECT_LT(max_bucket_load(65536, 1024, 54, single), 128u);
 }
@@ -196,7 +201,7 @@ TEST(BitMonoHashTest, QuadraticMonomialsSpreadAcrossAllHashBits) {
   // The {a_i, b_j} grid of a multiplier's partial products.
   const auto pair = [](std::size_t i) {
     const VarId a = VarId(i % 256), b = VarId(256 + i / 256);
-    return BitMono{a, b};
+    return LegacyBitMono{a, b};
   };
   EXPECT_LT(max_bucket_load(65536, 1024, 0, pair), 128u);
   EXPECT_LT(max_bucket_load(65536, 1024, 54, pair), 128u);
@@ -210,8 +215,8 @@ TEST(BitMonoHashTest, SingleBitFlipAvalanchesHalfTheOutput) {
   const std::size_t trials = 4096;
   for (std::size_t i = 0; i < trials; ++i) {
     const VarId v = VarId(i);
-    const std::uint64_t h1 = hash(BitMono{v});
-    const std::uint64_t h2 = hash(BitMono{VarId(v ^ 1u)});
+    const std::uint64_t h1 = hash(LegacyBitMono{v});
+    const std::uint64_t h2 = hash(LegacyBitMono{VarId(v ^ 1u)});
     total_flipped += __builtin_popcountll(h1 ^ h2);
   }
   const double avg = static_cast<double>(total_flipped) / trials;
@@ -221,9 +226,9 @@ TEST(BitMonoHashTest, SingleBitFlipAvalanchesHalfTheOutput) {
 
 TEST(BitMonoHashTest, HashDependsOnEveryVariable) {
   BitMonoHash hash;
-  EXPECT_NE(hash(BitMono{1, 2, 3}), hash(BitMono{1, 2, 4}));
-  EXPECT_NE(hash(BitMono{1, 2, 3}), hash(BitMono{0, 2, 3}));
-  EXPECT_NE(hash(BitMono{}), hash(BitMono{0}));
+  EXPECT_NE(hash(LegacyBitMono{1, 2, 3}), hash(LegacyBitMono{1, 2, 4}));
+  EXPECT_NE(hash(LegacyBitMono{1, 2, 3}), hash(LegacyBitMono{0, 2, 3}));
+  EXPECT_NE(hash(LegacyBitMono{}), hash(LegacyBitMono{0}));
 }
 
 }  // namespace
