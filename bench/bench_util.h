@@ -23,6 +23,7 @@
 
 #include "abstraction/extractor.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/json_writer.h"
 #include "util/parallel_for.h"
@@ -123,6 +124,10 @@ class JsonReporter {
     w.begin_object();
     w.member("bench", bench_);
     w.member("threads", parallel_thread_count());
+    // /proc-sampled process peak across the whole ladder — the memory
+    // trajectory next to the per-record peak_terms proxy.
+    obs::sample_rss_bytes();
+    w.member("peak_rss_bytes", obs::peak_rss_bytes());
     w.key("records");
     w.begin_array();
     for (const BenchRecord& r : records_) {
@@ -188,7 +193,8 @@ inline void add_scaling_records(JsonReporter& reporter, const std::string& name,
     rec.wall_ms = wall_ms;
     rec.peak_terms = fn.stats.peak_terms;
     rec.substitutions = fn.stats.substitutions;
-    rec.extra = {{"threads", static_cast<double>(threads)}};
+    rec.extra = {{"threads", static_cast<double>(threads)},
+                 {"rss_bytes", static_cast<double>(obs::sample_rss_bytes())}};
     rec.phases = drain_phase_times();
     reporter.add(rec);
   }

@@ -9,8 +9,10 @@
 #include "abstraction/rato.h"
 #include "abstraction/rewriter.h"
 #include "abstraction/word_lift.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/parallel_for.h"
 #include "worker/checkpoint.h"
@@ -18,6 +20,24 @@
 namespace gfa {
 
 namespace {
+
+/// Reports a phase boundary / segment end to the progress sink (the isolated
+/// worker's heartbeat channel) and drops a phase-transition breadcrumb into
+/// the crash flight recorder. One branch when neither consumer is active.
+void report_phase(const char* phase, std::uint64_t step, std::uint64_t total,
+                  std::uint64_t terms, const ExecControl* control) {
+  if (obs::progress_active()) {
+    obs::Progress p;
+    p.phase = phase;
+    p.step = step;
+    p.total = total;
+    p.terms = terms;
+    if (const ResourceBudget* b = budget_of(control))
+      p.budget_bytes = b->used_bytes();
+    obs::report_progress(p);
+    obs::flight::note(phase, step, terms);
+  }
+}
 
 /// Resolved checkpoint plumbing for one extract_for_word call: the file this
 /// (circuit, word) pair maps to, plus the saved state when resuming.
@@ -95,6 +115,7 @@ WordFunction extract_for_word_impl(const Netlist& netlist, const Gf2k& field,
                                    const Word* out_word,
                                    const ExtractionOptions& options) {
   const obs::TraceSpan extract_span("extract_word", "abstraction");
+  report_phase("extract_word", 0, 0, 0, options.control);
   const unsigned k = field.k();
   const std::vector<const Word*> in_words = input_words(netlist);
   if (in_words.empty()) throw std::invalid_argument("no input words declared");
@@ -141,6 +162,7 @@ WordFunction extract_for_word_impl(const Netlist& netlist, const Gf2k& field,
       // The paper's RATO: the reverse-topological order that makes backward
       // substitution *be* the Gröbner reduction chain.
       const obs::TraceSpan sort_span("rato_sort", "abstraction");
+      report_phase("rato_sort", 0, 0, 0, options.control);
       rato = rato_net_order(netlist);
     }
     const obs::TraceSpan chain_span("reduction_chain", "abstraction");
@@ -160,20 +182,32 @@ WordFunction extract_for_word_impl(const Netlist& netlist, const Gf2k& field,
     for (NetId n : rato)
       if (!is_input[n]) gates.push_back(n);
     // The chain runs in segments of one checkpoint interval (the whole chain
-    // when checkpointing is off); every segment end is a merge barrier where
-    // the XOR-merged polynomial equals the serial state, so that is where
-    // snapshots happen.
+    // when neither checkpointing nor a progress sink is active); every
+    // segment end is a merge barrier where the XOR-merged polynomial equals
+    // the serial state, so that is where snapshots — and heartbeat progress
+    // reports — happen. A sink alone segments at the default checkpoint
+    // cadence: run_segment carries no per-call merge cost, so segmentation
+    // only bounds how stale a heartbeat's step count can get.
+    const bool segmented = ckpt.active || obs::progress_active();
+    const std::uint64_t interval =
+        ckpt.active ? ckpt.interval : std::uint64_t{1000};
     std::uint64_t step = ckpt.resume_step;
+    report_phase("reduction_chain", step, gates.size(), chain.num_terms(),
+                 options.control);
     while (step < gates.size()) {
       const std::uint64_t end =
-          ckpt.active
-              ? std::min<std::uint64_t>(step + ckpt.interval, gates.size())
-              : gates.size();
+          segmented ? std::min<std::uint64_t>(step + interval, gates.size())
+                    : gates.size();
       chain.run_segment(netlist, gates, step, end);
       stats.substitutions += end - step;
       step = end;
-      if (ckpt.active && step < gates.size())
+      if (ckpt.active && step < gates.size()) {
         save_progress<M>(ckpt, out_word, k, step, chain.merged());
+        if (obs::progress_active())
+          obs::flight::note("checkpoint:save", step, chain.num_terms());
+      }
+      report_phase("reduction_chain", step, gates.size(), chain.num_terms(),
+                   options.control);
     }
     stats.peak_terms = chain.peak_terms();
   } catch (const RewriteBudgetExceeded& e) {
@@ -238,6 +272,7 @@ WordFunction extract_for_word_impl(const Netlist& netlist, const Gf2k& field,
 
   // Step 2: the Case-2 lift (a no-op beyond copying constants for Case 1).
   const obs::TraceSpan lift_span("case2_lift", "abstraction");
+  report_phase("case2_lift", 0, 0, r.num_terms(), options.control);
   if (stats.case1) {
     result.g = MPoly::constant(&field, r.coeff(BitMono{}));
   } else if (options.shared_lift != nullptr) {

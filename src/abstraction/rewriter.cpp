@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <optional>
 
 #include "obs/metrics.h"
@@ -25,6 +26,24 @@ void drain_map(typename BitRepr<M>::TermMap& map, Fn&& fn) {
       auto nh = map.extract(map.begin());
       fn(std::move(nh.key()), std::move(nh.mapped()));
     }
+  }
+}
+
+/// Runs one substitution, recording its latency into the
+/// rewriter.substitution_us histogram when `sample` is set. The clock pair is
+/// the whole cost, so callers pass sample = metrics_enabled && a 1-in-64
+/// cadence — the disabled path is the plain call behind one branch.
+template <class Fn>
+inline void timed_substitute(bool sample, Fn&& fn) {
+  if (sample) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    GFA_HISTOGRAM(
+        "rewriter.substitution_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(dt).count());
+  } else {
+    fn();
   }
 }
 
@@ -102,6 +121,8 @@ void BasicBackwardRewriter<M>::substitute_impl(VarId v, const TailT& tail) {
       const M& mono = pending[pi];
       if constexpr (kPacked) {
         if (pi + 1 < np) terms_.prefetch(pending[pi + 1]);
+        if ((pi & 255u) == 0)
+          GFA_HISTOGRAM("rewriter.probe_len", terms_.probe_length(mono));
       }
       const std::size_t b = occ_entry_bytes(mono);
       occ_bytes_ = occ_bytes_ > b ? occ_bytes_ - b : 0;
@@ -134,7 +155,15 @@ void BasicBackwardRewriter<M>::substitute_impl(VarId v, const TailT& tail) {
   // of them up front is equivalent to the serial interleaving.
   std::vector<Affected> work;
   work.reserve(pending.size());
+  [[maybe_unused]] std::size_t di = 0;
   for (const M& mono : pending) {
+    if constexpr (kPacked) {
+      // Large detach batches mean a large table — sample how long the open
+      // addressing probe chains have grown (observability re-walk, off the
+      // find itself).
+      if ((di++ & 255u) == 0)
+        GFA_HISTOGRAM("rewriter.probe_len", terms_.probe_length(mono));
+    }
     const std::size_t b = occ_entry_bytes(mono);
     occ_bytes_ = occ_bytes_ > b ? occ_bytes_ - b : 0;
     auto it = terms_.find(mono);
@@ -171,7 +200,6 @@ template <class TailT>
 void BasicBackwardRewriter<M>::expand_chunked(const std::vector<Affected>& work,
                                               const TailT& tail,
                                               unsigned width) {
-  const obs::TraceSpan span("reduction_chain_shard", "abstraction");
   const std::size_t shards =
       std::min<std::size_t>(width, work.size() / (kChunkedSubstitutionMin / 2));
   GFA_COUNT("rewriter.shards", shards);
@@ -179,9 +207,13 @@ void BasicBackwardRewriter<M>::expand_chunked(const std::vector<Affected>& work,
   // Shard-local expansion: strided assignment, thread-private term maps,
   // per-shard budget leases, control polled inside the loop. Shard s's
   // content depends only on `work` and `tail`, never on the other shards.
+  // The shard trace span opens *inside* the worker lambda so each span is
+  // stamped with the pool thread that actually ran the shard — opened on the
+  // caller, every shard would collapse into the dispatching thread's lane.
   std::vector<TermMap> local(shards);
   std::vector<std::optional<BudgetLease>> leases(shards);
   parallel_for(shards, [&](std::size_t s) {
+    const obs::TraceSpan span("reduction_chain_shard", "abstraction");
     leases[s].emplace(budget_of(control_), BudgetSite::kRewriterTerms);
     TermMap& mine = local[s];
     std::size_t ops = 0;
@@ -220,6 +252,7 @@ void BasicBackwardRewriter<M>::expand_chunked(const std::vector<Affected>& work,
   std::size_t merge_terms = 0;
   for (std::size_t s = 0; s < shards; ++s) {
     merge_terms += local[s].size();
+    GFA_HISTOGRAM("rewriter.merge_shard_terms", local[s].size());
     drain_map<M>(local[s], [this](M m, Gf2k::Elem c) {
       add(std::move(m), std::move(c));
     });
@@ -255,6 +288,7 @@ void BasicShardedRewriter<M>::run_segment(const Netlist& netlist,
                                           std::size_t from, std::size_t to) {
   assert(to <= gates.size() && from <= to);
   const std::size_t n = shards_.size();
+  const bool measured = obs::metrics_enabled();
   if (n == 1) {
     Shard& rw = *shards_[0];
     if constexpr (BitRepr<M>::kKind == PolyRepr::kPacked) {
@@ -270,13 +304,16 @@ void BasicShardedRewriter<M>::run_segment(const Netlist& netlist,
         if (i + 1 < to) rw.prefetch_pending(gates[i + 1]);
         if (rw.occurrences(gates[i]) == 0) continue;
         fill_gate_tail(field_, netlist.gate(gates[i]), tail);
-        rw.substitute(gates[i], tail);
+        timed_substitute(measured && (i & 63u) == 0,
+                         [&] { rw.substitute(gates[i], tail); });
       }
     } else {
       for (std::size_t i = from; i < to; ++i) {
         throw_if_stopped(control_);
-        rw.substitute(gates[i],
-                      make_gate_tail<M>(field_, netlist.gate(gates[i])));
+        timed_substitute(measured && (i & 63u) == 0, [&] {
+          rw.substitute(gates[i],
+                        make_gate_tail<M>(field_, netlist.gate(gates[i])));
+        });
       }
     }
     check_total_terms();
@@ -302,7 +339,8 @@ void BasicShardedRewriter<M>::run_segment(const Netlist& netlist,
       Shard& rw = *shards_[s];
       for (std::size_t i = block; i < block_end; ++i) {
         if (((i - block) & 255u) == 0) throw_if_stopped(control_);
-        rw.substitute(gates[i], tails[i - block]);
+        timed_substitute(measured && (i & 63u) == 0,
+                         [&] { rw.substitute(gates[i], tails[i - block]); });
       }
     }, control_);
   }

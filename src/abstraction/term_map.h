@@ -215,6 +215,22 @@ class PackedTermMap {
     return cap_ * (sizeof(value_type) + 1);
   }
 
+  /// Number of slots a find(key) walks before terminating (hit or empty
+  /// slot), counting the final one — so a first-slot hit is 1. Observability
+  /// re-walk for the rewriter.probe_len histogram; never called on the hot
+  /// probe itself.
+  std::size_t probe_length(const PackedMono& key) const {
+    if (cap_ == 0) return 0;
+    std::size_t i = key.hash() & (cap_ - 1);
+    std::size_t steps = 1;
+    while (true) {
+      const std::uint8_t c = ctrl_[i];
+      if (c == kEmpty || (c == kFull && slots_[i].first == key)) return steps;
+      i = (i + 1) & (cap_ - 1);
+      ++steps;
+    }
+  }
+
   /// Unordered (set) equality, as unordered_map defines it.
   bool operator==(const PackedTermMap& o) const {
     if (size_ != o.size_) return false;

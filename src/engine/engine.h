@@ -112,6 +112,12 @@ struct AttemptRecord {
   /// True when the attempt never ran (an earlier attempt was definitive, or
   /// the overall control fired first); `detail` says why.
   bool skipped = false;
+  /// Worker telemetry, filled for isolated attempts whose child ran with
+  /// heartbeats on: frames received, and the last phase/step the worker
+  /// reported before finishing (or dying — the crash-forensics triple).
+  std::uint64_t heartbeats = 0;
+  std::string last_phase;
+  std::uint64_t last_step = 0;
 };
 
 struct VerifyResult {

@@ -37,6 +37,7 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
   const bool measured = obs::metrics_enabled();
   const obs::MetricsSnapshot before =
       measured ? obs::Metrics::instance().snapshot() : obs::MetricsSnapshot{};
+  if (measured) obs::sample_rss_bytes();
   const auto start = std::chrono::steady_clock::now();
   Result<VerifyResult> r = [&]() -> Result<VerifyResult> {
     const obs::TraceSpan span("verify:" + run.engine, "engine");
@@ -51,7 +52,11 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
   const auto end = std::chrono::steady_clock::now();
   run.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
-  if (measured) run.metrics = obs::Metrics::instance().delta(before);
+  if (measured) {
+    obs::sample_rss_bytes();
+    run.metrics = obs::Metrics::instance().delta(before);
+    run.peak_rss_bytes = obs::peak_rss_bytes();
+  }
   if (const ResourceBudget* b = options.control.budget) {
     run.budget_limit_bytes = b->limit_bytes();
     run.budget_peak_bytes = b->peak_bytes();
@@ -107,6 +112,22 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
       w.member("budget_peak_bytes",
                static_cast<std::uint64_t>(run.budget_peak_bytes));
     }
+    if (run.peak_rss_bytes != 0)
+      w.member("peak_rss_bytes", run.peak_rss_bytes);
+    if (run.heartbeats != 0) {
+      w.key("telemetry");
+      w.begin_object();
+      w.member("heartbeats", run.heartbeats);
+      w.member("last_phase", run.last_phase);
+      w.member("last_step", run.last_step);
+      w.end_object();
+    }
+    if (!run.flight_events.empty()) {
+      w.key("flight_recorder");
+      w.begin_array();
+      for (const std::string& line : run.flight_events) w.value(line);
+      w.end_array();
+    }
     if (!run.attempts.empty()) {
       w.key("attempts");
       w.begin_array();
@@ -122,6 +143,11 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
           if (a.budget_peak_bytes != 0)
             w.member("budget_peak_bytes",
                      static_cast<std::uint64_t>(a.budget_peak_bytes));
+          if (a.heartbeats != 0) {
+            w.member("heartbeats", a.heartbeats);
+            w.member("last_phase", a.last_phase);
+            w.member("last_step", a.last_step);
+          }
         }
         w.member("detail", a.detail);
         w.end_object();

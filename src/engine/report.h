@@ -42,6 +42,20 @@ struct EngineRun {
   /// True when the run continued from a reduction-chain checkpoint; emitted
   /// as "resumed": true in the JSON report.
   bool resumed = false;
+  /// Worker telemetry for isolated runs (see worker/harness.h): heartbeat
+  /// frames received and the last phase/step reported. Zero/empty for
+  /// in-process runs or when heartbeats were disabled.
+  std::uint64_t heartbeats = 0;
+  std::string last_phase;
+  std::uint64_t last_step = 0;
+  /// /proc-sampled peak resident set (max of parent samples and what the
+  /// worker reported), next to the byte-accounted budget peak; 0 = never
+  /// sampled.
+  std::uint64_t peak_rss_bytes = 0;
+  /// Crash flight-recorder tail (obs/flight_recorder.h, pre-formatted via
+  /// flight::format), from the worker's signal handler. Non-empty only when
+  /// a worker died with a dump on the pipe; emitted as "flight_recorder".
+  std::vector<std::string> flight_events;
 };
 
 /// Runs `engine` on the instance, timing the call. Never throws: failures are

@@ -1,0 +1,231 @@
+#include "obs/flight_recorder.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace gfa::obs::flight {
+
+namespace {
+
+/// Ring slot with atomic fields: note() may race tail() (pool threads vs.
+/// the heartbeat thread) and, after a wrap, another note(). seq is stored
+/// last with release ordering, so a reader that observes a slot's seq also
+/// observes the fields written before it; a torn slot mid-overwrite shows
+/// its old seq or the new one, never a mix that passes the range filter
+/// with garbage annotations. Tag bytes are relaxed atomic chars purely so
+/// the benign byte races are defined behavior.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> t_us{0};
+  std::atomic<char> tag[kTagBytes] = {};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+};
+
+Slot g_ring[kRingSize];
+std::atomic<std::uint64_t> g_next_seq{0};
+std::atomic<int> g_crash_fd{-1};
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool tag_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == ':' || c == '_' || c == '.' ||
+         c == '-' || c == '/';
+}
+
+/// Reads one slot into a plain Event; returns false for empty slots.
+bool load_slot(const Slot& s, Event& out) {
+  out.seq = s.seq.load(std::memory_order_acquire);
+  if (out.seq == 0) return false;
+  out.t_us = s.t_us.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kTagBytes; ++i)
+    out.tag[i] = s.tag[i].load(std::memory_order_relaxed);
+  out.tag[kTagBytes - 1] = '\0';
+  for (char& c : out.tag) {
+    if (c == '\0') break;
+    if (!tag_char_ok(c)) c = '?';
+  }
+  out.a = s.a.load(std::memory_order_relaxed);
+  out.b = s.b.load(std::memory_order_relaxed);
+  return true;
+}
+
+// ---- async-signal-safe formatting into a static buffer -------------------
+
+/// 4 bytes of length prefix + up to kRingSize events of bounded JSON.
+char g_dump_buf[4 + kRingSize * 176 + 64];
+Event g_dump_events[kRingSize];  // static scratch: no allocation in handler
+
+std::size_t put_str(char* dst, const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') {
+    dst[n] = s[n];
+    ++n;
+  }
+  return n;
+}
+
+std::size_t put_u64(char* dst, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = tmp[n - 1 - i];
+  return n;
+}
+
+/// Formats the ring tail as one length-prefixed flight frame in g_dump_buf;
+/// returns the total byte count (prefix included). Only loads, stores into
+/// the static buffers, and integer arithmetic — safe inside a handler.
+std::size_t format_dump_frame() {
+  // Snapshot the ring, oldest first.
+  const std::uint64_t last = g_next_seq.load(std::memory_order_acquire);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < kRingSize; ++i) {
+    Event e;
+    if (!load_slot(g_ring[i], e)) continue;
+    if (e.seq > last || e.seq + kRingSize <= last) continue;  // mid-overwrite
+    g_dump_events[count++] = e;
+  }
+  // Insertion sort by seq (bounded at kRingSize; no allocation, no libc).
+  for (std::size_t i = 1; i < count; ++i) {
+    Event key = g_dump_events[i];
+    std::size_t j = i;
+    while (j > 0 && g_dump_events[j - 1].seq > key.seq) {
+      g_dump_events[j] = g_dump_events[j - 1];
+      --j;
+    }
+    g_dump_events[j] = key;
+  }
+
+  char* p = g_dump_buf + 4;  // length prefix patched in at the end
+  p += put_str(p, "{\"frame\":\"flight\",\"events\":[");
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& e = g_dump_events[i];
+    if (i != 0) *p++ = ',';
+    p += put_str(p, "{\"seq\":");
+    p += put_u64(p, e.seq);
+    p += put_str(p, ",\"t_us\":");
+    p += put_u64(p, e.t_us);
+    p += put_str(p, ",\"tag\":\"");
+    p += put_str(p, e.tag);  // sanitized by load_slot: no escapes needed
+    p += put_str(p, "\",\"a\":");
+    p += put_u64(p, e.a);
+    p += put_str(p, ",\"b\":");
+    p += put_u64(p, e.b);
+    *p++ = '}';
+  }
+  p += put_str(p, "]}");
+  const std::size_t payload =
+      static_cast<std::size_t>(p - g_dump_buf) - 4;
+  g_dump_buf[0] = static_cast<char>(payload & 0xff);
+  g_dump_buf[1] = static_cast<char>((payload >> 8) & 0xff);
+  g_dump_buf[2] = static_cast<char>((payload >> 16) & 0xff);
+  g_dump_buf[3] = static_cast<char>((payload >> 24) & 0xff);
+  return payload + 4;
+}
+
+void write_all(int fd, const char* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, buf + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // dead pipe; nothing a crash handler can do about it
+  }
+}
+
+void crash_handler(int sig) {
+  const int fd = g_crash_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) dump_frame(fd);
+  // Restore the default action and re-raise: the signal stays pending while
+  // blocked in the handler and kills the process (with the original signal
+  // number, preserving the parent's WTERMSIG classification) on return.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void note(const char* tag, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t seq =
+      g_next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& s = g_ring[(seq - 1) % kRingSize];
+  s.seq.store(0, std::memory_order_relaxed);  // invalidate during overwrite
+  s.t_us.store(steady_now_us(), std::memory_order_relaxed);
+  std::size_t i = 0;
+  for (; i + 1 < kTagBytes && tag[i] != '\0'; ++i)
+    s.tag[i].store(tag[i], std::memory_order_relaxed);
+  for (; i < kTagBytes; ++i) s.tag[i].store('\0', std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<Event> tail() {
+  const std::uint64_t last = g_next_seq.load(std::memory_order_acquire);
+  std::vector<Event> out;
+  out.reserve(kRingSize);
+  for (std::size_t i = 0; i < kRingSize; ++i) {
+    Event e;
+    if (!load_slot(g_ring[i], e)) continue;
+    if (e.seq > last || e.seq + kRingSize <= last) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return out;
+}
+
+void clear() {
+  for (Slot& s : g_ring) s.seq.store(0, std::memory_order_relaxed);
+  g_next_seq.store(0, std::memory_order_relaxed);
+}
+
+std::string format(const Event& e) {
+  std::string out = "t=";
+  out += std::to_string(e.t_us);
+  out += "us ";
+  out += e.tag;
+  out += " a=";
+  out += std::to_string(e.a);
+  out += " b=";
+  out += std::to_string(e.b);
+  return out;
+}
+
+void install_crash_handler(int fd) {
+  g_crash_fd.store(fd, std::memory_order_relaxed);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+void dump_frame(int fd) {
+  const std::size_t len = format_dump_frame();
+  write_all(fd, g_dump_buf, len);
+}
+
+}  // namespace gfa::obs::flight

@@ -1,0 +1,88 @@
+#pragma once
+// Fixed-bucket log2 latency/size histogram for the metrics registry.
+//
+// Same discipline as Metric (metrics.h): recording is a handful of relaxed
+// atomic adds with no locks, instrumentation sites go through GFA_HISTOGRAM
+// which tests one relaxed bool before touching anything, and the registry
+// reference behind the macro is a function-local static resolved once per
+// call site. Concurrent record() calls from parallel_for workers therefore
+// sum exactly — no sample is lost or double-counted — at the cost of the
+// buckets, count, and sum not being mutually consistent at any single
+// instant (each is individually exact once writers quiesce, which is when
+// snapshots are taken).
+//
+// Buckets are powers of two: bucket b holds values in [2^(b-1), 2^b - 1]
+// (bucket 0 holds exactly 0), i.e. bucket_of(v) = bit_width(v). 65 buckets
+// cover the full uint64 range, so a histogram is ~1.5 KiB and needs no
+// configuration — log2 resolution is plenty for the long-tailed latencies
+// and merge sizes it records. percentile() reports the inclusive upper
+// bound of the bucket containing the requested rank, so p50/p90/p99 are
+// upper bounds tight to a factor of two.
+
+#include <atomic>
+#include <cstdint>
+
+namespace gfa::obs {
+
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 65;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// log2 bucket index: 0 for 0, otherwise bit_width(v) (1..64).
+  static unsigned bucket_of(std::uint64_t v) {
+    return v == 0 ? 0u : 64u - static_cast<unsigned>(__builtin_clzll(v));
+  }
+
+  /// Inclusive upper bound of bucket `b` (what percentile() reports).
+  static std::uint64_t bucket_upper(unsigned b) {
+    return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(unsigned b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket holding the sample of rank ceil(p * count),
+  /// for p in (0, 1]; 0 when the histogram is empty. An upper bound on the
+  /// true percentile, within 2x of it.
+  std::uint64_t percentile(double p) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    const double exact = p * static_cast<double>(n);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;  // ceil
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      seen += bucket(b);
+      if (seen >= rank) return bucket_upper(b);
+    }
+    return bucket_upper(kBuckets - 1);  // racing writers; report the tail
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace gfa::obs

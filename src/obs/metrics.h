@@ -33,6 +33,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.h"
+
 namespace gfa::obs {
 
 enum class MetricKind { kCounter, kGauge };
@@ -67,6 +69,17 @@ class Metric {
 bool metrics_enabled();
 void set_metrics_enabled(bool enabled);
 
+/// Samples resident-set size from /proc/self/statm, folds it into the
+/// process-lifetime peak (always — the peak is tracked even with metrics
+/// disabled, so crash reports carry it), raises the process.peak_rss_bytes
+/// gauge when metrics are enabled, and returns the current RSS in bytes.
+/// Returns 0 on platforms without /proc. Called at phase boundaries, not in
+/// hot loops (one small read() + parse per call).
+std::uint64_t sample_rss_bytes();
+
+/// Largest RSS sample seen so far (bytes); 0 before the first sample.
+std::uint64_t peak_rss_bytes();
+
 using MetricsSnapshot = std::map<std::string, std::uint64_t>;
 
 class Metrics {
@@ -80,23 +93,34 @@ class Metrics {
   Metric& counter(std::string_view name) { return get(name, MetricKind::kCounter); }
   Metric& gauge(std::string_view name) { return get(name, MetricKind::kGauge); }
 
+  /// Returns the named histogram, creating it on first use. Same lifetime
+  /// contract as counter()/gauge(): the reference is stable for the process,
+  /// so GFA_HISTOGRAM caches it in a function-local static.
+  Histogram& histogram(std::string_view name);
+
   /// All registered metrics (the pre-registered schema plus any ad-hoc names
-  /// touched so far), name → current value.
+  /// touched so far), name → current value. Histograms with at least one
+  /// sample fold in as synthesized scalar keys — `<name>.count`, `<name>.p50`,
+  /// `.p90`, `.p99` — so reports and `--metrics` need no separate path.
   MetricsSnapshot snapshot() const;
 
   /// Per-run view: counters report `after - before` (missing in `before`
-  /// means 0); gauges report their `after` value.
+  /// means 0); gauges report their `after` value. Synthesized histogram keys
+  /// follow the same split: `.count` subtracts, the percentile keys report
+  /// the current (process-lifetime) distribution, gauge-style.
   MetricsSnapshot delta(const MetricsSnapshot& before) const;
 
-  /// Zeroes every metric (tests and bench warm-up isolation).
+  /// Zeroes every metric and histogram (tests and bench warm-up isolation).
   void reset_all();
 
  private:
   Metrics();
   Metric& get(std::string_view name, MetricKind kind);
+  void fold_histograms(MetricsSnapshot& out) const;
 
   mutable std::mutex mutex_;
   std::map<std::string, Metric, std::less<>> metrics_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace gfa::obs
@@ -119,5 +143,18 @@ class Metrics {
       static ::gfa::obs::Metric& gfa_metric_ =                              \
           ::gfa::obs::Metrics::instance().gauge(name);                      \
       gfa_metric_.record_max(static_cast<std::uint64_t>(v));                \
+    }                                                                       \
+  } while (0)
+
+/// Records sample `v` into histogram `name` iff metrics are enabled. Same
+/// one-branch-when-disabled shape as GFA_COUNT; when enabled the record is a
+/// few relaxed atomic adds. IMPORTANT: `v` must be side-effect free — it is
+/// not evaluated when metrics are off.
+#define GFA_HISTOGRAM(name, v)                                              \
+  do {                                                                      \
+    if (::gfa::obs::metrics_enabled()) {                                    \
+      static ::gfa::obs::Histogram& gfa_hist_ =                             \
+          ::gfa::obs::Metrics::instance().histogram(name);                  \
+      gfa_hist_.record(static_cast<std::uint64_t>(v));                      \
     }                                                                       \
   } while (0)

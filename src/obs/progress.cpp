@@ -1,0 +1,42 @@
+#include "obs/progress.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace gfa::obs {
+
+namespace {
+
+std::atomic<bool> g_progress_active{false};
+std::mutex g_sink_mutex;
+std::function<void(const Progress&)>& sink_slot() {
+  static std::function<void(const Progress&)> sink;
+  return sink;
+}
+
+}  // namespace
+
+bool progress_active() {
+  return g_progress_active.load(std::memory_order_relaxed);
+}
+
+void set_progress_sink(std::function<void(const Progress&)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_slot() = std::move(sink);
+  g_progress_active.store(static_cast<bool>(sink_slot()),
+                          std::memory_order_relaxed);
+}
+
+void report_progress(const Progress& p) {
+  // Copy the callback out under the lock so a concurrent
+  // set_progress_sink(nullptr) can't destroy it mid-call.
+  std::function<void(const Progress&)> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = sink_slot();
+  }
+  if (sink) sink(p);
+}
+
+}  // namespace gfa::obs

@@ -1,8 +1,11 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <set>
 
 #include "util/json_writer.h"
 
@@ -20,17 +23,40 @@ bool init_from_env() {
   return true;
 }
 
-/// Microseconds since the first call (the process trace epoch).
+using Clock = std::chrono::steady_clock;
+
+/// The process trace epoch — fixed at first use.
+const Clock::time_point& trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Microseconds since the process trace epoch.
 std::uint64_t now_us() {
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point epoch = clock::now();
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
-                                                            epoch)
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            trace_epoch())
           .count());
 }
 
 }  // namespace
+
+std::uint64_t trace_epoch_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          trace_epoch().time_since_epoch())
+          .count());
+}
+
+const char* intern_category(std::string_view category) {
+  static std::mutex mutex;
+  static std::set<std::string, std::less<>>* interned =
+      new std::set<std::string, std::less<>>();  // leaked: lifetime = process
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = interned->find(category);
+  if (it == interned->end()) it = interned->emplace(category).first;
+  return it->c_str();
+}
 
 bool trace_enabled() {
   static const bool initialized = init_from_env();
@@ -54,11 +80,17 @@ void Tracer::record(std::string name, const char* category,
       tids_.try_emplace(std::this_thread::get_id(),
                         static_cast<std::uint32_t>(tids_.size()));
   events_.push_back(
-      {std::move(name), category, start_us, duration_us, it->second});
+      {std::move(name), category, start_us, duration_us, it->second, 0});
+}
+
+void Tracer::import_events(std::vector<TraceEvent> events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TraceEvent& e : events) events_.push_back(std::move(e));
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
   std::vector<TraceEvent> events = this->events();
+  const std::uint32_t self = static_cast<std::uint32_t>(::getpid());
   JsonWriter w(out);
   w.begin_object();
   w.member("displayTimeUnit", "ms");
@@ -71,7 +103,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     w.member("ph", "X");
     w.member("ts", e.start_us);
     w.member("dur", e.duration_us);
-    w.member("pid", 1);
+    w.member("pid", e.pid != 0 ? e.pid : self);
     w.member("tid", e.tid);
     w.end_object();
   }

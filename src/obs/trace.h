@@ -32,11 +32,25 @@ void set_trace_enabled(bool enabled);
 
 struct TraceEvent {
   std::string name;
-  const char* category;     // static string, e.g. "engine", "abstraction"
+  const char* category;     // interned string, e.g. "engine", "abstraction"
   std::uint64_t start_us;   // since process trace epoch
   std::uint64_t duration_us;
   std::uint32_t tid;        // small dense thread id
+  std::uint32_t pid = 0;    // 0 = this process; set on imported child events
 };
+
+/// Returns a stable, process-lifetime pointer for `category`. Literal
+/// categories pass through TraceSpan untouched; this exists for events
+/// deserialized from worker telemetry frames, whose category strings arrive
+/// dynamically but must outlive the buffer (storage is leaked by design).
+const char* intern_category(std::string_view category);
+
+/// Absolute steady-clock microseconds of this process's trace epoch (the
+/// zero point of every TraceEvent::start_us). steady_clock is
+/// CLOCK_MONOTONIC — shared across processes on Linux — so a parent aligns a
+/// child's events onto its own timeline from the two epochs alone:
+/// offset = child_epoch_us - parent_epoch_us.
+std::uint64_t trace_epoch_us();
 
 struct PhaseTotal {
   std::uint64_t count = 0;
@@ -47,11 +61,19 @@ class Tracer {
  public:
   static Tracer& instance();
 
-  /// Appends one complete event (called by ~TraceSpan).
+  /// Appends one complete event (called by ~TraceSpan). The calling thread's
+  /// dense tid is stamped here — at span *close* — so an event always lands
+  /// in the lane of the thread that actually ran the work.
   void record(std::string name, const char* category, std::uint64_t start_us,
               std::uint64_t duration_us);
 
-  /// Writes the whole buffer as a Chrome trace-event JSON document.
+  /// Appends pre-stamped events (worker spans re-based onto this process's
+  /// epoch by the harness supervisor). tid/pid are taken as given.
+  void import_events(std::vector<TraceEvent> events);
+
+  /// Writes the whole buffer as a Chrome trace-event JSON document. Events
+  /// with pid 0 report this process's real pid, so merged parent/child
+  /// buffers render as separate process groups.
   void write_chrome_trace(std::ostream& out) const;
 
   /// Per-phase totals (by event name), for bench reporters.

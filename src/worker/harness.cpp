@@ -9,6 +9,9 @@
 #include <string>
 #include <thread>
 
+#include <condition_variable>
+#include <cstdint>
+
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -16,8 +19,13 @@
 #include "circuit/parser.h"
 #include "circuit/verilog.h"
 #include "engine/registry.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/fault_inject.h"
+#include "util/json_reader.h"
 
 #if defined(__has_feature)
 #if __has_feature(address_sanitizer)
@@ -138,6 +146,130 @@ WorkerResponse execute_request(const WorkerRequest& req) {
   return resp;
 }
 
+/// Child-side telemetry pump. While active it owns the process-wide progress
+/// sink and a heartbeat timer thread; every frame written to the pipe —
+/// telemetry, trace slices, the final response (written by the caller after
+/// stop()) — is serialized behind one mutex so the stream stays framed.
+/// With heartbeat_interval_seconds == 0 this is entirely inert: no sink, no
+/// thread, no frames — the dark baseline the overhead bound is measured
+/// against.
+class ChildTelemetry {
+ public:
+  ChildTelemetry(int fd, const WorkerRequest& req)
+      : fd_(fd),
+        interval_(req.heartbeat_interval_seconds),
+        trace_(req.trace) {
+    if (interval_ <= 0) return;
+    active_ = true;
+    if (obs::metrics_enabled())
+      last_metrics_ = obs::Metrics::instance().snapshot();
+    obs::set_progress_sink(
+        [this](const obs::Progress& p) { on_progress(p); });
+    thread_ = std::thread([this] { heartbeat_loop(); });
+  }
+
+  ~ChildTelemetry() { stop(); }
+
+  ChildTelemetry(const ChildTelemetry&) = delete;
+  ChildTelemetry& operator=(const ChildTelemetry&) = delete;
+
+  /// Uninstalls the sink, joins the timer thread, and flushes the remaining
+  /// trace slice. After stop() the pipe is quiet: the caller may write the
+  /// response frame without racing a heartbeat.
+  void stop() {
+    if (!active_) return;
+    obs::set_progress_sink(nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      flush_trace_locked();
+    }
+    active_ = false;
+  }
+
+ private:
+  /// Progress callbacks arrive from whatever thread runs the phase (pool
+  /// threads included). A phase change is sent immediately — phase
+  /// boundaries are the frames the supervisor's forensics care most about —
+  /// and same-phase progress is rate-limited to the heartbeat interval.
+  void on_progress(const obs::Progress& p) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool phase_change =
+        std::strcmp(p.phase, last_.phase) != 0;
+    last_ = p;
+    const auto now = std::chrono::steady_clock::now();
+    if (!phase_change &&
+        std::chrono::duration<double>(now - last_send_).count() < interval_)
+      return;
+    send_locked(now);
+  }
+
+  void heartbeat_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_));
+      if (stopping_) break;
+      send_locked(std::chrono::steady_clock::now());
+      flush_trace_locked();
+    }
+  }
+
+  void send_locked(std::chrono::steady_clock::time_point now) {
+    TelemetryFrame t;
+    t.seq = ++seq_;
+    t.phase = last_.phase;
+    t.step = last_.step;
+    t.total = last_.total;
+    t.terms = last_.terms;
+    t.budget_bytes = last_.budget_bytes;
+    t.rss_bytes = obs::sample_rss_bytes();
+    if (obs::metrics_enabled()) {
+      t.metrics = obs::Metrics::instance().delta(last_metrics_);
+      last_metrics_ = obs::Metrics::instance().snapshot();
+    }
+    if (t.budget_bytes > budget_hwm_) {
+      budget_hwm_ = t.budget_bytes;
+      obs::flight::note("budget:hwm", budget_hwm_, t.rss_bytes);
+    }
+    (void)write_frame(fd_, encode_telemetry_frame(t));
+    last_send_ = now;
+  }
+
+  /// Streams the not-yet-sent tail of the trace buffer, so all spans closed
+  /// before the last heartbeat survive a later crash.
+  void flush_trace_locked() {
+    if (!trace_ || !obs::trace_enabled()) return;
+    std::vector<obs::TraceEvent> events = obs::Tracer::instance().events();
+    if (events.size() <= trace_sent_) return;
+    TraceFramePayload payload;
+    payload.epoch_us = obs::trace_epoch_us();
+    payload.events.assign(events.begin() + static_cast<std::ptrdiff_t>(trace_sent_),
+                          events.end());
+    trace_sent_ = events.size();
+    (void)write_frame(fd_, encode_trace_frame(payload));
+  }
+
+  const int fd_;
+  const double interval_;
+  const bool trace_;
+  bool active_ = false;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+  obs::Progress last_;
+  std::chrono::steady_clock::time_point last_send_{};
+  obs::MetricsSnapshot last_metrics_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t budget_hwm_ = 0;
+  std::size_t trace_sent_ = 0;
+};
+
 /// Reaps the child, escalating SIGTERM -> (grace) -> SIGKILL if it is still
 /// alive. Returns the raw waitpid status.
 int reap_child(pid_t pid, double grace_seconds) {
@@ -204,22 +336,40 @@ void worker_child_main(int in_fd, int out_fd, const WorkerConfig& config) {
     if (!decoded.ok()) _exit(3);
     req = std::move(*decoded);
   }
+  // Drop observability state inherited from the parent's address space —
+  // the child's trace buffer and flight ring must tell only its own story —
+  // then arm the crash path before anything else can die.
+  obs::Tracer::instance().clear();
+  obs::flight::clear();
+  obs::flight::note("worker:start", req.k);
+  obs::flight::install_crash_handler(out_fd);
+  if (req.trace) obs::set_trace_enabled(true);
   if (req.simulate_crash) {
     // Injected "worker:crash": die the way a heap-corruption abort would.
+    // The crash handler dumps the flight ring over the pipe first.
     std::abort();
   }
   if (req.simulate_hang) {
-    // Injected "worker:hang": stop cooperating entirely — ignore SIGTERM so
-    // only the supervisor's SIGKILL escalation can end this process.
+    // Injected "worker:hang": stop cooperating entirely — no frames, ignore
+    // SIGTERM — so only the parent's stall detector (and ultimately its
+    // SIGKILL escalation) can classify and end this process.
     std::signal(SIGTERM, SIG_IGN);
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
   }
   apply_child_rlimits(req, config);
   try {
-    const WorkerResponse resp = execute_request(req);
+    ChildTelemetry telemetry(out_fd, req);
+    WorkerResponse resp = execute_request(req);
+    telemetry.stop();
+    obs::sample_rss_bytes();
+    resp.peak_rss_bytes = obs::peak_rss_bytes();
     const std::string payload = encode_response(resp);
     if (!write_frame(out_fd, payload).ok()) _exit(3);
   } catch (...) {
+    // The engine boundary catches everything in practice; if something still
+    // escapes, ship the flight tail so the exit-4 report has forensics.
+    obs::set_progress_sink(nullptr);
+    obs::flight::dump_frame(out_fd);
     _exit(4);
   }
   _exit(0);
@@ -228,6 +378,10 @@ void worker_child_main(int in_fd, int out_fd, const WorkerConfig& config) {
 engine::EngineRun run_in_worker(const WorkerRequest& request,
                                 const WorkerConfig& config) {
   ignore_sigpipe_once();
+  // A parent-side span around the whole supervision: fork, frame loop, reap.
+  // Also guarantees every merged --trace file has at least one event from
+  // the supervisor's pid next to the imported worker events.
+  const obs::TraceSpan supervise_span("worker:supervise", "worker");
   engine::EngineRun run;
   run.engine = request.engine;
 
@@ -238,6 +392,8 @@ engine::EngineRun run_in_worker(const WorkerRequest& request,
   WorkerRequest req = request;
   if (fault::consume("worker:crash")) req.simulate_crash = true;
   if (fault::consume("worker:hang")) req.simulate_hang = true;
+  // Child trace streaming follows the parent's tracing state.
+  req.trace = obs::trace_enabled();
 
   int to_child[2];   // parent writes request
   int from_child[2]; // child writes response
@@ -290,33 +446,142 @@ engine::EngineRun run_in_worker(const WorkerRequest& request,
   }
   close(to_child[1]);
 
-  if (outcome.ok()) {
-    // Wall-clock supervision: the child's own deadline should end the run
-    // cleanly first; the extra grace covers serialization and scheduling.
-    const Deadline wait_deadline =
-        req.timeout_seconds > 0
-            ? Deadline::after(req.timeout_seconds +
-                              config.kill_grace_seconds + 1.0)
-            : Deadline::infinite();
-    Result<std::string> frame = read_frame(from_child[0], wait_deadline);
-    if (frame.ok()) {
-      Result<WorkerResponse> decoded = decode_response(*frame);
-      if (decoded.ok()) {
-        resp = std::move(*decoded);
-        have_response = true;
+  // Frame-stream supervision. Telemetry/trace/flight frames accumulate into
+  // the run record and refresh the stall detector; the response frame (or a
+  // failure) ends the loop. Two clocks bound each read: the wall deadline
+  // (the child's own deadline should end the run cleanly first; the extra
+  // grace covers serialization and scheduling) and, when configured, the
+  // stall timeout since the last frame — a worker silent past it is
+  // classified distinctly from a wall overrun, and retryably.
+  const Deadline wall_deadline =
+      req.timeout_seconds > 0
+          ? Deadline::after(req.timeout_seconds +
+                            config.kill_grace_seconds + 1.0)
+          : Deadline::infinite();
+  const bool stall_active =
+      req.stall_timeout_seconds > 0 && req.heartbeat_interval_seconds > 0;
+  auto last_frame_time = std::chrono::steady_clock::now();
+  bool stalled = false;
+  std::uint64_t heartbeats = 0;
+  std::string last_phase;
+  std::uint64_t last_step = 0;
+  std::uint64_t child_rss = 0;
+  std::vector<std::string> flight_events;
+  std::vector<obs::TraceEvent> child_events;
+  std::uint64_t child_epoch_us = 0;
+  while (outcome.ok() && !have_response) {
+    Deadline read_deadline = wall_deadline;
+    double stall_remaining = 0.0;
+    if (stall_active) {
+      const double since_last =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        last_frame_time)
+              .count();
+      stall_remaining = req.stall_timeout_seconds - since_last;
+      if (stall_remaining <= 0.001) stall_remaining = 0.001;
+      if (wall_deadline.is_infinite() ||
+          stall_remaining < wall_deadline.remaining_seconds())
+        read_deadline = Deadline::after(stall_remaining);
+    }
+    Result<std::string> frame = read_frame(from_child[0], read_deadline);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded &&
+          stall_active && !wall_deadline.expired()) {
+        stalled = true;
+        outcome = Status::worker_crashed(
+            "worker stalled: no telemetry frame for " +
+            std::to_string(req.stall_timeout_seconds) +
+            "s (stall timeout; wall deadline not reached)");
       } else {
-        outcome = Status::worker_crashed("worker response unparseable: " +
-                                         decoded.status().message());
+        outcome = frame.status();
       }
-    } else {
-      outcome = frame.status();
+      break;
+    }
+    last_frame_time = std::chrono::steady_clock::now();
+    Result<JsonValue> doc = parse_json(*frame);
+    if (!doc.ok()) {
+      outcome = Status::worker_crashed("worker frame unparseable: " +
+                                       doc.status().message());
+      break;
+    }
+    switch (frame_kind(*doc)) {
+      case FrameKind::kTelemetry: {
+        Result<TelemetryFrame> t = decode_telemetry_frame(*doc);
+        if (t.ok()) {
+          ++heartbeats;
+          if (!t->phase.empty()) last_phase = t->phase;
+          last_step = t->step;
+          child_rss = std::max(child_rss, t->rss_bytes);
+        }
+        break;
+      }
+      case FrameKind::kTrace: {
+        Result<TraceFramePayload> t = decode_trace_frame(*doc);
+        if (t.ok()) {
+          child_epoch_us = t->epoch_us;
+          child_events.insert(child_events.end(),
+                              std::make_move_iterator(t->events.begin()),
+                              std::make_move_iterator(t->events.end()));
+        }
+        break;
+      }
+      case FrameKind::kFlight: {
+        Result<std::vector<obs::flight::Event>> events =
+            decode_flight_frame(*doc);
+        if (events.ok()) {
+          flight_events.clear();
+          for (const obs::flight::Event& e : *events)
+            flight_events.push_back(obs::flight::format(e));
+        }
+        break;
+      }
+      case FrameKind::kResponse: {
+        Result<WorkerResponse> decoded = decode_response(*frame);
+        if (decoded.ok()) {
+          resp = std::move(*decoded);
+          have_response = true;
+        } else {
+          outcome = Status::worker_crashed("worker response unparseable: " +
+                                           decoded.status().message());
+        }
+        break;
+      }
     }
   }
+  // The crash handler's flight frame may still sit in the pipe buffer after
+  // an EOF-classified death mid-stream never delivered it to the loop (the
+  // handler can race a heartbeat write and garble one frame). Best effort:
+  // nothing further to read once the loop ended.
   close(from_child[0]);
 
   const int wstatus = reap_child(pid, config.kill_grace_seconds);
   const auto end = std::chrono::steady_clock::now();
   run.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+
+  // Fold the accumulated telemetry into the record regardless of outcome —
+  // for a dead worker the (last phase, last step, heartbeat count) triple is
+  // exactly the forensic story the report needs.
+  run.heartbeats = heartbeats;
+  run.last_phase = last_phase;
+  run.last_step = last_step;
+  run.flight_events = std::move(flight_events);
+  obs::sample_rss_bytes();  // parent-side boundary sample
+  run.peak_rss_bytes = std::max(child_rss, resp.peak_rss_bytes);
+
+  // Merge the child's trace spans into the parent buffer: re-base their
+  // timestamps from the child's trace epoch onto ours (both are offsets of
+  // the same CLOCK_MONOTONIC) and stamp the worker's real pid so the merged
+  // --trace file renders the fork as its own process group.
+  if (!child_events.empty() && obs::trace_enabled()) {
+    const std::int64_t offset = static_cast<std::int64_t>(child_epoch_us) -
+                                static_cast<std::int64_t>(obs::trace_epoch_us());
+    for (obs::TraceEvent& e : child_events) {
+      const std::int64_t ts = static_cast<std::int64_t>(e.start_us) + offset;
+      e.start_us = ts > 0 ? static_cast<std::uint64_t>(ts) : 0;
+      e.pid = static_cast<std::uint32_t>(pid);
+    }
+    obs::Tracer::instance().import_events(std::move(child_events));
+  }
 
   if (have_response) {
     run.status = resp.status;
@@ -330,12 +595,17 @@ engine::EngineRun run_in_worker(const WorkerRequest& request,
     run.budget_peak_bytes = static_cast<std::size_t>(resp.budget_peak_bytes);
     return run;
   }
-  run.status = outcome.code() == StatusCode::kDeadlineExceeded
-                   ? Status::deadline_exceeded(
-                         "worker exceeded the wall clock; terminated "
-                         "(SIGTERM, then SIGKILL after " +
-                         std::to_string(config.kill_grace_seconds) + "s)")
-                   : classify_termination(wstatus, outcome);
+  if (stalled) {
+    run.status = outcome;
+    run.stats["worker_stalled"] = 1.0;
+  } else {
+    run.status = outcome.code() == StatusCode::kDeadlineExceeded
+                     ? Status::deadline_exceeded(
+                           "worker exceeded the wall clock; terminated "
+                           "(SIGTERM, then SIGKILL after " +
+                           std::to_string(config.kill_grace_seconds) + "s)")
+                     : classify_termination(wstatus, outcome);
+  }
   run.detail = run.status.message();
   GFA_LOG_WARN("worker", "worker " << pid << " failed: "
                                    << run.status.to_string());
@@ -347,12 +617,16 @@ engine::EngineRun run_isolated_with_retry(WorkerRequest request,
                                           const WorkerConfig& config) {
   const unsigned max_attempts = std::max(1u, policy.max_attempts);
   std::vector<engine::AttemptRecord> history;
+  std::vector<std::string> last_flight;
   engine::EngineRun run;
   for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
     const double delay = policy.delay_before_attempt(attempt);
     if (delay > 0)
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
     run = run_in_worker(request, config);
+    GFA_HISTOGRAM("worker.attempt_wall_ms",
+                  static_cast<std::uint64_t>(run.wall_ms));
+    if (!run.flight_events.empty()) last_flight = run.flight_events;
 
     engine::AttemptRecord record;
     record.engine = request.engine;
@@ -360,6 +634,9 @@ engine::EngineRun run_isolated_with_retry(WorkerRequest request,
     record.verdict = run.verdict;
     record.wall_ms = run.wall_ms;
     record.budget_peak_bytes = run.budget_peak_bytes;
+    record.heartbeats = run.heartbeats;
+    record.last_phase = run.last_phase;
+    record.last_step = run.last_step;
     record.detail = "attempt " + std::to_string(attempt) + "/" +
                     std::to_string(max_attempts) +
                     (run.detail.empty() ? "" : ": " + run.detail);
@@ -377,10 +654,17 @@ engine::EngineRun run_isolated_with_retry(WorkerRequest request,
     }
   }
   run.stats["worker_attempts"] = static_cast<double>(history.size());
+  // A failed final attempt without its own flight dump (e.g. a SIGKILLed
+  // hang) still reports the most recent tail from an earlier crashed fork.
+  if (!run.status.ok() && run.flight_events.empty())
+    run.flight_events = std::move(last_flight);
   // With retries in play the crash/retry history is the interesting attempt
   // story; a single clean attempt keeps whatever the engine itself reported
-  // (e.g. portfolio attempts from inside the worker).
-  if (history.size() > 1) run.attempts = std::move(history);
+  // (e.g. portfolio attempts from inside the worker). A single *failed*
+  // attempt has no engine-side story to preserve — record it, so a crash
+  // report always carries the attempt's telemetry triple.
+  if (history.size() > 1 || (!run.status.ok() && run.attempts.empty()))
+    run.attempts = std::move(history);
   return run;
 }
 

@@ -16,9 +16,18 @@
 //   SIGXCPU (RLIMIT_CPU tripped)      kDeadlineExceeded
 //   wall-clock overrun                SIGTERM, grace, SIGKILL;
 //                                     kDeadlineExceeded
+//   silent past the stall timeout     kWorkerCrashed ("worker stalled...");
+//                                     stats carries worker_stalled = 1
 //
 // kWorkerCrashed maps to exit code 71, so scripts can tell "the engine said
 // not-equivalent" from "the engine process died".
+//
+// While a worker runs, the supervisor drains its telemetry frame stream
+// (protocol.h): heartbeat/progress frames feed the stall detector and the
+// (heartbeats, last_phase, last_step) triple on the run record, trace frames
+// are re-stamped and merged into the parent's trace buffer, and a crash
+// flight-recorder frame (dumped by the child's signal handler) becomes the
+// report's "flight_recorder" event tail.
 //
 // run_isolated_with_retry() wraps run_in_worker() in a RetryPolicy: crashed
 // (or mem-killed) attempts re-fork after an exponential backoff, optionally

@@ -29,6 +29,9 @@ void write_attempt(JsonWriter& w, const engine::AttemptRecord& a) {
   w.member("wall_ms", a.wall_ms);
   w.member("budget_peak_bytes",
            static_cast<std::uint64_t>(a.budget_peak_bytes));
+  w.member("heartbeats", a.heartbeats);
+  w.member("last_phase", a.last_phase);
+  w.member("last_step", a.last_step);
   w.end_object();
 }
 
@@ -49,6 +52,9 @@ Result<engine::AttemptRecord> read_attempt(const JsonValue& v) {
   a.wall_ms = v.number_or("wall_ms", 0.0);
   a.budget_peak_bytes =
       static_cast<std::size_t>(v.u64_or("budget_peak_bytes", 0));
+  a.heartbeats = v.u64_or("heartbeats", 0);
+  a.last_phase = v.string_or("last_phase", "");
+  a.last_step = v.u64_or("last_step", 0);
   return a;
 }
 
@@ -80,6 +86,9 @@ std::string encode_request(const WorkerRequest& req) {
   w.member("checkpoint_resume", req.checkpoint_resume);
   w.member("simulate_crash", req.simulate_crash);
   w.member("simulate_hang", req.simulate_hang);
+  w.member("heartbeat_interval_seconds", req.heartbeat_interval_seconds);
+  w.member("stall_timeout_seconds", req.stall_timeout_seconds);
+  w.member("trace", req.trace);
   w.end_object();
   return out.str();
 }
@@ -113,6 +122,10 @@ Result<WorkerRequest> decode_request(std::string_view json) {
   req.checkpoint_resume = doc->bool_or("checkpoint_resume", false);
   req.simulate_crash = doc->bool_or("simulate_crash", false);
   req.simulate_hang = doc->bool_or("simulate_hang", false);
+  req.heartbeat_interval_seconds =
+      doc->number_or("heartbeat_interval_seconds", 1.0);
+  req.stall_timeout_seconds = doc->number_or("stall_timeout_seconds", 0.0);
+  req.trace = doc->bool_or("trace", false);
   if (req.spec_path.empty() || req.impl_path.empty())
     return Status::invalid_argument("worker request is missing circuit paths");
   if (req.k < 2)
@@ -140,6 +153,7 @@ std::string encode_response(const WorkerResponse& resp) {
   w.member("wall_ms", resp.wall_ms);
   w.member("budget_limit_bytes", resp.budget_limit_bytes);
   w.member("budget_peak_bytes", resp.budget_peak_bytes);
+  w.member("peak_rss_bytes", resp.peak_rss_bytes);
   w.end_object();
   return out.str();
 }
@@ -177,7 +191,125 @@ Result<WorkerResponse> decode_response(std::string_view json) {
   resp.wall_ms = doc->number_or("wall_ms", 0.0);
   resp.budget_limit_bytes = doc->u64_or("budget_limit_bytes", 0);
   resp.budget_peak_bytes = doc->u64_or("budget_peak_bytes", 0);
+  resp.peak_rss_bytes = doc->u64_or("peak_rss_bytes", 0);
   return resp;
+}
+
+FrameKind frame_kind(const JsonValue& doc) {
+  if (!doc.is_object()) return FrameKind::kResponse;
+  const std::string kind = doc.string_or("frame", "response");
+  if (kind == "telemetry") return FrameKind::kTelemetry;
+  if (kind == "trace") return FrameKind::kTrace;
+  if (kind == "flight") return FrameKind::kFlight;
+  return FrameKind::kResponse;
+}
+
+std::string encode_telemetry_frame(const TelemetryFrame& t) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.member("frame", "telemetry");
+  w.member("seq", t.seq);
+  w.member("phase", t.phase);
+  w.member("step", t.step);
+  w.member("total", t.total);
+  w.member("terms", t.terms);
+  w.member("budget_bytes", t.budget_bytes);
+  w.member("rss_bytes", t.rss_bytes);
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& [name, value] : t.metrics) w.member(name, value);
+  w.end_object();
+  w.end_object();
+  return out.str();
+}
+
+Result<TelemetryFrame> decode_telemetry_frame(const JsonValue& doc) {
+  if (!doc.is_object())
+    return Status::invalid_argument("telemetry frame is not a JSON object");
+  TelemetryFrame t;
+  t.seq = doc.u64_or("seq", 0);
+  t.phase = doc.string_or("phase", "");
+  t.step = doc.u64_or("step", 0);
+  t.total = doc.u64_or("total", 0);
+  t.terms = doc.u64_or("terms", 0);
+  t.budget_bytes = doc.u64_or("budget_bytes", 0);
+  t.rss_bytes = doc.u64_or("rss_bytes", 0);
+  if (const JsonValue* metrics = doc.find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    for (const auto& [name, value] : metrics->members())
+      if (value.is_number())
+        t.metrics[name] = static_cast<std::uint64_t>(value.as_number());
+  }
+  return t;
+}
+
+std::string encode_trace_frame(const TraceFramePayload& t) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.member("frame", "trace");
+  w.member("epoch_us", t.epoch_us);
+  w.key("events");
+  w.begin_array();
+  for (const obs::TraceEvent& e : t.events) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.category);
+    w.member("ts", e.start_us);
+    w.member("dur", e.duration_us);
+    w.member("tid", e.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+Result<TraceFramePayload> decode_trace_frame(const JsonValue& doc) {
+  if (!doc.is_object())
+    return Status::invalid_argument("trace frame is not a JSON object");
+  TraceFramePayload t;
+  t.epoch_us = doc.u64_or("epoch_us", 0);
+  if (const JsonValue* events = doc.find("events");
+      events != nullptr && events->is_array()) {
+    for (const JsonValue& item : events->items()) {
+      if (!item.is_object()) continue;
+      obs::TraceEvent e;
+      e.name = item.string_or("name", "");
+      e.category = obs::intern_category(item.string_or("cat", "worker"));
+      e.start_us = item.u64_or("ts", 0);
+      e.duration_us = item.u64_or("dur", 0);
+      e.tid = static_cast<std::uint32_t>(item.u64_or("tid", 0));
+      t.events.push_back(std::move(e));
+    }
+  }
+  return t;
+}
+
+Result<std::vector<obs::flight::Event>> decode_flight_frame(
+    const JsonValue& doc) {
+  if (!doc.is_object())
+    return Status::invalid_argument("flight frame is not a JSON object");
+  std::vector<obs::flight::Event> out;
+  if (const JsonValue* events = doc.find("events");
+      events != nullptr && events->is_array()) {
+    for (const JsonValue& item : events->items()) {
+      if (!item.is_object()) continue;
+      obs::flight::Event e;
+      e.seq = item.u64_or("seq", 0);
+      e.t_us = item.u64_or("t_us", 0);
+      const std::string tag = item.string_or("tag", "");
+      const std::size_t n =
+          std::min(tag.size(), obs::flight::kTagBytes - 1);
+      std::memcpy(e.tag, tag.data(), n);
+      e.tag[n] = '\0';
+      e.a = item.u64_or("a", 0);
+      e.b = item.u64_or("b", 0);
+      out.push_back(e);
+    }
+  }
+  return out;
 }
 
 Status write_frame(int fd, std::string_view payload) {

@@ -1,16 +1,30 @@
 #pragma once
 // The supervisor <-> worker wire protocol.
 //
-// A worker child and its supervising parent talk over two pipes, one frame
-// each way. A frame is a 32-bit little-endian payload length followed by that
-// many bytes of JSON (written by util/json_writer.h, parsed by
-// util/json_reader.h). The request carries everything the child needs to
-// reconstruct the job — circuit file paths, the field degree, the engine
-// name, and the ExecControl-shaped limits — because the child re-reads the
-// circuits itself rather than inheriting parent memory it cannot trust after
-// a crashy run. The response is the flattened run outcome: a Status in wire
-// form (code name + message), the verdict, detail, stats, and the portfolio
-// attempt history when the isolated engine was itself a portfolio.
+// A worker child and its supervising parent talk over two pipes. A frame is
+// a 32-bit little-endian payload length followed by that many bytes of JSON
+// (written by util/json_writer.h, parsed by util/json_reader.h). The request
+// carries everything the child needs to reconstruct the job — circuit file
+// paths, the field degree, the engine name, and the ExecControl-shaped
+// limits — because the child re-reads the circuits itself rather than
+// inheriting parent memory it cannot trust after a crashy run.
+//
+// The child-to-parent direction is a frame *stream*, discriminated by a
+// top-level "frame" key:
+//   * "telemetry" — periodic heartbeat/progress (phase, RATO step/total,
+//     term count, budget bytes, RSS, metrics delta);
+//   * "trace"     — a slice of the child's Chrome trace buffer plus the
+//     child's trace epoch, for parent-side re-stamping and merging;
+//   * "flight"    — the crash flight-recorder ring, emitted by the child's
+//     SIGSEGV/SIGABRT handler (hand-formatted there — keep the schema in
+//     sync with obs/flight_recorder.cpp) or its catch-all exception path;
+//   * absent / "response" — the final WorkerResponse, which ends the stream.
+// A pre-telemetry parent still works: it blocks on the one frame the old
+// protocol had, and a pre-telemetry child simply never sends the new kinds.
+//
+// The response is the flattened run outcome: a Status in wire form (code
+// name + message), the verdict, detail, stats, and the portfolio attempt
+// history when the isolated engine was itself a portfolio.
 //
 // Frames are capped at 64 MiB: a length prefix beyond that is treated as
 // protocol corruption, not an allocation request.
@@ -22,7 +36,10 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/exec_control.h"
+#include "util/json_reader.h"
 #include "util/status.h"
 
 namespace gfa::worker {
@@ -55,6 +72,16 @@ struct WorkerRequest {
   /// attempt misbehaves even across retries of forked children.
   bool simulate_crash = false;
   bool simulate_hang = false;
+  /// Heartbeat cadence for the child's telemetry frames; 0 disables
+  /// telemetry entirely (no frames, no progress sink — the dark baseline).
+  double heartbeat_interval_seconds = 1.0;
+  /// Parent-side stall detector: a worker silent (no frame of any kind) for
+  /// this long is classified kWorkerCrashed("worker stalled...") — distinct
+  /// from a wall-clock overrun — before the wall deadline fires. 0 disables.
+  /// Meaningless without heartbeats; the tool rejects that combination.
+  double stall_timeout_seconds = 0.0;
+  /// Child trace-buffer streaming: set iff the parent has tracing enabled.
+  bool trace = false;
 };
 
 struct WorkerResponse {
@@ -70,6 +97,38 @@ struct WorkerResponse {
   double wall_ms = 0.0;
   std::uint64_t budget_limit_bytes = 0;
   std::uint64_t budget_peak_bytes = 0;
+  /// Child's /proc-sampled peak resident set (bytes), next to the
+  /// byte-accounted budget peak; 0 when never sampled.
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// Discriminates the child-to-parent frame stream (see header comment).
+enum class FrameKind { kResponse, kTelemetry, kTrace, kFlight };
+
+/// Classifies a parsed frame by its top-level "frame" key; absent or
+/// unrecognized values mean kResponse (the legacy single-frame protocol).
+FrameKind frame_kind(const JsonValue& doc);
+
+/// One heartbeat/progress observation from the child.
+struct TelemetryFrame {
+  std::uint64_t seq = 0;
+  std::string phase;
+  std::uint64_t step = 0;
+  std::uint64_t total = 0;
+  std::uint64_t terms = 0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t rss_bytes = 0;
+  /// Metrics-registry delta since the previous frame (counters; gauges carry
+  /// their current value). Empty when the child runs with metrics disabled.
+  std::map<std::string, std::uint64_t> metrics;
+};
+
+/// A slice of the child's trace buffer. Events carry child-local timestamps
+/// (relative to `epoch_us`, the child's absolute trace epoch) and child
+/// tids; the supervisor re-stamps both bases onto its own timeline.
+struct TraceFramePayload {
+  std::uint64_t epoch_us = 0;
+  std::vector<obs::TraceEvent> events;
 };
 
 std::string encode_request(const WorkerRequest& req);
@@ -77,6 +136,17 @@ Result<WorkerRequest> decode_request(std::string_view json);
 
 std::string encode_response(const WorkerResponse& resp);
 Result<WorkerResponse> decode_response(std::string_view json);
+
+std::string encode_telemetry_frame(const TelemetryFrame& t);
+Result<TelemetryFrame> decode_telemetry_frame(const JsonValue& doc);
+
+std::string encode_trace_frame(const TraceFramePayload& t);
+Result<TraceFramePayload> decode_trace_frame(const JsonValue& doc);
+
+/// The flight frame's encoder lives in obs/flight_recorder.cpp (it must be
+/// async-signal-safe); this decodes what it emits.
+Result<std::vector<obs::flight::Event>> decode_flight_frame(
+    const JsonValue& doc);
 
 /// Writes one length-prefixed frame, retrying short writes. EPIPE (the child
 /// died before reading) is kWorkerCrashed; other write errors kInternal.

@@ -9,12 +9,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "abstraction/bitpoly.h"
+#include "abstraction/rewriter.h"
+#include "gf/gf2k.h"
+#include "obs/flight_recorder.h"
+#include "obs/histogram.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/parallel_for.h"
 
@@ -150,6 +159,211 @@ TEST_F(ObsTest, AggregateSumsPerPhaseName) {
   ASSERT_TRUE(totals.count("phase_b"));
   EXPECT_EQ(totals.at("phase_a").count, 2u);
   EXPECT_EQ(totals.at("phase_b").count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms.
+
+TEST_F(ObsTest, HistogramBucketsAreLog2BitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST_F(ObsTest, HistogramPercentileReportsBucketUpperBounds) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty
+  // 90 samples of 1 and 10 samples of 1000: p50 lands in bucket 1 (upper
+  // bound 1), p99 in 1000's bucket (upper bound 1023).
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u + 10u * 1000u);
+  EXPECT_EQ(h.percentile(0.50), 1u);
+  EXPECT_EQ(h.percentile(0.90), 1u);
+  EXPECT_EQ(h.percentile(0.99), 1023u);
+  EXPECT_EQ(h.percentile(1.0), 1023u);
+}
+
+TEST_F(ObsTest, HistogramMacroDisabledRecordsNothing) {
+  set_metrics_enabled(false);
+  Metrics::instance().reset_all();
+  GFA_HISTOGRAM("test.hist.disabled", 42);
+  EXPECT_EQ(Metrics::instance().histogram("test.hist.disabled").count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecordsSumExactly) {
+  set_metrics_enabled(true);
+  Metrics::instance().reset_all();
+  constexpr std::size_t kItems = 100000;
+  parallel_for(kItems, [](std::size_t i) { GFA_HISTOGRAM("test.hist.race", i); });
+  const Histogram& h = Metrics::instance().histogram("test.hist.race");
+  EXPECT_EQ(h.count(), kItems);
+  EXPECT_EQ(h.sum(),
+            static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2);
+  // Per-bucket totals are exact too: bucket b holds [2^(b-1), 2^b - 1], so
+  // bucket counts for a dense 0..N-1 range are the power-of-two strides.
+  std::uint64_t bucket_total = 0;
+  for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+    bucket_total += h.bucket(b);
+  EXPECT_EQ(bucket_total, kItems);
+  EXPECT_EQ(h.bucket(0), 1u);   // value 0
+  EXPECT_EQ(h.bucket(1), 1u);   // value 1
+  EXPECT_EQ(h.bucket(2), 2u);   // values 2..3
+  EXPECT_EQ(h.bucket(10), 512u);  // values 512..1023
+}
+
+TEST_F(ObsTest, HistogramsFoldIntoSnapshotsOnlyWhenNonEmpty) {
+  set_metrics_enabled(true);
+  Metrics::instance().reset_all();
+  const auto empty = Metrics::instance().snapshot();
+  EXPECT_FALSE(empty.count("rewriter.substitution_us.count"));
+  GFA_HISTOGRAM("rewriter.substitution_us", 7);
+  GFA_HISTOGRAM("rewriter.substitution_us", 9);
+  const auto snap = Metrics::instance().snapshot();
+  EXPECT_EQ(snap.at("rewriter.substitution_us.count"), 2u);
+  EXPECT_EQ(snap.at("rewriter.substitution_us.p50"), 7u);
+  EXPECT_EQ(snap.at("rewriter.substitution_us.p99"), 15u);
+  // Delta subtracts .count like a counter; percentiles stay current.
+  GFA_HISTOGRAM("rewriter.substitution_us", 9);
+  const auto d = Metrics::instance().delta(snap);
+  EXPECT_EQ(d.at("rewriter.substitution_us.count"), 1u);
+  EXPECT_EQ(d.at("rewriter.substitution_us.p50"), 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Progress sink.
+
+TEST_F(ObsTest, ProgressSinkGatesAndDelivers) {
+  EXPECT_FALSE(progress_active());
+  report_progress(Progress{});  // no sink: harmless no-op
+  std::vector<std::pair<std::string, std::uint64_t>> seen;
+  set_progress_sink([&](const Progress& p) {
+    seen.emplace_back(p.phase, p.step);
+  });
+  EXPECT_TRUE(progress_active());
+  Progress p;
+  p.phase = "reduction_chain";
+  p.step = 42;
+  report_progress(p);
+  set_progress_sink(nullptr);
+  EXPECT_FALSE(progress_active());
+  report_progress(p);  // after removal: dropped
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, "reduction_chain");
+  EXPECT_EQ(seen[0].second, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST(FlightRecorder, RingKeepsTheLastEventsInOrder) {
+  flight::clear();
+  for (std::uint64_t i = 1; i <= flight::kRingSize + 40; ++i)
+    flight::note("phase:step", i, i * 2);
+  const std::vector<flight::Event> tail = flight::tail();
+  ASSERT_EQ(tail.size(), flight::kRingSize);
+  // Oldest surviving event is (total - ring + 1); strictly increasing seq.
+  EXPECT_EQ(tail.front().seq, 41u);
+  EXPECT_EQ(tail.back().seq, flight::kRingSize + 40);
+  for (std::size_t i = 1; i < tail.size(); ++i)
+    EXPECT_EQ(tail[i].seq, tail[i - 1].seq + 1);
+  EXPECT_STREQ(tail.back().tag, "phase:step");
+  EXPECT_EQ(tail.back().a, flight::kRingSize + 40);
+  EXPECT_EQ(tail.back().b, (flight::kRingSize + 40) * 2);
+  flight::clear();
+  EXPECT_TRUE(flight::tail().empty());
+}
+
+TEST(FlightRecorder, LongTagsTruncateAndFormatIsReadable) {
+  flight::clear();
+  flight::note("a_very_long_tag_name_that_overflows", 1, 2);
+  const std::vector<flight::Event> tail = flight::tail();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(std::strlen(tail[0].tag), flight::kTagBytes - 1);
+  const std::string line = flight::format(tail[0]);
+  EXPECT_NE(line.find("a_very_long_tag_name_th"), std::string::npos);
+  EXPECT_NE(line.find("a=1"), std::string::npos);
+  EXPECT_NE(line.find("b=2"), std::string::npos);
+  flight::clear();
+}
+
+// ---------------------------------------------------------------------------
+// Trace thread lanes.
+
+TEST_F(ObsTest, SpansFromDifferentThreadsLandInDifferentLanes) {
+  Tracer::instance().clear();
+  set_trace_enabled(true);
+  // Keep both threads alive until both spans have closed: a joined thread's
+  // std::thread::id may be reused, which would collapse the dense tids.
+  std::atomic<int> done{0};
+  const auto body = [&done](const char* name) {
+    { const TraceSpan s(name, "test"); }
+    ++done;
+    while (done.load() < 2) std::this_thread::yield();
+  };
+  std::thread t1(body, "lane_a");
+  std::thread t2(body, "lane_b");
+  t1.join();
+  t2.join();
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+// Regression for the sharded-rewriter trace fix: the per-shard
+// "reduction_chain_shard" span must open inside the parallel_for worker
+// lambda, so one span is recorded per shard (stamped with the pool thread
+// that ran it). The old code opened a single span on the dispatching thread,
+// collapsing all shard work into one event in one lane.
+TEST_F(ObsTest, ShardedSubstitutionRecordsOneSpanPerShard) {
+  const unsigned restore_threads = parallel_thread_count();
+  set_parallel_thread_count(4);
+  Tracer::instance().clear();
+  set_trace_enabled(true);
+
+  const Gf2k field = Gf2k::make(8);
+  // 200 pending occurrences of v=0 exceeds kChunkedSubstitutionMin (128), so
+  // substitute() takes the chunked path with min(4, 200/64) = 3 shards.
+  constexpr VarId kV = 0;
+  constexpr std::size_t kPending = 200;
+  std::vector<bool> substitutable(kPending + 3, true);
+  BasicBackwardRewriter<BitMono> rw(field, substitutable);
+  for (VarId i = 1; i <= kPending; ++i) {
+    const VarId ids[2] = {kV, i};
+    rw.add(BitMono::from_sorted(ids, 2), field.one());
+  }
+  FlatTail<BitMono> tail;
+  const VarId t0 = kPending + 1, t1 = kPending + 2;
+  tail.monos.push_back(BitMono::from_sorted(&t0, 1));
+  tail.monos.push_back(BitMono::from_sorted(&t1, 1));
+  rw.substitute(kV, tail);
+  EXPECT_EQ(rw.num_terms(), 2 * kPending);
+
+  std::size_t shard_spans = 0;
+  for (const auto& e : Tracer::instance().events())
+    if (e.name == "reduction_chain_shard") ++shard_spans;
+  EXPECT_EQ(shard_spans, 3u);
+  set_parallel_thread_count(restore_threads);
+}
+
+TEST(ObsMetrics, RssSamplingTracksAMonotonicPeak) {
+  const std::uint64_t now = sample_rss_bytes();
+  EXPECT_GT(now, 0u);  // /proc/self/statm exists on every CI target
+  const std::uint64_t peak = peak_rss_bytes();
+  EXPECT_GE(peak, now);
+  // A second sample can only raise the recorded peak.
+  sample_rss_bytes();
+  EXPECT_GE(peak_rss_bytes(), peak);
 }
 
 TEST(ObsLog, ParseLogLevelAcceptsTheFourLevels) {

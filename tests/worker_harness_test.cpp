@@ -9,7 +9,9 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "circuit/mastrovito.h"
@@ -191,6 +193,128 @@ TEST(WorkerProtocol, OversizedLengthPrefixIsProtocolCorruption) {
   close(fds[1]);
 }
 
+TEST(WorkerProtocol, TelemetryRequestFieldsRoundTrip) {
+  WorkerRequest req;
+  req.spec_path = "/tmp/a.net";
+  req.impl_path = "/tmp/b.net";
+  req.k = 8;
+  req.heartbeat_interval_seconds = 0.25;
+  req.stall_timeout_seconds = 7.5;
+  req.trace = true;
+  const Result<WorkerRequest> back = decode_request(encode_request(req));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->heartbeat_interval_seconds, 0.25);
+  EXPECT_EQ(back->stall_timeout_seconds, 7.5);
+  EXPECT_TRUE(back->trace);
+}
+
+TEST(WorkerProtocol, ResponsePeakRssRoundTrips) {
+  WorkerResponse resp;
+  resp.status = Status();
+  resp.peak_rss_bytes = std::uint64_t{123} << 20;
+  const Result<WorkerResponse> back = decode_response(encode_response(resp));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->peak_rss_bytes, resp.peak_rss_bytes);
+}
+
+TEST(WorkerProtocol, FrameKindDiscriminatesTheStream) {
+  const auto kind_of = [](std::string_view json) {
+    const Result<JsonValue> doc = parse_json(json);
+    EXPECT_TRUE(doc.ok());
+    return frame_kind(*doc);
+  };
+  EXPECT_EQ(kind_of("{\"frame\": \"telemetry\"}"), FrameKind::kTelemetry);
+  EXPECT_EQ(kind_of("{\"frame\": \"trace\"}"), FrameKind::kTrace);
+  EXPECT_EQ(kind_of("{\"frame\": \"flight\"}"), FrameKind::kFlight);
+  EXPECT_EQ(kind_of("{\"frame\": \"response\"}"), FrameKind::kResponse);
+  // The legacy single-frame protocol has no "frame" key at all.
+  EXPECT_EQ(kind_of("{\"status\": \"kOk\"}"), FrameKind::kResponse);
+  EXPECT_EQ(kind_of("{\"frame\": \"???\"}"), FrameKind::kResponse);
+}
+
+TEST(WorkerProtocol, TelemetryFrameCodecRoundTrips) {
+  TelemetryFrame t;
+  t.seq = 17;
+  t.phase = "reduction_chain";
+  t.step = 1234;
+  t.total = 5000;
+  t.terms = 98765;
+  t.budget_bytes = std::uint64_t{1} << 30;
+  t.rss_bytes = std::uint64_t{2} << 30;
+  t.metrics["reduction_steps"] = 4321;
+  t.metrics["rewriter.substitution_us.p99"] = 127;
+  const Result<JsonValue> doc = parse_json(encode_telemetry_frame(t));
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_EQ(frame_kind(*doc), FrameKind::kTelemetry);
+  const Result<TelemetryFrame> back = decode_telemetry_frame(*doc);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->seq, t.seq);
+  EXPECT_EQ(back->phase, t.phase);
+  EXPECT_EQ(back->step, t.step);
+  EXPECT_EQ(back->total, t.total);
+  EXPECT_EQ(back->terms, t.terms);
+  EXPECT_EQ(back->budget_bytes, t.budget_bytes);
+  EXPECT_EQ(back->rss_bytes, t.rss_bytes);
+  EXPECT_EQ(back->metrics, t.metrics);
+}
+
+TEST(WorkerProtocol, TraceFrameCodecRoundTrips) {
+  TraceFramePayload payload;
+  payload.epoch_us = 99887766;
+  obs::TraceEvent e;
+  e.name = "reduction_chain";
+  e.category = "abstraction";
+  e.start_us = 100;
+  e.duration_us = 250;
+  e.tid = 3;
+  payload.events.push_back(e);
+  e.name = "case2_lift";
+  e.start_us = 400;
+  payload.events.push_back(e);
+  const Result<JsonValue> doc = parse_json(encode_trace_frame(payload));
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_EQ(frame_kind(*doc), FrameKind::kTrace);
+  const Result<TraceFramePayload> back = decode_trace_frame(*doc);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->epoch_us, payload.epoch_us);
+  ASSERT_EQ(back->events.size(), 2u);
+  EXPECT_EQ(back->events[0].name, "reduction_chain");
+  EXPECT_STREQ(back->events[0].category, "abstraction");
+  EXPECT_EQ(back->events[0].start_us, 100u);
+  EXPECT_EQ(back->events[0].duration_us, 250u);
+  EXPECT_EQ(back->events[0].tid, 3u);
+  EXPECT_EQ(back->events[1].name, "case2_lift");
+}
+
+TEST(WorkerProtocol, FlightDumpFrameDecodesWhatTheHandlerEmits) {
+  // dump_frame is the hand-rolled async-signal-safe encoder the crash
+  // handler runs; decode_flight_frame must parse exactly what it writes.
+  obs::flight::clear();
+  obs::flight::note("worker:start", 163);
+  obs::flight::note("reduction_chain", 42, 98765);
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  obs::flight::dump_frame(fds[1]);
+  const Result<std::string> raw = read_frame(fds[0], Deadline::infinite());
+  close(fds[0]);
+  close(fds[1]);
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  const Result<JsonValue> doc = parse_json(*raw);
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_EQ(frame_kind(*doc), FrameKind::kFlight);
+  const Result<std::vector<obs::flight::Event>> events =
+      decode_flight_frame(*doc);
+  ASSERT_TRUE(events.ok()) << events.status().to_string();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_STREQ((*events)[0].tag, "worker:start");
+  EXPECT_EQ((*events)[0].a, 163u);
+  EXPECT_STREQ((*events)[1].tag, "reduction_chain");
+  EXPECT_EQ((*events)[1].a, 42u);
+  EXPECT_EQ((*events)[1].b, 98765u);
+  EXPECT_GT((*events)[1].seq, (*events)[0].seq);
+  obs::flight::clear();
+}
+
 // ---------------------------------------------------------------------------
 // Retry policy.
 
@@ -326,6 +450,97 @@ TEST(WorkerHarness, NonRetryableFailureRunsExactlyOnce) {
   const engine::EngineRun run = run_isolated_with_retry(inst.req, policy);
   ASSERT_FALSE(run.status.ok());
   EXPECT_EQ(run.stats.at("worker_attempts"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry across the worker boundary.
+
+TEST(WorkerHarness, CleanIsolatedRunCarriesTelemetry) {
+  Instance inst = make_instance(8);
+  inst.req.heartbeat_interval_seconds = 0.01;
+  const engine::EngineRun run = run_in_worker(inst.req);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  // Phase changes flush a frame immediately, so even a run far shorter than
+  // the heartbeat interval reports its progression.
+  EXPECT_GE(run.heartbeats, 1u);
+  EXPECT_FALSE(run.last_phase.empty());
+  EXPECT_GT(run.peak_rss_bytes, 0u);
+}
+
+TEST(WorkerHarness, HeartbeatZeroIsTheDarkBaseline) {
+  Instance inst = make_instance(8);
+  inst.req.heartbeat_interval_seconds = 0.0;
+  const engine::EngineRun run = run_in_worker(inst.req);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  EXPECT_EQ(run.heartbeats, 0u);
+  EXPECT_TRUE(run.last_phase.empty());
+}
+
+TEST(WorkerHarness, CrashReportCarriesTheFlightRecorderTail) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  const Instance inst = make_instance(8);
+  ASSERT_TRUE(fault::arm("worker:crash", 1).ok());
+  RetryPolicy policy;  // max_attempts = 1: the crash is the outcome
+  const engine::EngineRun run = run_isolated_with_retry(inst.req, policy);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kWorkerCrashed);
+  // The child's SIGABRT handler dumped the ring over the pipe before dying.
+  ASSERT_FALSE(run.flight_events.empty());
+  bool saw_start = false;
+  for (const std::string& line : run.flight_events)
+    if (line.find("worker:start") != std::string::npos) saw_start = true;
+  EXPECT_TRUE(saw_start) << run.flight_events.front();
+  // Even a lone failed attempt appears in the per-attempt history.
+  ASSERT_EQ(run.attempts.size(), 1u);
+  EXPECT_EQ(run.attempts[0].status.code(), StatusCode::kWorkerCrashed);
+}
+
+TEST(WorkerHarness, StallDetectorFiresBeforeTheWallClock) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "GFA_FAULT_INJECTION is off";
+  Disarmer disarm;
+  Instance inst = make_instance(8);
+  inst.req.timeout_seconds = 30.0;  // the wall alone would wait far longer
+  inst.req.heartbeat_interval_seconds = 0.05;
+  inst.req.stall_timeout_seconds = 0.4;
+  ASSERT_TRUE(fault::arm("worker:hang", 1).ok());
+  WorkerConfig config;
+  config.kill_grace_seconds = 0.2;  // the hang ignores SIGTERM; SIGKILL wins
+  const auto t0 = std::chrono::steady_clock::now();
+  const engine::EngineRun run = run_in_worker(inst.req, config);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(fault::fired());
+  ASSERT_FALSE(run.status.ok());
+  // A stall is a crash-class (retryable) failure, not kDeadlineExceeded.
+  EXPECT_EQ(run.status.code(), StatusCode::kWorkerCrashed)
+      << run.status.to_string();
+  EXPECT_NE(run.status.message().find("stalled"), std::string::npos)
+      << run.status.message();
+  EXPECT_EQ(run.stats.at("worker_stalled"), 1.0);
+  EXPECT_LT(elapsed, 10.0) << "stall detector should beat the 30s wall";
+}
+
+TEST(WorkerHarness, ChildTraceEventsMergeOntoTheParentTimeline) {
+  const bool was_enabled = obs::trace_enabled();
+  obs::set_trace_enabled(true);
+  obs::Tracer::instance().clear();
+  Instance inst = make_instance(8);
+  inst.req.heartbeat_interval_seconds = 0.01;
+  const engine::EngineRun run = run_in_worker(inst.req);
+  const std::vector<obs::TraceEvent> events = obs::Tracer::instance().events();
+  obs::Tracer::instance().clear();
+  obs::set_trace_enabled(was_enabled);
+  ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+  bool parent_event = false;
+  bool child_event = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.pid == 0) parent_event = true;  // the supervisor's own spans
+    else child_event = true;              // re-stamped spans from the child
+  }
+  EXPECT_TRUE(parent_event);
+  EXPECT_TRUE(child_event);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,197 @@
+// bench_compare — diff two BENCH_*.json artifacts (bench/bench_util.h's
+// JsonReporter schema: {"bench", "threads", "records": [...]}) and fail on
+// wall-clock regressions.
+//
+//   bench_compare <baseline.json> <candidate.json> [--threshold=<pct>]
+//
+// Records are matched by (name, k, threads-extra, duplicate index); only the
+// intersection is compared — a ladder extended by GFA_BENCH_MAX_K or a
+// renamed record never produces a spurious failure, but zero overlap prints a
+// warning (a wrong file pairing should be visible, not silently green). For
+// every matched pair the tool prints the wall_ms delta plus per-phase deltas,
+// and exits 1 when any record's wall_ms regressed by more than the threshold
+// (default 10%). CI runs this against the committed bench/artifacts/
+// baselines with a deliberately loose threshold: shared-runner noise must not
+// fail the build, order-of-magnitude regressions must.
+//
+// Exit codes: 0 ok, 1 regression past threshold, 64 usage, 65 parse/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/json_reader.h"
+#include "util/parse_number.h"
+
+namespace {
+
+using namespace gfa;
+
+constexpr int kRegression = 1;
+constexpr int kUsage = 64;
+constexpr int kParseError = 65;
+
+struct Record {
+  std::string name;
+  unsigned k = 0;
+  double wall_ms = 0.0;
+  /// The per-record "threads" extra of scaling records; 0 when absent.
+  unsigned threads = 0;
+  std::vector<std::pair<std::string, double>> phases;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::vector<Record> records;
+};
+
+Result<BenchFile> load_bench(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return Status::parse_error("cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Result<JsonValue> doc = parse_json(buf.str());
+  if (!doc.ok())
+    return Status::parse_error(path + ": " +
+                               std::string(doc.status().message()));
+  if (!doc->is_object() || doc->find("records") == nullptr ||
+      !doc->find("records")->is_array())
+    return Status::parse_error(path +
+                               ": not a BENCH_*.json document "
+                               "(missing \"records\" array)");
+  BenchFile out;
+  out.bench = doc->string_or("bench", "");
+  for (const JsonValue& item : doc->find("records")->items()) {
+    if (!item.is_object()) continue;
+    Record r;
+    r.name = item.string_or("name", "");
+    r.k = static_cast<unsigned>(item.u64_or("k", 0));
+    r.wall_ms = item.number_or("wall_ms", 0.0);
+    r.threads = static_cast<unsigned>(item.u64_or("threads", 0));
+    if (const JsonValue* phases = item.find("phases");
+        phases != nullptr && phases->is_object())
+      for (const auto& [phase, ms] : phases->members())
+        if (ms.is_number()) r.phases.emplace_back(phase, ms.as_number());
+    out.records.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// (name, k, threads, nth-duplicate) — the duplicate counter keeps repeated
+/// configurations (reruns of the same point) paired in file order.
+using Key = std::tuple<std::string, unsigned, unsigned, unsigned>;
+
+std::map<Key, const Record*> index_records(const std::vector<Record>& records) {
+  std::map<Key, const Record*> out;
+  std::map<std::tuple<std::string, unsigned, unsigned>, unsigned> dup;
+  for (const Record& r : records) {
+    const unsigned nth = dup[{r.name, r.k, r.threads}]++;
+    out.emplace(Key{r.name, r.k, r.threads, nth}, &r);
+  }
+  return out;
+}
+
+double pct_delta(double base, double cand) {
+  if (base <= 0.0) return 0.0;
+  return (cand - base) / base * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double threshold_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold", 0) == 0) {
+      std::string value;
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "--threshold expects a value\n");
+        return kUsage;
+      }
+      const Result<double> t = parse_double(value, 0.0, 1e9);
+      if (!t.ok()) {
+        std::fprintf(stderr, "--threshold: %s\n",
+                     t.status().to_string().c_str());
+        return kUsage;
+      }
+      threshold_pct = *t;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return kUsage;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json>"
+                 " [--threshold=<pct>]\n");
+    return kUsage;
+  }
+
+  const Result<BenchFile> base = load_bench(positional[0]);
+  if (!base.ok()) {
+    std::fprintf(stderr, "error: %s\n", base.status().to_string().c_str());
+    return kParseError;
+  }
+  const Result<BenchFile> cand = load_bench(positional[1]);
+  if (!cand.ok()) {
+    std::fprintf(stderr, "error: %s\n", cand.status().to_string().c_str());
+    return kParseError;
+  }
+  if (!base->bench.empty() && !cand->bench.empty() &&
+      base->bench != cand->bench)
+    std::printf("warning: comparing different benches ('%s' vs '%s')\n",
+                base->bench.c_str(), cand->bench.c_str());
+
+  const auto base_index = index_records(base->records);
+  const auto cand_index = index_records(cand->records);
+
+  std::size_t matched = 0;
+  std::size_t regressed = 0;
+  for (const auto& [key, b] : base_index) {
+    const auto it = cand_index.find(key);
+    if (it == cand_index.end()) continue;
+    const Record* c = it->second;
+    ++matched;
+    const double delta = pct_delta(b->wall_ms, c->wall_ms);
+    const bool bad = delta > threshold_pct;
+    if (bad) ++regressed;
+    std::string label = b->name + " k=" + std::to_string(b->k);
+    if (b->threads != 0)
+      label += " threads=" + std::to_string(b->threads);
+    std::printf("%s %s: wall %.3f -> %.3f ms (%+.1f%%)\n",
+                bad ? "REGRESSION" : "ok", label.c_str(), b->wall_ms,
+                c->wall_ms, delta);
+    for (const auto& [phase, base_ms] : b->phases) {
+      const auto cp = std::find_if(
+          c->phases.begin(), c->phases.end(),
+          [&, p = phase](const auto& e) { return e.first == p; });
+      if (cp == c->phases.end()) continue;
+      std::printf("    %-20s %10.3f -> %10.3f ms (%+.1f%%)\n", phase.c_str(),
+                  base_ms, cp->second, pct_delta(base_ms, cp->second));
+    }
+  }
+  if (matched == 0) {
+    std::printf(
+        "warning: no overlapping records between '%s' and '%s' — nothing "
+        "compared\n",
+        positional[0].c_str(), positional[1].c_str());
+    return 0;
+  }
+  std::printf("%zu record(s) compared, %zu regression(s) past %+.1f%%\n",
+              matched, regressed, threshold_pct);
+  return regressed == 0 ? 0 : kRegression;
+}

@@ -9,6 +9,7 @@
 //                   [--race]
 //                   [--isolate] [--retries=<n>] [--retry-backoff=<dur>]
 //                   [--retry-seed=<n>] [--retry-budget-escalation=<f>]
+//                   [--heartbeat-interval=<s>] [--stall-timeout=<s>]
 //                   [--isolate-attempts]
 //                   [--checkpoint=<dir>] [--checkpoint-interval=<steps>]
 //                   [--resume]
@@ -127,6 +128,8 @@ struct Flags {
   double retry_backoff_seconds = 0.25;
   std::uint64_t retry_seed = 0;
   double retry_budget_escalation = 1.0;
+  double heartbeat_interval_seconds = 1.0;  // worker telemetry cadence; 0 = off
+  double stall_timeout_seconds = 0.0;       // 0 = stall detector off
   std::string checkpoint_dir;        // empty = checkpointing off
   std::uint64_t checkpoint_interval = 0;  // 0 = library default
   bool resume = false;               // load a matching checkpoint if present
@@ -182,6 +185,14 @@ Result<Flags> parse_flags(int argc, char** argv) {
       Result<double> f = parse_double(value, 1.0, 100.0);
       if (!f.ok()) return f.status();
       flags.retry_budget_escalation = *f;
+    } else if (name == "--heartbeat-interval") {
+      Result<double> d = parse_double(value, 0.0, 1e9);
+      if (!d.ok()) return d.status();
+      flags.heartbeat_interval_seconds = *d;
+    } else if (name == "--stall-timeout") {
+      Result<double> d = parse_double(value, 0.0, 1e9);
+      if (!d.ok()) return d.status();
+      flags.stall_timeout_seconds = *d;
     } else if (name == "--checkpoint") {
       flags.checkpoint_dir = value;
     } else if (name == "--checkpoint-interval") {
@@ -396,6 +407,8 @@ worker::WorkerRequest worker_request_from(const Flags& flags, unsigned k) {
   req.checkpoint_dir = flags.checkpoint_dir;
   req.checkpoint_interval = flags.checkpoint_interval;
   req.checkpoint_resume = flags.resume;
+  req.heartbeat_interval_seconds = flags.heartbeat_interval_seconds;
+  req.stall_timeout_seconds = flags.stall_timeout_seconds;
   return req;
 }
 
@@ -409,6 +422,14 @@ Status check_verify_flags(const Flags& flags) {
   if (flags.isolate && flags.isolate_attempts)
     return Status::invalid_argument(
         "--isolate already forks the whole run; drop --isolate-attempts");
+  if (flags.stall_timeout_seconds > 0 && !flags.isolate)
+    return Status::invalid_argument(
+        "--stall-timeout watches a worker's heartbeat stream; add --isolate");
+  if (flags.stall_timeout_seconds > 0 &&
+      flags.heartbeat_interval_seconds <= 0)
+    return Status::invalid_argument(
+        "--stall-timeout needs heartbeats; --heartbeat-interval=0 disables "
+        "them");
   return Status();
 }
 
@@ -610,6 +631,7 @@ void usage() {
       " [--portfolio-engines=<a,b,...>] [--race]\n"
       "          [--isolate] [--retries=<n>] [--retry-backoff=<dur>]"
       " [--retry-seed=<n>] [--retry-budget-escalation=<f>]\n"
+      "          [--heartbeat-interval=<s>] [--stall-timeout=<s>]\n"
       "          [--isolate-attempts] [--checkpoint=<dir>]"
       " [--checkpoint-interval=<steps>] [--resume]\n"
       "  gfa_tool compare <spec> <impl> <k> [--engines=<a,b,...>]"
