@@ -95,6 +95,11 @@ struct RunOptions {
   std::uint64_t checkpoint_interval = 0;
   /// Resume from a matching checkpoint in checkpoint_dir when one exists.
   bool checkpoint_resume = false;
+  /// Ask the abstraction engine to serialize the extracted canonical forms
+  /// into VerifyResult::canonical_spec/_impl (see abstraction/canon_serial.h).
+  /// The verification service sets this so a forked worker's extraction work
+  /// can be stored in the content-addressed cache; other engines ignore it.
+  bool export_canonical = false;
 };
 
 /// One portfolio attempt, embedded in VerifyResult/EngineRun and serialized
@@ -134,6 +139,11 @@ struct VerifyResult {
   /// True when the run continued from a reduction-chain checkpoint instead
   /// of starting fresh (abstraction engine with RunOptions::checkpoint_*).
   bool resumed = false;
+  /// Serialized canonical forms (abstraction/canon_serial.h), filled only by
+  /// the abstraction engine when RunOptions::export_canonical is set. Empty
+  /// otherwise.
+  std::string canonical_spec;
+  std::string canonical_impl;
 };
 
 class EquivEngine {

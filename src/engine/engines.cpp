@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "abstraction/canon_serial.h"
 #include "abstraction/equivalence.h"
 #include "abstraction/extractor.h"
 #include "abstraction/rewriter.h"
@@ -20,6 +21,7 @@
 #include "baselines/sat/solver.h"
 #include "engine/portfolio.h"
 #include "engine/registry.h"
+#include "worker/checkpoint.h"
 
 namespace gfa::engine {
 
@@ -63,6 +65,11 @@ class AbstractionEngine final : public EquivEngine {
     eo.control = &options.control;
     ExtractionCheckpoint ck;
     if (!options.checkpoint_dir.empty()) {
+      // Fail fast with the concrete path problem instead of letting every
+      // periodic save die with a cryptic open error.
+      if (Status s = worker::ensure_directory(options.checkpoint_dir);
+          !s.ok())
+        return s;
       ck.directory = options.checkpoint_dir;
       if (options.checkpoint_interval != 0)
         ck.interval = options.checkpoint_interval;
@@ -72,6 +79,10 @@ class AbstractionEngine final : public EquivEngine {
     Result<EquivalenceResult> r = try_check_equivalence(spec, impl, field, eo);
     if (!r.ok()) return r.status();
     VerifyResult out;
+    if (options.export_canonical) {
+      out.canonical_spec = encode_canon_form(r->spec);
+      out.canonical_impl = encode_canon_form(r->impl);
+    }
     out.verdict =
         r->equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
     out.detail = r->difference;

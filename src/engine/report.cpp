@@ -67,6 +67,8 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
     run.stats = std::move(r->stats);
     run.attempts = std::move(r->attempts);
     run.resumed = r->resumed;
+    run.canonical_spec = std::move(r->canonical_spec);
+    run.canonical_impl = std::move(r->canonical_impl);
   } else {
     run.status = r.status();
     run.detail = r.status().message();
@@ -96,6 +98,7 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
     w.member("detail", run.detail);
     w.member("wall_ms", run.wall_ms);
     if (run.resumed) w.member("resumed", true);
+    if (!run.cache_outcome.empty()) w.member("cache", run.cache_outcome);
     w.key("stats");
     w.begin_object();
     for (const auto& [key, value] : run.stats) w.member(key, value);

@@ -56,6 +56,16 @@ struct EngineRun {
   /// flight::format), from the worker's signal handler. Non-empty only when
   /// a worker died with a dump on the pipe; emitted as "flight_recorder".
   std::vector<std::string> flight_events;
+  /// Serialized canonical forms when the run exported them (see
+  /// engine/engine.h RunOptions::export_canonical). Carried on the record —
+  /// and over the worker wire — for the service's cache; never serialized
+  /// into JSON reports (they can be large and are an internal format).
+  std::string canonical_spec;
+  std::string canonical_impl;
+  /// Cache disposition for service-run jobs: "hit", "miss", or "stored"
+  /// (miss whose forms were added to the cache). Empty for non-service runs;
+  /// emitted as "cache" in JSON reports when non-empty.
+  std::string cache_outcome;
 };
 
 /// Runs `engine` on the instance, timing the call. Never throws: failures are

@@ -17,6 +17,13 @@ BigUint::BigUint(std::uint64_t v) {
   if (v != 0) words_.push_back(v);
 }
 
+BigUint BigUint::from_words(std::vector<std::uint64_t> words) {
+  BigUint out;
+  out.words_ = std::move(words);
+  out.trim();
+  return out;
+}
+
 BigUint BigUint::pow2(unsigned e) {
   BigUint out;
   out.words_.assign(e / kWordBits + 1, 0);

@@ -60,6 +60,15 @@ class BigUint {
   /// Decimal string.
   std::string to_string() const;
 
+  /// The canonical little-endian word storage (no trailing zero words; empty
+  /// for zero). Serialization layers (checkpoints, the canonical-form cache)
+  /// persist exponents through this.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Rebuilds a value from little-endian words; trailing zero words are
+  /// trimmed, so any word vector round-trips to canonical form.
+  static BigUint from_words(std::vector<std::uint64_t> words);
+
   std::size_t hash() const;
 
  private:

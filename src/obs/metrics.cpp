@@ -75,6 +75,17 @@ constexpr KnownMetric kKnownMetrics[] = {
     // boundaries (see sample_rss_bytes) — the "actual" memory column next to
     // the byte-accounted budget_peak in reports and BENCH JSON.
     {"process.peak_rss_bytes", MetricKind::kGauge},
+    // Verification service (src/service/service.cpp): job admission and
+    // outcome counters, plus the canonical-form cache's hit/miss/corruption
+    // tallies (src/service/canon_cache.cpp).
+    {"service.jobs_accepted", MetricKind::kCounter},
+    {"service.jobs_completed", MetricKind::kCounter},
+    {"service.jobs_rejected", MetricKind::kCounter},
+    {"service.jobs_failed", MetricKind::kCounter},
+    {"service.cache_hits", MetricKind::kCounter},
+    {"service.cache_misses", MetricKind::kCounter},
+    {"service.cache_corrupt_dropped", MetricKind::kCounter},
+    {"service.cache_evictions", MetricKind::kCounter},
 };
 
 /// Histograms pre-registered alongside the scalar schema. Each contributes
@@ -89,6 +100,9 @@ constexpr const char* kKnownHistograms[] = {
     "rewriter.probe_len",
     // Wall time of one isolated-worker attempt (milliseconds).
     "worker.attempt_wall_ms",
+    // End-to-end wall time of one service job, queue wait included
+    // (milliseconds).
+    "service.job_wall_ms",
 };
 
 }  // namespace

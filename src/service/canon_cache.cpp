@@ -1,0 +1,263 @@
+#include "service/canon_cache.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "abstraction/canon_serial.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/fault_inject.h"
+#include "worker/checkpoint.h"
+
+namespace gfa::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'F', 'A', '_', 'C', 'A', 'N', 'F'};
+constexpr const char* kSuffix = ".cf";
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t get_u32(const std::string& buf, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& buf, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos + i]))
+         << (8 * i);
+  return v;
+}
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 4 + 8 + 4;  // ..payload len
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t cache_fingerprint(const Gf2k& field) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = fnv1a_u64(h, kCanonFormVersion);
+  h = fnv1a_u64(h, kCanonEntryVersion);
+  for (const std::uint64_t w : field.modulus().words()) h = fnv1a_u64(h, w);
+  return h;
+}
+
+std::string key_name(const CacheKey& key) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx.%u.%016llx",
+                static_cast<unsigned long long>(key.circuit_hash), key.k,
+                static_cast<unsigned long long>(key.fingerprint));
+  return buf;
+}
+
+std::string frame_entry(const CacheKey& key, const std::string& payload) {
+  std::string buf;
+  buf.reserve(kHeaderBytes + payload.size() + 4);
+  buf.append(kMagic, sizeof(kMagic));
+  put_u32(buf, kCanonEntryVersion);
+  put_u64(buf, key.circuit_hash);
+  put_u32(buf, key.k);
+  put_u64(buf, key.fingerprint);
+  put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  buf += payload;
+  put_u32(buf, worker::crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+Result<std::string> unframe_entry(const CacheKey& key,
+                                  const std::string& bytes) {
+  if (bytes.size() < kHeaderBytes + 4)
+    return Status::invalid_argument("cache entry truncated");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return Status::invalid_argument("cache entry has bad magic");
+  const std::uint32_t stored_crc = get_u32(bytes, bytes.size() - 4);
+  const std::uint32_t actual_crc =
+      worker::crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != actual_crc)
+    return Status::invalid_argument("cache entry failed its CRC check");
+  if (get_u32(bytes, 8) != kCanonEntryVersion)
+    return Status::invalid_argument("cache entry has version " +
+                                    std::to_string(get_u32(bytes, 8)));
+  const CacheKey stored{get_u64(bytes, 12),
+                        static_cast<unsigned>(get_u32(bytes, 20)),
+                        get_u64(bytes, 24)};
+  if (!(stored == key))
+    return Status::invalid_argument(
+        "cache entry key mismatch (misfiled entry)");
+  const std::uint32_t len = get_u32(bytes, 32);
+  if (kHeaderBytes + static_cast<std::size_t>(len) + 4 != bytes.size())
+    return Status::invalid_argument("cache entry length mismatch");
+  return bytes.substr(kHeaderBytes, len);
+}
+
+CanonCache::CanonCache(Options options) : options_(std::move(options)) {
+  stats_.max_bytes = options_.max_bytes;
+}
+
+std::string CanonCache::file_of(const CacheKey& key) const {
+  return options_.directory + "/" + key_name(key) + kSuffix;
+}
+
+Status CanonCache::open() {
+  if (options_.directory.empty()) return Status();
+  if (Status s = worker::ensure_directory(options_.directory); !s.ok())
+    return s;
+  DIR* dir = ::opendir(options_.directory.c_str());
+  if (dir == nullptr) return Status();  // ensure_directory just passed; race
+  std::lock_guard<std::mutex> lock(mu_);
+  while (const struct dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (name.size() <= std::strlen(kSuffix) ||
+        name.compare(name.size() - std::strlen(kSuffix), std::string::npos,
+                     kSuffix) != 0)
+      continue;
+    const std::string path = options_.directory + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    // Entries are fully validated at get(); here only the frame shape is
+    // checked so obviously-foreign files don't occupy budget. Oversized
+    // warm loads stop once the bound is reached — this is a cache, not a
+    // database.
+    if (bytes.size() < kHeaderBytes + 4 ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+      std::remove(path.c_str());
+      continue;
+    }
+    if (bytes_ + bytes.size() > options_.max_bytes) continue;
+    const std::string stem = name.substr(0, name.size() - std::strlen(kSuffix));
+    bytes_ += bytes.size();
+    entries_[stem] = Entry{std::move(bytes), ++use_clock_};
+  }
+  ::closedir(dir);
+  stats_.entries = entries_.size();
+  stats_.bytes = bytes_;
+  if (!entries_.empty())
+    GFA_LOG_INFO("service", "canonical cache warm-loaded "
+                                << entries_.size() << " entries ("
+                                << bytes_ << " bytes)");
+  return Status();
+}
+
+std::optional<std::string> CanonCache::get(const CacheKey& key) {
+  const std::string name = key_name(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    GFA_COUNT("service.cache_misses", 1);
+    return std::nullopt;
+  }
+  Result<std::string> payload = unframe_entry(key, it->second.bytes);
+  if (!payload.ok()) {
+    GFA_LOG_WARN("service", "dropping damaged cache entry "
+                                << name << ": " << payload.status().message());
+    drop_locked(name, /*count_corrupt=*/true);
+    ++stats_.misses;
+    GFA_COUNT("service.cache_misses", 1);
+    return std::nullopt;
+  }
+  it->second.last_use = ++use_clock_;
+  ++stats_.hits;
+  GFA_COUNT("service.cache_hits", 1);
+  return std::move(*payload);
+}
+
+void CanonCache::put(const CacheKey& key, const std::string& payload) {
+  std::string bytes = frame_entry(key, payload);
+  if (bytes.size() > options_.max_bytes) return;
+  if (fault::consume("cache:corrupt") && bytes.size() > kHeaderBytes)
+    // Injected damage: flip one payload byte *after* the CRC was computed,
+    // so the stored entry is exactly what a bad disk or a torn write would
+    // leave behind. get() must catch it.
+    bytes[kHeaderBytes] = static_cast<char>(bytes[kHeaderBytes] ^ 0xFF);
+  const std::string name = key_name(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    bytes_ -= it->second.bytes.size();
+    entries_.erase(it);
+  }
+  bytes_ += bytes.size();
+  if (!options_.directory.empty()) {
+    // Atomic mirror: a crash mid-write leaves a tmp file, never a torn
+    // entry. Failures are logged, not fatal — persistence is an
+    // optimization, the in-memory entry still serves.
+    const std::string path = file_of(key);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out) {
+        GFA_LOG_WARN("service", "cannot mirror cache entry to '" << tmp << "'");
+        std::remove(tmp.c_str());
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+  }
+  entries_[name] = Entry{std::move(bytes), ++use_clock_};
+  ++stats_.insertions;
+  evict_locked();
+  stats_.entries = entries_.size();
+  stats_.bytes = bytes_;
+}
+
+void CanonCache::evict_locked() {
+  while (bytes_ > options_.max_bytes && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    ++stats_.evictions;
+    GFA_COUNT("service.cache_evictions", 1);
+    drop_locked(victim->first, /*count_corrupt=*/false);
+  }
+}
+
+void CanonCache::drop_locked(const std::string& name, bool count_corrupt) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes.size();
+  entries_.erase(it);
+  if (!options_.directory.empty())
+    std::remove((options_.directory + "/" + name + kSuffix).c_str());
+  if (count_corrupt) {
+    ++stats_.corrupt_dropped;
+    GFA_COUNT("service.cache_corrupt_dropped", 1);
+  }
+  stats_.entries = entries_.size();
+  stats_.bytes = bytes_;
+}
+
+CacheStats CanonCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gfa::service

@@ -1,0 +1,163 @@
+#include "service/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "worker/protocol.h"
+
+namespace gfa::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& rhs) noexcept
+    : fd_(rhs.fd_), next_id_(rhs.next_id_) {
+  rhs.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& rhs) noexcept {
+  if (this != &rhs) {
+    close();
+    fd_ = rhs.fd_;
+    next_id_ = rhs.next_id_;
+    rhs.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ServiceClient> ServiceClient::connect(const std::string& socket_path) {
+  struct sockaddr_un addr;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    return Status::invalid_argument("bad socket path '" + socket_path + "'");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    return Status::internal(std::string("socket(): ") + std::strerror(errno));
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::unsupported("cannot connect to '" + socket_path +
+                               "': " + std::strerror(err) +
+                               " (is gfa_serve running?)");
+  }
+  ServiceClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<std::uint64_t> ServiceClient::send(JobRequest req) {
+  if (fd_ < 0) return Status::invalid_argument("client is not connected");
+  if (req.id == 0) req.id = next_id_++;
+  if (Status s = worker::write_frame(fd_, encode_job_request(req)); !s.ok())
+    return s;
+  return req.id;
+}
+
+Result<JobResponse> ServiceClient::receive(double timeout_seconds) {
+  if (fd_ < 0) return Status::invalid_argument("client is not connected");
+  const Deadline deadline = timeout_seconds > 0.0
+                                ? Deadline::after(timeout_seconds)
+                                : Deadline::infinite();
+  Result<std::string> frame = worker::read_frame(fd_, deadline);
+  if (!frame.ok()) return frame.status();
+  return decode_job_response(*frame);
+}
+
+Result<JobResponse> ServiceClient::call(JobRequest req,
+                                        double timeout_seconds) {
+  const Result<std::uint64_t> id = send(std::move(req));
+  if (!id.ok()) return id.status();
+  Result<JobResponse> resp = receive(timeout_seconds);
+  if (!resp.ok()) return resp;
+  if (resp->id != *id)
+    return Status::internal("response for job " + std::to_string(resp->id) +
+                            " arrived while waiting for job " +
+                            std::to_string(*id) +
+                            " (pipelined calls must use send/receive)");
+  return resp;
+}
+
+Result<std::string> ServiceClient::status_json(double timeout_seconds) {
+  JobRequest req;
+  req.op = "status";
+  req.id = next_id_++;
+  if (Status s = worker::write_frame(fd_, encode_job_request(req)); !s.ok())
+    return s;
+  const Deadline deadline = timeout_seconds > 0.0
+                                ? Deadline::after(timeout_seconds)
+                                : Deadline::infinite();
+  return worker::read_frame(fd_, deadline);
+}
+
+Result<std::vector<BatchOutcome>> run_batch(ServiceClient& client,
+                                            std::vector<JobRequest> requests,
+                                            double timeout_seconds) {
+  std::unordered_map<std::uint64_t, std::size_t> pending;  // id -> index
+  std::vector<BatchOutcome> outcomes(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Result<std::uint64_t> id = client.send(requests[i]);
+    if (!id.ok()) return id.status();
+    requests[i].id = *id;
+    outcomes[i].request = requests[i];
+    pending.emplace(*id, i);
+  }
+  while (!pending.empty()) {
+    Result<JobResponse> resp = client.receive(timeout_seconds);
+    if (!resp.ok()) {
+      if (resp.status().code() == StatusCode::kDeadlineExceeded)
+        return resp.status();
+      // The server hung up with jobs outstanding: surface every unanswered
+      // job explicitly instead of dropping it from the report.
+      for (const auto& [id, index] : pending) {
+        outcomes[index].response.id = id;
+        outcomes[index].response.status = Status::worker_crashed(
+            "server closed the connection before answering: " +
+            resp.status().message());
+      }
+      return outcomes;
+    }
+    const auto it = pending.find(resp->id);
+    if (it == pending.end()) continue;  // stray id: not ours, ignore
+    outcomes[it->second].response = std::move(*resp);
+    pending.erase(it);
+  }
+  return outcomes;
+}
+
+int batch_exit_code(const std::vector<BatchOutcome>& outcomes) {
+  int worst_failure = 0;
+  bool any_not_equivalent = false;
+  bool any_unknown = false;
+  for (const BatchOutcome& o : outcomes) {
+    if (!o.response.status.ok()) {
+      const int code = exit_code_for(o.response.status.code());
+      if (code > worst_failure) worst_failure = code;
+      continue;
+    }
+    if (o.response.verdict == engine::Verdict::kNotEquivalent)
+      any_not_equivalent = true;
+    else if (o.response.verdict == engine::Verdict::kUnknown)
+      any_unknown = true;
+  }
+  if (worst_failure != 0) return worst_failure;
+  if (any_not_equivalent) return 1;
+  if (any_unknown) return 3;
+  return 0;
+}
+
+}  // namespace gfa::service

@@ -1,0 +1,81 @@
+#pragma once
+// Client side of the verification service (see service.h for the protocol).
+//
+// A ServiceClient owns one connected Unix-domain socket. Requests may be
+// pipelined — send N verify jobs, then collect N responses — and responses
+// are matched to requests by job id, so the server's pool may answer them in
+// any order. The client is single-threaded by design: one connection, one
+// caller; open more clients for concurrency (the soak test does exactly
+// that).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "util/status.h"
+
+namespace gfa::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& rhs) noexcept;
+  ServiceClient& operator=(ServiceClient&& rhs) noexcept;
+
+  /// Connects to a listening gfa_serve. kUnsupported when the socket file
+  /// does not exist or nothing is listening (the server is down or
+  /// draining), kInvalidArgument on a malformed path.
+  static Result<ServiceClient> connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request frame. Assigns the request a fresh id when it has
+  /// none (id 0) and returns the id in use.
+  Result<std::uint64_t> send(JobRequest req);
+
+  /// Receives the next response frame, whatever job it answers.
+  /// kDeadlineExceeded when `timeout_seconds` (0 = forever) elapses first,
+  /// kWorkerCrashed when the server hangs up mid-stream.
+  Result<JobResponse> receive(double timeout_seconds = 0.0);
+
+  /// send() + receive-until-matching-id: the simple synchronous call. Other
+  /// jobs' responses arriving first are an error here (do not mix with
+  /// pipelining).
+  Result<JobResponse> call(JobRequest req, double timeout_seconds = 0.0);
+
+  /// Raw status-request round trip; returns the server's JSON snapshot text
+  /// (the schema is the server's, not re-parsed into a struct here).
+  Result<std::string> status_json(double timeout_seconds = 0.0);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+/// One batch job outcome, as gfa_client reports it.
+struct BatchOutcome {
+  JobRequest request;
+  JobResponse response;
+};
+
+/// Pipelines every request over `client` and collects all responses,
+/// re-attached to their requests by id. Jobs the server never answered (it
+/// hung up) come back with kWorkerCrashed responses rather than being
+/// silently dropped. `timeout_seconds` bounds each receive, not the batch.
+Result<std::vector<BatchOutcome>> run_batch(ServiceClient& client,
+                                            std::vector<JobRequest> requests,
+                                            double timeout_seconds = 0.0);
+
+/// The gfa_client exit-code policy over a finished batch: the worst failure's
+/// exit code when any job failed, else 1 when any verdict is not-equivalent,
+/// else 3 when any is unknown, else 0.
+int batch_exit_code(const std::vector<BatchOutcome>& outcomes);
+
+}  // namespace gfa::service

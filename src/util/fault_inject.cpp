@@ -48,6 +48,11 @@ constexpr SiteInfo kSites[] = {
     {"worker:crash", Action::kCaller},
     {"worker:hang", Action::kCaller},
     {"checkpoint:corrupt", Action::kCaller},
+    // Verification service (src/service/): the cache writer flips a stored
+    // byte so the CRC guard must catch it on the next get; the accept loop
+    // treats one accepted connection as failed to prove the daemon survives.
+    {"cache:corrupt", Action::kCaller},
+    {"service:accept", Action::kCaller},
 };
 constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

@@ -1,7 +1,11 @@
 #include "worker/checkpoint.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <array>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -156,6 +160,36 @@ std::string checkpoint_path(const std::string& dir, std::uint64_t circuit_hash,
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-'))
       c = '_';
   return dir + "/" + hex + "." + name + ".ckpt";
+}
+
+Status ensure_directory(const std::string& dir) {
+  if (dir.empty())
+    return Status::invalid_argument("directory path is empty");
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode))
+      return Status::invalid_argument("'" + dir +
+                                      "' exists but is not a directory");
+  } else if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    if (errno == ENOENT || errno == ENOTDIR) {
+      std::string parent = dir;
+      if (const std::size_t slash = parent.find_last_of('/');
+          slash != std::string::npos)
+        parent.resize(slash == 0 ? 1 : slash);
+      else
+        parent = ".";
+      return Status::invalid_argument(
+          "cannot create directory '" + dir + "': parent '" + parent +
+          "' does not exist or is not a directory");
+    }
+    return Status::invalid_argument("cannot create directory '" + dir +
+                                    "': " + std::strerror(errno));
+  }
+  if (::access(dir.c_str(), W_OK | X_OK) != 0)
+    return Status::invalid_argument("directory '" + dir +
+                                    "' is not writable: " +
+                                    std::strerror(errno));
+  return Status();
 }
 
 Status save_checkpoint(const std::string& path, const ReductionCheckpoint& cp) {

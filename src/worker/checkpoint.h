@@ -82,6 +82,14 @@ struct ReductionCheckpoint {
 std::string checkpoint_path(const std::string& dir, std::uint64_t circuit_hash,
                             const std::string& word);
 
+/// Makes sure `dir` exists and is writable, creating the final path component
+/// if needed. A missing parent, a non-directory in the way, or a directory
+/// this process cannot write into are all kInvalidArgument with the concrete
+/// reason — callers surface that instead of the cryptic open error a later
+/// save would produce. Used for both checkpoint and canonical-cache
+/// directories before the first write.
+Status ensure_directory(const std::string& dir);
+
 /// Atomically writes `cp` to `path` (tmp + rename). Consumes the
 /// "checkpoint:corrupt" fault site: when armed, the stored CRC is flipped so
 /// integrity tests can prove a damaged file is rejected on load.

@@ -105,6 +105,7 @@ engine::RunOptions run_options_of(const WorkerRequest& req) {
   options.checkpoint_dir = req.checkpoint_dir;
   options.checkpoint_interval = req.checkpoint_interval;
   options.checkpoint_resume = req.checkpoint_resume;
+  options.export_canonical = req.export_canonical;
   return options;
 }
 
@@ -143,6 +144,8 @@ WorkerResponse execute_request(const WorkerRequest& req) {
   resp.wall_ms = run.wall_ms;
   resp.budget_limit_bytes = run.budget_limit_bytes;
   resp.budget_peak_bytes = run.budget_peak_bytes;
+  resp.canonical_spec = run.canonical_spec;
+  resp.canonical_impl = run.canonical_impl;
   return resp;
 }
 
@@ -326,6 +329,12 @@ Status classify_termination(int wstatus, const Status& read_status) {
 }  // namespace
 
 void worker_child_main(int in_fd, int out_fd, const WorkerConfig& config) {
+  // Shed the parent's signal dispositions first: a service parent routes
+  // SIGTERM/SIGINT into a self-pipe drain handler, and that handler — run in
+  // a forked child that shares the pipe — would both neuter the supervisor's
+  // SIGTERM escalation and inject a spurious drain into the parent.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
   WorkerRequest req;
   {
     // The request follows the fork immediately; EOF here means the parent
@@ -593,6 +602,8 @@ engine::EngineRun run_in_worker(const WorkerRequest& request,
     run.budget_limit_bytes =
         static_cast<std::size_t>(resp.budget_limit_bytes);
     run.budget_peak_bytes = static_cast<std::size_t>(resp.budget_peak_bytes);
+    run.canonical_spec = std::move(resp.canonical_spec);
+    run.canonical_impl = std::move(resp.canonical_impl);
     return run;
   }
   if (stalled) {

@@ -89,6 +89,7 @@ std::string encode_request(const WorkerRequest& req) {
   w.member("heartbeat_interval_seconds", req.heartbeat_interval_seconds);
   w.member("stall_timeout_seconds", req.stall_timeout_seconds);
   w.member("trace", req.trace);
+  w.member("export_canonical", req.export_canonical);
   w.end_object();
   return out.str();
 }
@@ -126,6 +127,7 @@ Result<WorkerRequest> decode_request(std::string_view json) {
       doc->number_or("heartbeat_interval_seconds", 1.0);
   req.stall_timeout_seconds = doc->number_or("stall_timeout_seconds", 0.0);
   req.trace = doc->bool_or("trace", false);
+  req.export_canonical = doc->bool_or("export_canonical", false);
   if (req.spec_path.empty() || req.impl_path.empty())
     return Status::invalid_argument("worker request is missing circuit paths");
   if (req.k < 2)
@@ -154,6 +156,10 @@ std::string encode_response(const WorkerResponse& resp) {
   w.member("budget_limit_bytes", resp.budget_limit_bytes);
   w.member("budget_peak_bytes", resp.budget_peak_bytes);
   w.member("peak_rss_bytes", resp.peak_rss_bytes);
+  if (!resp.canonical_spec.empty())
+    w.member("canonical_spec", resp.canonical_spec);
+  if (!resp.canonical_impl.empty())
+    w.member("canonical_impl", resp.canonical_impl);
   w.end_object();
   return out.str();
 }
@@ -192,6 +198,8 @@ Result<WorkerResponse> decode_response(std::string_view json) {
   resp.budget_limit_bytes = doc->u64_or("budget_limit_bytes", 0);
   resp.budget_peak_bytes = doc->u64_or("budget_peak_bytes", 0);
   resp.peak_rss_bytes = doc->u64_or("peak_rss_bytes", 0);
+  resp.canonical_spec = doc->string_or("canonical_spec", "");
+  resp.canonical_impl = doc->string_or("canonical_impl", "");
   return resp;
 }
 
@@ -321,11 +329,24 @@ Status write_frame(int fd, std::string_view payload) {
     header[i] = static_cast<unsigned char>((len >> (8 * i)) & 0xFF);
   std::string buf(reinterpret_cast<const char*>(header), 4);
   buf.append(payload);
+  // Short writes and signal interruptions are routine here: frames cross
+  // pipes *and* sockets, SIGTERM-driven drain delivers signals mid-frame,
+  // and a socket send buffer can fill under concurrent clients. Every such
+  // partial transfer resumes at the current offset — only a real error or a
+  // closed peer ends the loop, so an interrupted frame can never be garbled
+  // into a spurious kWorkerCrashed.
   std::size_t off = 0;
   while (off < buf.size()) {
     const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking (or send-buffer-full) fd: wait for writability, then
+        // retry from the same offset. poll() failing with EINTR just loops.
+        struct pollfd pfd {fd, POLLOUT, 0};
+        (void)::poll(&pfd, 1, 100);
+        continue;
+      }
       if (errno == EPIPE)
         return Status::worker_crashed(
             "peer closed the pipe before the frame was written");
@@ -360,6 +381,14 @@ Status read_exact(int fd, char* out, std::size_t n, const Deadline& deadline) {
     const ssize_t r = ::read(fd, out + off, n - off);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A non-blocking fd with no data yet: wait briefly for readability
+        // and retry at the same offset (the deadline poll above governs
+        // bounded reads; this covers the infinite-deadline path).
+        struct pollfd pfd {fd, POLLIN, 0};
+        (void)::poll(&pfd, 1, 100);
+        continue;
+      }
       return Status::internal(std::string("frame read failed: ") +
                               std::strerror(errno));
     }

@@ -82,6 +82,11 @@ struct WorkerRequest {
   double stall_timeout_seconds = 0.0;
   /// Child trace-buffer streaming: set iff the parent has tracing enabled.
   bool trace = false;
+  /// Ask the child to ship the extracted canonical forms back in the
+  /// response (abstraction engine only — see RunOptions::export_canonical).
+  /// Set by the verification service so a cache miss's extraction work can
+  /// be stored for the next identical circuit.
+  bool export_canonical = false;
 };
 
 struct WorkerResponse {
@@ -100,6 +105,11 @@ struct WorkerResponse {
   /// Child's /proc-sampled peak resident set (bytes), next to the
   /// byte-accounted budget peak; 0 when never sampled.
   std::uint64_t peak_rss_bytes = 0;
+  /// Serialized canonical forms (abstraction/canon_serial.h) when the
+  /// request asked for them and the engine produced a verdict; empty
+  /// otherwise. These ride the response frame, bounded by kMaxFrameBytes.
+  std::string canonical_spec;
+  std::string canonical_impl;
 };
 
 /// Discriminates the child-to-parent frame stream (see header comment).

@@ -6,13 +6,17 @@
 // fork/kill path must stay clean.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "circuit/mastrovito.h"
 #include "circuit/montgomery.h"
@@ -191,6 +195,56 @@ TEST(WorkerProtocol, OversizedLengthPrefixIsProtocolCorruption) {
   EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
   close(fds[0]);
   close(fds[1]);
+}
+
+TEST(WorkerProtocol, FramesSurviveASignalStorm) {
+  // Regression for the EINTR/partial-I/O hardening: a megabyte frame pushed
+  // through a socketpair whose buffers hold only a few kilobytes forces many
+  // partial read()/write() rounds, while a third thread storms both
+  // endpoints with SIGUSR1 registered *without* SA_RESTART — so the
+  // syscalls genuinely return EINTR instead of resuming silently. The frame
+  // must round-trip intact; before the hardening this lost bytes mid-frame.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int tiny = 4096;
+  setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  setsockopt(sv[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+
+  struct sigaction storm_action {};
+  storm_action.sa_handler = [](int) {};
+  sigemptyset(&storm_action.sa_mask);
+  storm_action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_action {};
+  ASSERT_EQ(sigaction(SIGUSR1, &storm_action, &old_action), 0);
+
+  std::string payload(1 << 20, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<char>('a' + i % 23);
+
+  Status write_status;
+  std::thread writer([&] { write_status = write_frame(sv[0], payload); });
+  const pthread_t writer_tid = writer.native_handle();
+  const pthread_t reader_tid = pthread_self();
+  std::atomic<bool> done{false};
+  std::thread storm([&] {
+    while (!done.load()) {
+      pthread_kill(writer_tid, SIGUSR1);
+      pthread_kill(reader_tid, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const Result<std::string> got = read_frame(sv[1], Deadline::after(60.0));
+  writer.join();
+  done.store(true);
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old_action, nullptr), 0);
+
+  ASSERT_TRUE(write_status.ok()) << write_status.to_string();
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, payload);
+  close(sv[0]);
+  close(sv[1]);
 }
 
 TEST(WorkerProtocol, TelemetryRequestFieldsRoundTrip) {

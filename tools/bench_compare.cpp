@@ -6,11 +6,13 @@
 //
 // Records are matched by (name, k, threads-extra, duplicate index); only the
 // intersection is compared — a ladder extended by GFA_BENCH_MAX_K or a
-// renamed record never produces a spurious failure, but zero overlap prints a
-// warning (a wrong file pairing should be visible, not silently green). For
-// every matched pair the tool prints the wall_ms delta plus per-phase deltas,
-// and exits 1 when any record's wall_ms regressed by more than the threshold
-// (default 10%). CI runs this against the committed bench/artifacts/
+// renamed record never produces a spurious failure. Records (and phases)
+// present in only one file are reported as added/removed warnings so
+// coverage drift is visible without failing the run, and zero overlap prints
+// a warning (a wrong file pairing should be visible, not silently green).
+// For every matched pair the tool prints the wall_ms delta plus per-phase
+// deltas, and exits 1 when any record's wall_ms regressed by more than the
+// threshold (default 10%). CI runs this against the committed bench/artifacts/
 // baselines with a deliberately loose threshold: shared-runner noise must not
 // fail the build, order-of-magnitude regressions must.
 //
@@ -159,11 +161,31 @@ int main(int argc, char** argv) {
   const auto base_index = index_records(base->records);
   const auto cand_index = index_records(cand->records);
 
+  const auto label_of = [](const Key& key) {
+    std::string label = std::get<0>(key) + " k=" + std::to_string(std::get<1>(key));
+    if (std::get<2>(key) != 0)
+      label += " threads=" + std::to_string(std::get<2>(key));
+    if (std::get<3>(key) != 0)
+      label += " rerun=" + std::to_string(std::get<3>(key));
+    return label;
+  };
+
   std::size_t matched = 0;
   std::size_t regressed = 0;
+  std::size_t removed = 0;
+  std::size_t added = 0;
   for (const auto& [key, b] : base_index) {
     const auto it = cand_index.find(key);
-    if (it == cand_index.end()) continue;
+    if (it == cand_index.end()) {
+      // Present only in the baseline: a shrunk ladder or a renamed record.
+      // Worth a loud line — silently comparing a subset reads as "all
+      // green" — but never a failure: coverage drift is the bench runner's
+      // business, regression detection is ours.
+      ++removed;
+      std::printf("warning: removed %s (only in '%s')\n", label_of(key).c_str(),
+                  positional[0].c_str());
+      continue;
+    }
     const Record* c = it->second;
     ++matched;
     const double delta = pct_delta(b->wall_ms, c->wall_ms);
@@ -179,10 +201,29 @@ int main(int argc, char** argv) {
       const auto cp = std::find_if(
           c->phases.begin(), c->phases.end(),
           [&, p = phase](const auto& e) { return e.first == p; });
-      if (cp == c->phases.end()) continue;
+      if (cp == c->phases.end()) {
+        std::printf("    %-20s %10.3f ms -> removed phase\n", phase.c_str(),
+                    base_ms);
+        continue;
+      }
       std::printf("    %-20s %10.3f -> %10.3f ms (%+.1f%%)\n", phase.c_str(),
                   base_ms, cp->second, pct_delta(base_ms, cp->second));
     }
+    for (const auto& [phase, cand_ms] : c->phases) {
+      const bool in_base = std::find_if(b->phases.begin(), b->phases.end(),
+                                        [&, p = phase](const auto& e) {
+                                          return e.first == p;
+                                        }) != b->phases.end();
+      if (!in_base)
+        std::printf("    %-20s added phase -> %10.3f ms\n", phase.c_str(),
+                    cand_ms);
+    }
+  }
+  for (const auto& [key, c] : cand_index) {
+    if (base_index.find(key) != base_index.end()) continue;
+    ++added;
+    std::printf("warning: added %s (only in '%s', %.3f ms, not compared)\n",
+                label_of(key).c_str(), positional[1].c_str(), c->wall_ms);
   }
   if (matched == 0) {
     std::printf(
@@ -191,7 +232,9 @@ int main(int argc, char** argv) {
         positional[0].c_str(), positional[1].c_str());
     return 0;
   }
-  std::printf("%zu record(s) compared, %zu regression(s) past %+.1f%%\n",
-              matched, regressed, threshold_pct);
+  std::printf(
+      "%zu record(s) compared (%zu added, %zu removed), %zu regression(s) "
+      "past %+.1f%%\n",
+      matched, added, removed, regressed, threshold_pct);
   return regressed == 0 ? 0 : kRegression;
 }

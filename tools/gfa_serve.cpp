@@ -1,0 +1,202 @@
+// gfa_serve — fault-tolerant verification daemon (see src/service/service.h).
+//
+//   gfa_serve --socket=<path> [options]
+//
+// Options:
+//   --socket=<path>              Unix-domain socket to listen on (required)
+//   --pool-size=<n>              concurrent verification workers (default 2)
+//   --queue-depth=<n>            jobs waiting beyond the pool before new ones
+//                                are rejected as overloaded (default 16)
+//   --cache-dir=<dir>            persist canonical forms under this directory
+//                                (default: in-memory cache only)
+//   --cache-max-bytes=<size>     LRU bound on the cache (default 64M;
+//                                accepts 64K/512M/2G suffixes)
+//   --no-cache                   disable the canonical-form cache entirely
+//   --default-timeout=<s>        per-job wall-clock limit for jobs that do
+//                                not ask for one (default: none)
+//   --max-timeout=<s>            hard cap on any job's requested limit
+//   --default-memory-budget=<b>  per-job memory budget default
+//   --max-memory-budget=<b>      hard cap on any job's requested budget
+//   --retries=<n>                extra forked attempts after a crashed
+//                                worker (default 1)
+//   --heartbeat-interval=<s>     worker telemetry cadence (default 1, 0=off)
+//   --stall-timeout=<s>          classify a silent worker as crashed after
+//                                this long (default 0 = off)
+//   --metrics                    enable the metrics registry (status replies
+//                                then embed a full snapshot)
+//   --log-level=<level>          error|warn|info|debug
+//   --inject=<site[:n]>          arm a deterministic fault (test builds)
+//
+// Once listening, prints exactly one readiness line to stdout:
+//   listening on <socket>
+// SIGTERM or SIGINT triggers a graceful drain: stop accepting (the socket
+// file disappears), finish every queued and in-flight job, flush, exit 0.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "util/fault_inject.h"
+#include "util/parse_number.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace gfa;
+
+constexpr int kUsage = 64;
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return exit_code_for(status.code());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gfa_serve --socket=<path> [--pool-size=<n>] "
+               "[--queue-depth=<n>]\n"
+               "                 [--cache-dir=<dir>] [--cache-max-bytes=<size>] "
+               "[--no-cache]\n"
+               "                 [--default-timeout=<s>] [--max-timeout=<s>]\n"
+               "                 [--default-memory-budget=<b>] "
+               "[--max-memory-budget=<b>]\n"
+               "                 [--retries=<n>] [--heartbeat-interval=<s>] "
+               "[--stall-timeout=<s>]\n"
+               "                 [--metrics] [--log-level=<level>] "
+               "[--inject=<site[:n]>]\n");
+  return kUsage;
+}
+
+service::Server* g_server = nullptr;
+
+void on_shutdown_signal(int) {
+  // Async-signal-safe by contract: one pipe write, handled by the accept
+  // loop. A second signal during the drain is simply absorbed.
+  if (g_server != nullptr) g_server->notify_drain_from_signal();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerOptions options;
+  options.max_attempts = 2;  // --retries=1 by default: one re-fork per crash
+  std::string log_level;
+  std::string inject;
+  bool metrics = false;
+
+  const auto assign = [&](std::string_view name,
+                          std::string_view value) -> Status {
+    if (name == "--socket") {
+      options.socket_path = value;
+    } else if (name == "--pool-size") {
+      Result<unsigned> n = parse_unsigned(value, 1, 256);
+      if (!n.ok()) return n.status();
+      options.pool_size = *n;
+    } else if (name == "--queue-depth") {
+      Result<unsigned> n = parse_unsigned(value, 1, 1u << 20);
+      if (!n.ok()) return n.status();
+      options.queue_depth = *n;
+    } else if (name == "--cache-dir") {
+      options.cache_dir = value;
+    } else if (name == "--cache-max-bytes") {
+      Result<std::uint64_t> bytes = parse_byte_size(value);
+      if (!bytes.ok()) return bytes.status();
+      options.cache_max_bytes = *bytes;
+    } else if (name == "--default-timeout") {
+      Result<double> t = parse_double(value, 0.0, 1e9);
+      if (!t.ok()) return t.status();
+      options.default_timeout_seconds = *t;
+    } else if (name == "--max-timeout") {
+      Result<double> t = parse_double(value, 0.0, 1e9);
+      if (!t.ok()) return t.status();
+      options.max_timeout_seconds = *t;
+    } else if (name == "--default-memory-budget") {
+      Result<std::uint64_t> bytes = parse_byte_size(value);
+      if (!bytes.ok()) return bytes.status();
+      options.default_memory_budget_bytes = *bytes;
+    } else if (name == "--max-memory-budget") {
+      Result<std::uint64_t> bytes = parse_byte_size(value);
+      if (!bytes.ok()) return bytes.status();
+      options.max_memory_budget_bytes = *bytes;
+    } else if (name == "--retries") {
+      Result<unsigned> n = parse_unsigned(value, 0, 100);
+      if (!n.ok()) return n.status();
+      options.max_attempts = *n + 1;
+    } else if (name == "--heartbeat-interval") {
+      Result<double> d = parse_double(value, 0.0, 1e9);
+      if (!d.ok()) return d.status();
+      options.heartbeat_interval_seconds = *d;
+    } else if (name == "--stall-timeout") {
+      Result<double> d = parse_double(value, 0.0, 1e9);
+      if (!d.ok()) return d.status();
+      options.stall_timeout_seconds = *d;
+    } else if (name == "--log-level") {
+      Result<obs::LogLevel> level = obs::parse_log_level(value);
+      if (!level.ok()) return level.status();
+      log_level = value;
+    } else if (name == "--inject") {
+      inject = value;
+    } else {
+      return Status::invalid_argument("unknown flag '" + std::string(name) +
+                                      "'");
+    }
+    return Status();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--metrics") {
+      metrics = true;
+      continue;
+    }
+    if (arg == "--no-cache") {
+      options.cache_enabled = false;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) return usage();
+    const std::size_t eq = arg.find('=');
+    Status s;
+    if (eq != std::string_view::npos) {
+      s = assign(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc) {
+      s = assign(arg, argv[++i]);
+    } else {
+      return usage();
+    }
+    if (!s.ok()) return fail(s);
+  }
+  if (options.socket_path.empty()) return usage();
+
+  if (!log_level.empty())
+    obs::set_log_level(*obs::parse_log_level(log_level));
+  if (metrics) obs::set_metrics_enabled(true);
+  if (!inject.empty()) {
+    if (Status s = fault::arm_spec(inject); !s.ok()) return fail(s);
+  }
+
+  const std::string socket_path = options.socket_path;
+  service::Server server(std::move(options));
+  if (Status s = server.start(); !s.ok()) return fail(s);
+
+  g_server = &server;
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // The readiness line scripts wait for (CI's service-smoke job greps it).
+  const service::ServiceSnapshot snap = server.snapshot();
+  std::printf("listening on %s (pool %u, queue %zu)\n", socket_path.c_str(),
+              snap.pool_size, snap.queue_capacity);
+  std::fflush(stdout);
+  const int code = server.serve();
+  g_server = nullptr;
+  return code;
+}
