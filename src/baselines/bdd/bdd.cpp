@@ -102,6 +102,26 @@ bool Manager::eval(NodeRef f, const std::vector<bool>& assignment) const {
   return f == kTrue;
 }
 
+std::vector<bool> Manager::satisfying_assignment(NodeRef f,
+                                                 unsigned num_vars) const {
+  assert(f != kFalse && "kFalse has no satisfying assignment");
+  std::vector<bool> assignment(num_vars, false);
+  // Reduction guarantees lo != hi, so at least one branch of every internal
+  // node avoids kFalse; following it must reach kTrue.
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    assert(n.var < num_vars);
+    if (n.hi != kFalse) {
+      assignment[n.var] = true;
+      f = n.hi;
+    } else {
+      f = n.lo;
+    }
+  }
+  assert(f == kTrue);
+  return assignment;
+}
+
 std::vector<NodeRef> build_netlist_bdds(Manager& manager, const Netlist& netlist,
                                         const std::vector<unsigned>& input_vars) {
   const obs::TraceSpan span("bdd_build", "bdd");

@@ -62,6 +62,11 @@ class Manager {
   /// Evaluates under a variable assignment (indexed by variable index).
   bool eval(NodeRef f, const std::vector<bool>& assignment) const;
 
+  /// A satisfying assignment of f (indexed by variable index, length
+  /// `num_vars`; variables off the chosen path default to false). Requires
+  /// f != kFalse — without complement edges every other node reaches kTrue.
+  std::vector<bool> satisfying_assignment(NodeRef f, unsigned num_vars) const;
+
  private:
   struct Node {
     unsigned var;

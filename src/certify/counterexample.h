@@ -1,0 +1,32 @@
+#pragma once
+// The typed counterexample carried by every kNotEquivalent verdict.
+//
+// A Counterexample is the report-facing form of a distinguishing input:
+// field elements (rendered via Gf2k::to_string) for every input word, the
+// two disagreeing output elements, and whether the bit-parallel simulator
+// (src/circuit/sim.h) has independently confirmed the disagreement. The
+// machine form used to search for and replay witnesses lives in
+// src/certify/certify.h; this header is dependency-free so the engine
+// layer's VerifyResult can embed the type without a layering cycle.
+
+#include <map>
+#include <string>
+
+namespace gfa::certify {
+
+struct Counterexample {
+  /// Input word name -> field element, e.g. {"A": "α^3 + 1", "B": "α"}.
+  std::map<std::string, std::string> inputs;
+  /// The output word the two circuits disagree on.
+  std::string output_word;
+  /// The spec's output element at `inputs`.
+  std::string expected;
+  /// The impl's output element at `inputs` (differs from `expected`).
+  std::string actual;
+  /// True once simulator replay confirmed spec(inputs) != impl(inputs).
+  bool replayed = false;
+
+  bool empty() const { return inputs.empty(); }
+};
+
+}  // namespace gfa::certify

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "certify/counterexample.h"
 #include "circuit/netlist.h"
 #include "gf/gf2k.h"
 #include "util/exec_control.h"
@@ -100,6 +101,11 @@ struct RunOptions {
   /// The verification service sets this so a forked worker's extraction work
   /// can be stored in the content-addressed cache; other engines ignore it.
   bool export_canonical = false;
+  /// Cross-check a kEquivalent verdict by random simulation of both circuits
+  /// (src/certify/certify.h) after the engine returns. A disagreement is
+  /// kCertificationFailed (exit 73) — a loud internal error, never a silent
+  /// wrong answer. Enacted by run_engine(), not by individual engines.
+  bool certify = false;
 };
 
 /// One portfolio attempt, embedded in VerifyResult/EngineRun and serialized
@@ -127,10 +133,15 @@ struct AttemptRecord {
 
 struct VerifyResult {
   Verdict verdict = Verdict::kUnknown;
-  /// Human-readable context: the coefficient diff for abstraction, a
-  /// counterexample sketch for SAT-backed engines, the dry budget for
-  /// kUnknown. Empty when there is nothing to add.
+  /// Human-readable context: the coefficient diff for abstraction, the dry
+  /// budget for kUnknown. Empty when there is nothing to add.
   std::string detail;
+  /// Typed witness for kNotEquivalent: the distinguishing input as field
+  /// elements, replayed through the bit-parallel simulator. Engines with a
+  /// native witness (abstraction's Schwartz–Zippel point, SAT/BDD/fraig
+  /// models) fill it directly; run_engine() backfills the rest by
+  /// simulation search. Empty otherwise.
+  certify::Counterexample counterexample;
   /// Engine-specific counters (substitutions, conflicts, nodes, …), flat for
   /// direct serialization into run reports.
   std::map<std::string, double> stats;

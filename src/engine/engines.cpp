@@ -12,8 +12,10 @@
 #include "abstraction/canon_serial.h"
 #include "abstraction/equivalence.h"
 #include "abstraction/extractor.h"
+#include "abstraction/rato.h"
 #include "abstraction/rewriter.h"
 #include "baselines/aig/aig.h"
+#include "certify/certify.h"
 #include "baselines/bdd/bdd.h"
 #include "baselines/full_gb.h"
 #include "baselines/ideal_membership.h"
@@ -44,6 +46,30 @@ MPoly remap_by_name(const MPoly& g, const VarPool& from, VarPool& to) {
     out.add_term(Monomial::from_pairs(std::move(pairs)), coeff);
   }
   return out;
+}
+
+/// Replays a machine witness and attaches the typed counterexample.
+/// Best-effort: a failure to replay leaves the result untouched, and
+/// run_engine() backfills by simulation search.
+void attach_witness(VerifyResult& out, const Netlist& spec,
+                    const Netlist& impl, const Gf2k& field,
+                    const certify::Witness& witness) {
+  try {
+    out.counterexample = certify::replay_witness(spec, impl, field, witness);
+  } catch (...) {
+  }
+}
+
+/// Groups a miter-input bit assignment (SAT model, BDD path, fraig vector
+/// re-expanded over the miter) into a witness and attaches it.
+void attach_bit_witness(VerifyResult& out, const Netlist& spec,
+                        const Netlist& impl, const Gf2k& field,
+                        const Netlist& miter, const std::vector<bool>& bits) {
+  try {
+    attach_witness(out, spec, impl, field,
+                   certify::witness_from_bits(miter, bits));
+  } catch (...) {
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -86,6 +112,16 @@ class AbstractionEngine final : public EquivEngine {
     out.verdict =
         r->equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
     out.detail = r->difference;
+    if (out.verdict == Verdict::kNotEquivalent) {
+      // Schwartz–Zippel on the two canonical polynomials: they differ as
+      // functions, so a random point separates them with high probability.
+      try {
+        if (const auto w =
+                certify::find_word_function_witness(r->spec, r->impl, field))
+          attach_witness(out, spec, impl, field, *w);
+      } catch (...) {
+      }
+    }
     out.resumed = r->spec.stats.resumed || r->impl.stats.resumed;
     out.stats["spec_substitutions"] =
         static_cast<double>(r->spec.stats.substitutions);
@@ -107,7 +143,7 @@ class SatEngine final : public EquivEngine {
     return "CDCL SAT on the Tseitin-encoded miter (contemporary CEC baseline)";
   }
   Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
-                              const Gf2k& /*field*/,
+                              const Gf2k& field,
                               const RunOptions& options) const override {
     try {
       const Netlist miter = make_miter(spec, impl);
@@ -126,10 +162,18 @@ class SatEngine final : public EquivEngine {
         case sat::Result::kUnsat:
           out.verdict = Verdict::kEquivalent;
           break;
-        case sat::Result::kSat:
+        case sat::Result::kSat: {
           out.verdict = Verdict::kNotEquivalent;
           out.detail = "miter satisfiable: some input distinguishes the circuits";
+          // Tseitin gives net n the variable n+1, so the model projects
+          // straight onto the miter's (shared, word-grouped) inputs.
+          std::vector<bool> bits(miter.inputs().size());
+          for (std::size_t i = 0; i < bits.size(); ++i)
+            bits[i] =
+                solver.model_value(static_cast<int>(miter.inputs()[i]) + 1);
+          attach_bit_witness(out, spec, impl, field, miter, bits);
           break;
+        }
         case sat::Result::kUnknown:
           out.verdict = Verdict::kUnknown;
           out.detail = "conflict budget (" +
@@ -155,7 +199,7 @@ class FraigEngine final : public EquivEngine {
            "final miter SAT query";
   }
   Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
-                              const Gf2k& /*field*/,
+                              const Gf2k& field,
                               const RunOptions& options) const override {
     try {
       aig::FraigOptions fo;
@@ -171,11 +215,28 @@ class FraigEngine final : public EquivEngine {
         case aig::FraigResult::Status::kEquivalent:
           out.verdict = Verdict::kEquivalent;
           break;
-        case aig::FraigResult::Status::kNotEquivalent:
+        case aig::FraigResult::Status::kNotEquivalent: {
           out.verdict = Verdict::kNotEquivalent;
           out.detail = "counterexample found over " +
                        std::to_string(r.counterexample.size()) + " inputs";
+          // The AIG's inputs were created word-major over input_words(spec)
+          // with each word LSB-first, so the refinement vector slices
+          // directly into word coordinates.
+          try {
+            certify::Witness w;
+            std::size_t at = 0;
+            for (const Word* word : input_words(spec)) {
+              Gf2Poly elem;
+              for (std::size_t b = 0; b < word->bits.size(); ++b, ++at)
+                if (at < r.counterexample.size() && r.counterexample[at])
+                  elem.set_coeff(static_cast<unsigned>(b), true);
+              w[word->name] = std::move(elem);
+            }
+            attach_witness(out, spec, impl, field, w);
+          } catch (...) {
+          }
           break;
+        }
         case aig::FraigResult::Status::kUnknown:
           out.verdict = Verdict::kUnknown;
           out.detail = "conflict budget (" +
@@ -201,7 +262,7 @@ class BddEngine final : public EquivEngine {
            "iff it is the false terminal";
   }
   Result<VerifyResult> verify(const Netlist& spec, const Netlist& impl,
-                              const Gf2k& /*field*/,
+                              const Gf2k& field,
                               const RunOptions& options) const override {
     try {
       const Netlist miter = make_miter(spec, impl);
@@ -222,8 +283,15 @@ class BddEngine final : public EquivEngine {
                                       static_cast<double>(manager.cache_lookups());
       out.verdict = out_ref == bdd::kFalse ? Verdict::kEquivalent
                                            : Verdict::kNotEquivalent;
-      if (out.verdict == Verdict::kNotEquivalent)
+      if (out.verdict == Verdict::kNotEquivalent) {
         out.detail = "miter BDD is not the false terminal";
+        // Variable i is miter input i, so a satisfying path through the
+        // miter's BDD is exactly a distinguishing input assignment.
+        attach_bit_witness(
+            out, spec, impl, field, miter,
+            manager.satisfying_assignment(
+                out_ref, static_cast<unsigned>(vars.size())));
+      }
       return out;
     } catch (const bdd::BddBudgetExceeded& e) {
       return Status::resource_exhausted(e.what());

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <optional>
 
+#include "certify/certify.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -10,6 +12,47 @@
 #include "util/parallel_for.h"
 
 namespace gfa::engine {
+
+namespace {
+
+/// Backfills a missing kNotEquivalent witness by simulation search and
+/// replay. Best-effort: instances without the word structure the simulator
+/// needs (or a witness evading the random search) leave the record as-is.
+void backfill_counterexample(EngineRun& run, const Netlist& spec,
+                             const Netlist& impl, const Gf2k& field) {
+  try {
+    const std::optional<certify::Witness> w =
+        certify::find_simulation_witness(spec, impl, field);
+    if (!w) return;
+    run.counterexample = certify::replay_witness(spec, impl, field, *w);
+  } catch (...) {
+    // Witness search is a certification extra, never a reason to fail a
+    // run that already has its verdict.
+  }
+}
+
+/// Cross-checks a kEquivalent verdict by random simulation. A disagreement
+/// (or the injected certify:mismatch fault) rewrites the run's status to
+/// kCertificationFailed and attaches the flight-recorder tail.
+void certify_run(EngineRun& run, const Netlist& spec, const Netlist& impl,
+                 const Gf2k& field) {
+  certify::CertifyOutcome outcome;
+  try {
+    outcome = certify::certify_equivalence(spec, impl, field);
+  } catch (...) {
+    return;  // malformed word structure: nothing to cross-check
+  }
+  run.stats["certify_points"] = static_cast<double>(outcome.points);
+  if (outcome.status.ok()) return;
+  run.status = outcome.status;
+  run.detail = outcome.status.message();
+  for (const obs::flight::Event& e : obs::flight::tail())
+    run.flight_events.push_back(obs::flight::format(e));
+  GFA_LOG_ERROR("engine", "certification failed for " << run.engine << ": "
+                                                      << run.detail);
+}
+
+}  // namespace
 
 EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
                      const Netlist& impl, const Gf2k& field,
@@ -64,11 +107,18 @@ EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
   if (r.ok()) {
     run.verdict = r->verdict;
     run.detail = std::move(r->detail);
+    run.counterexample = std::move(r->counterexample);
     run.stats = std::move(r->stats);
     run.attempts = std::move(r->attempts);
     run.resumed = r->resumed;
     run.canonical_spec = std::move(r->canonical_spec);
     run.canonical_impl = std::move(r->canonical_impl);
+    if (run.verdict == Verdict::kNotEquivalent &&
+        !run.counterexample.replayed) {
+      backfill_counterexample(run, spec, impl, field);
+    } else if (run.verdict == Verdict::kEquivalent && options.certify) {
+      certify_run(run, spec, impl, field);
+    }
   } else {
     run.status = r.status();
     run.detail = r.status().message();
@@ -96,6 +146,20 @@ void write_run_report(std::ostream& out, const std::string& tool, unsigned k,
     w.member("status", status_code_name(run.status.code()));
     if (run.status.ok()) w.member("verdict", verdict_name(run.verdict));
     w.member("detail", run.detail);
+    if (!run.counterexample.empty()) {
+      w.key("counterexample");
+      w.begin_object();
+      w.key("inputs");
+      w.begin_object();
+      for (const auto& [name, elem] : run.counterexample.inputs)
+        w.member(name, elem);
+      w.end_object();
+      w.member("output_word", run.counterexample.output_word);
+      w.member("expected", run.counterexample.expected);
+      w.member("actual", run.counterexample.actual);
+      w.member("replayed", run.counterexample.replayed);
+      w.end_object();
+    }
     w.member("wall_ms", run.wall_ms);
     if (run.resumed) w.member("resumed", true);
     if (!run.cache_outcome.empty()) w.member("cache", run.cache_outcome);

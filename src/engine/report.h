@@ -25,6 +25,9 @@ struct EngineRun {
   /// Meaningful only when status.ok().
   Verdict verdict = Verdict::kUnknown;
   std::string detail;
+  /// Typed witness for kNotEquivalent (simulator-replayed; see
+  /// certify/counterexample.h), emitted as "counterexample" in JSON reports.
+  certify::Counterexample counterexample;
   std::map<std::string, double> stats;
   double wall_ms = 0.0;
   /// Per-run delta of the global metrics registry (src/obs/metrics.h):
@@ -73,6 +76,13 @@ struct EngineRun {
 /// set and no budget is installed yet (and the engine does not manage its
 /// own), the run executes under a fresh ResourceBudget whose peak lands in
 /// the record.
+///
+/// Verdict certification (src/certify/) runs here, after the engine:
+///  * kNotEquivalent without an engine-supplied counterexample triggers a
+///    simulation witness search, and any witness is simulator-replayed.
+///  * kEquivalent with options.certify set is cross-checked by random
+///    simulation; a disagreement rewrites the run's status to
+///    kCertificationFailed with the flight-recorder tail attached.
 EngineRun run_engine(const EquivEngine& engine, const Netlist& spec,
                      const Netlist& impl, const Gf2k& field,
                      const RunOptions& options);

@@ -86,6 +86,14 @@ constexpr KnownMetric kKnownMetrics[] = {
     {"service.cache_misses", MetricKind::kCounter},
     {"service.cache_corrupt_dropped", MetricKind::kCounter},
     {"service.cache_evictions", MetricKind::kCounter},
+    // Verdict certification + poison-job quarantine (src/service/service.cpp):
+    // failed equivalence cross-checks, per-fingerprint crash strikes,
+    // fingerprints that tripped the strike limit, and jobs answered from
+    // quarantine without forking a worker.
+    {"service.certify_failed", MetricKind::kCounter},
+    {"service.quarantined.strikes", MetricKind::kCounter},
+    {"service.quarantined.tripped", MetricKind::kCounter},
+    {"service.quarantined.fast_fail", MetricKind::kCounter},
 };
 
 /// Histograms pre-registered alongside the scalar schema. Each contributes

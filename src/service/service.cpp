@@ -14,6 +14,7 @@
 
 #include "abstraction/canon_serial.h"
 #include "abstraction/equivalence.h"
+#include "certify/certify.h"
 #include "circuit/parser.h"
 #include "circuit/verilog.h"
 #include "engine/registry.h"
@@ -96,7 +97,7 @@ Result<JobRequest> decode_job_request(std::string_view json) {
   req.timeout_seconds = doc->number_or("timeout_seconds", 0.0);
   req.memory_budget_bytes = doc->u64_or("memory_budget_bytes", 0);
   req.no_cache = doc->bool_or("no_cache", false);
-  if (req.op != "verify" && req.op != "status")
+  if (req.op != "verify" && req.op != "status" && req.op != "clear-quarantine")
     return Status::invalid_argument("unknown job op '" + req.op + "'");
   return req;
 }
@@ -111,6 +112,20 @@ std::string encode_job_response(const JobResponse& resp) {
   if (!resp.status.ok()) w.member("message", resp.status.message());
   w.member("verdict", engine::verdict_name(resp.verdict));
   if (!resp.detail.empty()) w.member("detail", resp.detail);
+  if (!resp.counterexample.empty()) {
+    w.key("counterexample");
+    w.begin_object();
+    w.key("inputs");
+    w.begin_object();
+    for (const auto& [name, elem] : resp.counterexample.inputs)
+      w.member(name, elem);
+    w.end_object();
+    w.member("output_word", resp.counterexample.output_word);
+    w.member("expected", resp.counterexample.expected);
+    w.member("actual", resp.counterexample.actual);
+    w.member("replayed", resp.counterexample.replayed);
+    w.end_object();
+  }
   w.member("wall_ms", resp.wall_ms);
   if (!resp.cache.empty()) w.member("cache", resp.cache);
   if (!resp.stats.empty()) {
@@ -141,6 +156,19 @@ Result<JobResponse> decode_job_response(std::string_view json) {
   if (!verdict.ok()) return verdict.status();
   resp.verdict = *verdict;
   resp.detail = doc->string_or("detail", "");
+  if (const JsonValue* cx = doc->find("counterexample");
+      cx != nullptr && cx->is_object()) {
+    if (const JsonValue* inputs = cx->find("inputs");
+        inputs != nullptr && inputs->is_object()) {
+      for (const auto& [name, value] : inputs->members())
+        if (value.is_string())
+          resp.counterexample.inputs[name] = value.as_string();
+    }
+    resp.counterexample.output_word = cx->string_or("output_word", "");
+    resp.counterexample.expected = cx->string_or("expected", "");
+    resp.counterexample.actual = cx->string_or("actual", "");
+    resp.counterexample.replayed = cx->bool_or("replayed", false);
+  }
   resp.wall_ms = doc->number_or("wall_ms", 0.0);
   resp.cache = doc->string_or("cache", "");
   if (const JsonValue* stats = doc->find("stats");
@@ -405,6 +433,17 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  if (req->op == "clear-quarantine") {
+    // Answered inline like "status": dropping table entries never blocks on
+    // the pool, so a wedged queue cannot delay an operator's reset.
+    JobResponse resp;
+    resp.op = "clear-quarantine";
+    resp.id = req->id;
+    resp.stats["cleared"] = static_cast<double>(clear_quarantine());
+    respond(conn, resp);
+    return;
+  }
+
   JobResponse reject;
   reject.id = req->id;
   if (req->spec_path.empty() || req->impl_path.empty())
@@ -492,24 +531,39 @@ JobResponse Server::run_verify(const JobRequest& req) {
   const bool cacheable = options_.cache_enabled &&
                          req.engine == "abstraction" && !req.no_cache;
 
+  // Content-address both circuits up front, for every engine: the hashes
+  // drive the canonical-form cache *and* the poison-job quarantine. The
+  // parse this costs is a small fraction of any engine's run, and a parse
+  // failure is the job's real outcome — the forked worker would hit the
+  // same wall — so report it directly, without forking.
+  const Result<Netlist> spec = load_circuit(req.spec_path);
+  if (!spec.ok()) {
+    resp.status = spec.status();
+    return resp;
+  }
+  const Result<Netlist> impl = load_circuit(req.impl_path);
+  if (!impl.ok()) {
+    resp.status = impl.status();
+    return resp;
+  }
+  const QuarantineKey qkey{worker::netlist_content_hash(*spec),
+                           worker::netlist_content_hash(*impl), req.engine};
+  if (quarantine_lookup(qkey)) {
+    // Fast-fail: same status a fresh crash would produce, but without
+    // burning another fork (and another crash-restart cycle) on it.
+    ++quarantine_fast_fails_;
+    GFA_COUNT("service.quarantined.fast_fail", 1);
+    resp.status = Status::worker_crashed(
+        "job is quarantined after repeated worker crashes (send "
+        "clear-quarantine to retry it)");
+    resp.detail = "quarantined";
+    return resp;
+  }
+
   CacheKey spec_key, impl_key;
   bool have_keys = false;
   const Gf2k* field = nullptr;
   if (cacheable) {
-    // Content-address both circuits. The parse this costs on a miss is a
-    // small fraction of extraction; on a hit it replaces the entire forked
-    // run. A parse failure is the job's real outcome — the worker would hit
-    // the same wall — so report it directly, without forking.
-    const Result<Netlist> spec = load_circuit(req.spec_path);
-    if (!spec.ok()) {
-      resp.status = spec.status();
-      return resp;
-    }
-    const Result<Netlist> impl = load_circuit(req.impl_path);
-    if (!impl.ok()) {
-      resp.status = impl.status();
-      return resp;
-    }
     field = field_for(req.k);
     if (field == nullptr) {
       resp.status = Status::invalid_argument(
@@ -517,8 +571,8 @@ JobResponse Server::run_verify(const JobRequest& req) {
       return resp;
     }
     const std::uint64_t fp = cache_fingerprint(*field);
-    spec_key = CacheKey{worker::netlist_content_hash(*spec), req.k, fp};
-    impl_key = CacheKey{worker::netlist_content_hash(*impl), req.k, fp};
+    spec_key = CacheKey{qkey.spec_hash, req.k, fp};
+    impl_key = CacheKey{qkey.impl_hash, req.k, fp};
     have_keys = true;
 
     const std::optional<std::string> spec_payload = cache_.get(spec_key);
@@ -540,6 +594,35 @@ JobResponse Server::run_verify(const JobRequest& req) {
         resp.detail = difference;
         resp.cache = "hit";
         resp.stats["cache_hit"] = 1.0;
+        try {
+          if (same && options_.certify) {
+            // A cached equivalence claim is exactly the answer a corrupted
+            // or stale cache would get wrong, so cross-check it against the
+            // circuits themselves before handing it out.
+            const certify::CertifyOutcome check =
+                certify::certify_equivalence(*spec, *impl, *field);
+            resp.stats["certify_points"] = static_cast<double>(check.points);
+            if (!check.status.ok()) {
+              resp.status = check.status;
+              resp.detail = std::string(check.status.message());
+              GFA_COUNT("service.certify_failed", 1);
+              GFA_LOG_ERROR("service", "cache-hit certification failed: "
+                                           << resp.detail);
+            }
+          } else if (!same) {
+            // The coefficient mismatch pinpoints a concrete witness too:
+            // Schwartz–Zippel on the cached word functions, replayed through
+            // the gate-level simulator.
+            if (const std::optional<certify::Witness> w =
+                    certify::find_word_function_witness(*spec_fn, *impl_fn,
+                                                        *field))
+              resp.counterexample =
+                  certify::replay_witness(*spec, *impl, *field, *w);
+          }
+        } catch (const std::exception& e) {
+          GFA_LOG_WARN("service",
+                       "cache-hit certification skipped: " << e.what());
+        }
         return resp;
       }
       // A decode failure is treated exactly like a CRC miss: fall through
@@ -565,14 +648,17 @@ JobResponse Server::run_verify(const JobRequest& req) {
   wreq.heartbeat_interval_seconds = options_.heartbeat_interval_seconds;
   wreq.stall_timeout_seconds = options_.stall_timeout_seconds;
   wreq.export_canonical = cacheable;
+  wreq.certify = options_.certify;
 
   worker::RetryPolicy policy;
   policy.max_attempts = options_.max_attempts;
   const engine::EngineRun run = worker::run_isolated_with_retry(wreq, policy);
+  if (run.status.code() == StatusCode::kWorkerCrashed) quarantine_strike(qkey);
 
   resp.status = run.status;
   resp.verdict = run.verdict;
   resp.detail = run.detail;
+  resp.counterexample = run.counterexample;
   resp.stats = run.stats;
   if (run.stats.find("worker_attempts") == run.stats.end() &&
       !run.attempts.empty())
@@ -616,6 +702,7 @@ std::string Server::encode_status_response(std::uint64_t id) const {
   w.end_object();
   w.member("draining", snap.draining);
   w.member("uptime_seconds", snap.uptime_seconds);
+  w.member("certify", options_.certify);
   w.key("jobs");
   w.begin_object();
   w.member("accepted", snap.jobs_accepted);
@@ -635,6 +722,15 @@ std::string Server::encode_status_response(std::uint64_t id) const {
   w.member("entries", snap.cache.entries);
   w.member("bytes", snap.cache.bytes);
   w.member("max_bytes", snap.cache.max_bytes);
+  w.end_object();
+  w.key("quarantine");
+  w.begin_object();
+  w.member("strikes", static_cast<std::uint64_t>(options_.quarantine_strikes));
+  w.member("ttl_seconds", options_.quarantine_ttl_seconds);
+  w.member("tracked", static_cast<std::uint64_t>(snap.quarantine_tracked));
+  w.member("active", static_cast<std::uint64_t>(snap.quarantine_active));
+  w.member("fast_fails", snap.quarantine_fast_fails);
+  w.member("trips", snap.quarantine_trips);
   w.end_object();
   if (obs::metrics_enabled()) {
     w.key("metrics");
@@ -665,7 +761,62 @@ ServiceSnapshot Server::snapshot() const {
   snap.jobs_failed = jobs_failed_.load();
   snap.accept_failures = accept_failures_.load();
   snap.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    snap.quarantine_tracked = quarantine_.size();
+    for (const auto& [key, entry] : quarantine_)
+      if (options_.quarantine_strikes > 0 &&
+          entry.strikes >= options_.quarantine_strikes)
+        ++snap.quarantine_active;
+  }
+  snap.quarantine_fast_fails = quarantine_fast_fails_.load();
+  snap.quarantine_trips = quarantine_trips_.load();
   return snap;
+}
+
+bool Server::quarantine_lookup(const QuarantineKey& key) {
+  if (options_.quarantine_strikes == 0) return false;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  const auto it = quarantine_.find(key);
+  if (it == quarantine_.end()) return false;
+  if (options_.quarantine_ttl_seconds > 0 &&
+      std::chrono::duration<double>(Clock::now() - it->second.last_strike)
+              .count() > options_.quarantine_ttl_seconds) {
+    // Expired: the strike record is forgiven wholesale, so a once-poisonous
+    // job gets a full fresh set of strikes, not an instant re-trip.
+    quarantine_.erase(it);
+    return false;
+  }
+  return it->second.strikes >= options_.quarantine_strikes;
+}
+
+void Server::quarantine_strike(const QuarantineKey& key) {
+  if (options_.quarantine_strikes == 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  QuarantineEntry& entry = quarantine_[key];
+  ++entry.strikes;
+  entry.last_strike = Clock::now();
+  GFA_COUNT("service.quarantined.strikes", 1);
+  if (entry.strikes == options_.quarantine_strikes) {
+    ++quarantine_trips_;
+    GFA_COUNT("service.quarantined.tripped", 1);
+    GFA_LOG_WARN("service", "quarantined a job fingerprint (engine "
+                                << key.engine << ") after " << entry.strikes
+                                << " worker crash(es)");
+  }
+}
+
+std::size_t Server::clear_quarantine() {
+  std::size_t cleared;
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    cleared = quarantine_.size();
+    quarantine_.clear();
+  }
+  if (cleared > 0)
+    GFA_LOG_INFO("service",
+                 "clear-quarantine dropped " << cleared << " fingerprint(s)");
+  return cleared;
 }
 
 const Gf2k* Server::field_for(unsigned k) {

@@ -30,12 +30,24 @@
 //     unlinked), finishes every queued and in-flight job, answers the
 //     waiting clients, and exits 0.
 //   * Health: a "status" request answers from the accept path with pool,
-//     queue, job, cache, and (when enabled) metrics snapshots.
+//     queue, job, cache, quarantine, and (when enabled) metrics snapshots.
+//   * Verdict certification: a cache hit that claims kEquivalent is
+//     cross-checked by random simulation before it is handed out (and cache
+//     misses ship RunOptions::certify to the forked worker); a disagreement
+//     answers kCertificationFailed — a loud internal error, never a silent
+//     wrong answer. See DESIGN.md "Verdict certification".
+//   * Poison-job quarantine: jobs are fingerprinted by (spec content hash,
+//     impl content hash, engine); a fingerprint whose workers crashed
+//     --quarantine-strikes times fast-fails with kWorkerCrashed *without
+//     forking*, so one poisonous netlist cannot monopolize the pool with
+//     crash-restart cycles. Entries expire after --quarantine-ttl, and a
+//     "clear-quarantine" request resets the table.
 //
 // Wire protocol: the worker layer's length-prefixed JSON frames
 // (worker/protocol.h) over SOCK_STREAM. Requests are
 //   {"op":"verify","id":7,"spec_path":...,"impl_path":...,"k":8,...}
 //   {"op":"status","id":1}
+//   {"op":"clear-quarantine","id":2}
 // and every response echoes the op and id, so a client may pipeline jobs and
 // match answers out of order.
 
@@ -51,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "certify/counterexample.h"
 #include "engine/engine.h"
 #include "gf/gf2k.h"
 #include "service/canon_cache.h"
@@ -58,7 +71,8 @@
 
 namespace gfa::service {
 
-/// One client request off the wire. op is "verify" or "status".
+/// One client request off the wire. op is "verify", "status", or
+/// "clear-quarantine".
 struct JobRequest {
   std::string op = "verify";
   std::uint64_t id = 0;
@@ -81,6 +95,9 @@ struct JobResponse {
   Status status;
   engine::Verdict verdict = engine::Verdict::kUnknown;
   std::string detail;
+  /// Typed simulator-replayed witness for kNotEquivalent verdicts (see
+  /// certify/counterexample.h); empty otherwise.
+  certify::Counterexample counterexample;
   double wall_ms = 0.0;
   std::string cache;
   std::map<std::string, double> stats;
@@ -113,6 +130,17 @@ struct ServerOptions {
   /// Worker telemetry, passed through to every forked child.
   double heartbeat_interval_seconds = 1.0;
   double stall_timeout_seconds = 0.0;
+  /// Poison-job quarantine: after this many final kWorkerCrashed outcomes
+  /// for the same (spec hash, impl hash, engine) fingerprint, identical
+  /// submissions fast-fail without forking. 0 disables quarantining.
+  unsigned quarantine_strikes = 3;
+  /// Seconds a fingerprint's strike record survives after its last crash
+  /// (0 = until clear-quarantine or restart).
+  double quarantine_ttl_seconds = 0.0;
+  /// Cross-check every kEquivalent answer by random simulation: cache hits
+  /// are certified in-process, cache misses ship RunOptions::certify to the
+  /// forked worker (--no-certify turns this off).
+  bool certify = true;
 };
 
 /// Point-in-time health snapshot, served for "status" requests.
@@ -129,6 +157,12 @@ struct ServiceSnapshot {
   std::uint64_t jobs_failed = 0;     // completed with a non-OK status
   std::uint64_t accept_failures = 0;
   CacheStats cache;
+  /// Quarantine table: fingerprints with at least one strike / past the
+  /// strike threshold, plus lifetime fast-fail and trip counters.
+  std::size_t quarantine_tracked = 0;
+  std::size_t quarantine_active = 0;
+  std::uint64_t quarantine_fast_fails = 0;
+  std::uint64_t quarantine_trips = 0;
 };
 
 class Server {
@@ -158,9 +192,30 @@ class Server {
 
   ServiceSnapshot snapshot() const;
 
+  /// Drops every quarantine record (the "clear-quarantine" op); returns how
+  /// many fingerprints were being tracked.
+  std::size_t clear_quarantine();
+
  private:
   struct Connection;
   struct Job;
+
+  /// The quarantine fingerprint: the job's *content*, not its paths, so a
+  /// renamed copy of a poisonous netlist is still recognized.
+  struct QuarantineKey {
+    std::uint64_t spec_hash = 0;
+    std::uint64_t impl_hash = 0;
+    std::string engine;
+    bool operator<(const QuarantineKey& o) const {
+      if (spec_hash != o.spec_hash) return spec_hash < o.spec_hash;
+      if (impl_hash != o.impl_hash) return impl_hash < o.impl_hash;
+      return engine < o.engine;
+    }
+  };
+  struct QuarantineEntry {
+    unsigned strikes = 0;
+    std::chrono::steady_clock::time_point last_strike;
+  };
 
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
@@ -172,6 +227,11 @@ class Server {
                const JobResponse& resp);
   std::string encode_status_response(std::uint64_t id) const;
   const Gf2k* field_for(unsigned k);
+  /// True when the fingerprint is past the strike threshold (expiring the
+  /// record first when the TTL has lapsed).
+  bool quarantine_lookup(const QuarantineKey& key);
+  /// Records one final kWorkerCrashed outcome against the fingerprint.
+  void quarantine_strike(const QuarantineKey& key);
 
   ServerOptions options_;
   CanonCache cache_;
@@ -196,6 +256,11 @@ class Server {
 
   std::mutex fields_mu_;
   std::map<unsigned, std::unique_ptr<Gf2k>> fields_;
+
+  mutable std::mutex quarantine_mu_;
+  std::map<QuarantineKey, QuarantineEntry> quarantine_;
+  std::atomic<std::uint64_t> quarantine_fast_fails_{0};
+  std::atomic<std::uint64_t> quarantine_trips_{0};
 
   std::atomic<std::uint64_t> jobs_accepted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};

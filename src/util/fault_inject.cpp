@@ -53,6 +53,10 @@ constexpr SiteInfo kSites[] = {
     // treats one accepted connection as failed to prove the daemon survives.
     {"cache:corrupt", Action::kCaller},
     {"service:accept", Action::kCaller},
+    // Verdict certification (src/certify/): forces the post-equivalence
+    // simulation cross-check to disagree, so the kCertificationFailed path
+    // (exit 73 + flight-recorder dump) is testable deterministically.
+    {"certify:mismatch", Action::kCaller},
 };
 constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

@@ -15,6 +15,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kResourceExhausted: return "kResourceExhausted";
     case StatusCode::kInternal: return "kInternal";
     case StatusCode::kWorkerCrashed: return "kWorkerCrashed";
+    case StatusCode::kCertificationFailed: return "kCertificationFailed";
   }
   return "k?";
 }
@@ -24,7 +25,8 @@ Result<StatusCode> status_code_from_name(std::string_view name) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
         StatusCode::kUnsupported, StatusCode::kResourceExhausted,
-        StatusCode::kInternal, StatusCode::kWorkerCrashed}) {
+        StatusCode::kInternal, StatusCode::kWorkerCrashed,
+        StatusCode::kCertificationFailed}) {
     if (name == status_code_name(code)) return code;
   }
   return Status::invalid_argument("unknown status code '" + std::string(name) +
@@ -40,6 +42,7 @@ int exit_code_for(StatusCode code) {
     case StatusCode::kUnsupported: return 69;
     case StatusCode::kResourceExhausted: return 70;
     case StatusCode::kWorkerCrashed: return 71;
+    case StatusCode::kCertificationFailed: return 73;
     case StatusCode::kCancelled: return 74;
     case StatusCode::kDeadlineExceeded: return 75;
   }

@@ -29,6 +29,9 @@ enum class StatusCode {
   kInternal,           // escape hatch: unexpected exception at the boundary
   kWorkerCrashed,      // an isolated worker process died (signal, OOM-kill,
                        // protocol corruption) without producing a verdict
+  kCertificationFailed,  // a verdict failed its independent certification
+                         // (simulator cross-check or witness replay): a loud
+                         // internal error, never a silent wrong answer
 };
 
 /// Canonical spelling, e.g. "kDeadlineExceeded".
@@ -37,7 +40,8 @@ const char* status_code_name(StatusCode code);
 /// The documented CLI exit code for each Status code (see README):
 ///   kOk 0, kInternal 2, usage 64 (not a Status), kParseError 65,
 ///   kInvalidArgument 66, kUnsupported 69, kResourceExhausted 70,
-///   kWorkerCrashed 71, kCancelled 74, kDeadlineExceeded 75.
+///   kWorkerCrashed 71, kCertificationFailed 73, kCancelled 74,
+///   kDeadlineExceeded 75.
 int exit_code_for(StatusCode code);
 
 class Status {
@@ -68,6 +72,9 @@ class Status {
   }
   static Status worker_crashed(std::string message) {
     return Status(StatusCode::kWorkerCrashed, std::move(message));
+  }
+  static Status certification_failed(std::string message) {
+    return Status(StatusCode::kCertificationFailed, std::move(message));
   }
   /// For callers that re-wrap an existing non-OK code with new context (the
   /// portfolio engine's attempt summaries). `code` must not be kOk.

@@ -106,6 +106,7 @@ engine::RunOptions run_options_of(const WorkerRequest& req) {
   options.checkpoint_interval = req.checkpoint_interval;
   options.checkpoint_resume = req.checkpoint_resume;
   options.export_canonical = req.export_canonical;
+  options.certify = req.certify;
   return options;
 }
 
@@ -138,6 +139,7 @@ WorkerResponse execute_request(const WorkerRequest& req) {
   resp.status = run.status;
   resp.verdict = run.verdict;
   resp.detail = run.detail;
+  resp.counterexample = run.counterexample;
   resp.stats = run.stats;
   resp.attempts = run.attempts;
   resp.resumed = run.resumed;
@@ -596,6 +598,7 @@ engine::EngineRun run_in_worker(const WorkerRequest& request,
     run.status = resp.status;
     run.verdict = resp.verdict;
     run.detail = resp.status.ok() ? resp.detail : resp.status.message();
+    run.counterexample = std::move(resp.counterexample);
     run.stats = std::move(resp.stats);
     run.attempts = std::move(resp.attempts);
     run.resumed = resp.resumed;

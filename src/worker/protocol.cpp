@@ -90,6 +90,7 @@ std::string encode_request(const WorkerRequest& req) {
   w.member("stall_timeout_seconds", req.stall_timeout_seconds);
   w.member("trace", req.trace);
   w.member("export_canonical", req.export_canonical);
+  w.member("certify", req.certify);
   w.end_object();
   return out.str();
 }
@@ -128,6 +129,7 @@ Result<WorkerRequest> decode_request(std::string_view json) {
   req.stall_timeout_seconds = doc->number_or("stall_timeout_seconds", 0.0);
   req.trace = doc->bool_or("trace", false);
   req.export_canonical = doc->bool_or("export_canonical", false);
+  req.certify = doc->bool_or("certify", false);
   if (req.spec_path.empty() || req.impl_path.empty())
     return Status::invalid_argument("worker request is missing circuit paths");
   if (req.k < 2)
@@ -143,6 +145,20 @@ std::string encode_response(const WorkerResponse& resp) {
   w.member("message", resp.status.ok() ? "" : resp.status.message());
   w.member("verdict", engine::verdict_name(resp.verdict));
   w.member("detail", resp.detail);
+  if (!resp.counterexample.empty()) {
+    w.key("counterexample");
+    w.begin_object();
+    w.key("inputs");
+    w.begin_object();
+    for (const auto& [name, elem] : resp.counterexample.inputs)
+      w.member(name, elem);
+    w.end_object();
+    w.member("output_word", resp.counterexample.output_word);
+    w.member("expected", resp.counterexample.expected);
+    w.member("actual", resp.counterexample.actual);
+    w.member("replayed", resp.counterexample.replayed);
+    w.end_object();
+  }
   w.key("stats");
   w.begin_object();
   for (const auto& [key, value] : resp.stats) w.member(key, value);
@@ -180,6 +196,19 @@ Result<WorkerResponse> decode_response(std::string_view json) {
   if (!verdict.ok()) return verdict.status();
   resp.verdict = *verdict;
   resp.detail = doc->string_or("detail", "");
+  if (const JsonValue* cx = doc->find("counterexample");
+      cx != nullptr && cx->is_object()) {
+    if (const JsonValue* inputs = cx->find("inputs");
+        inputs != nullptr && inputs->is_object()) {
+      for (const auto& [name, value] : inputs->members())
+        if (value.is_string())
+          resp.counterexample.inputs[name] = value.as_string();
+    }
+    resp.counterexample.output_word = cx->string_or("output_word", "");
+    resp.counterexample.expected = cx->string_or("expected", "");
+    resp.counterexample.actual = cx->string_or("actual", "");
+    resp.counterexample.replayed = cx->bool_or("replayed", false);
+  }
   if (const JsonValue* stats = doc->find("stats");
       stats != nullptr && stats->is_object()) {
     for (const auto& [key, value] : stats->members())

@@ -87,6 +87,10 @@ struct WorkerRequest {
   /// Set by the verification service so a cache miss's extraction work can
   /// be stored for the next identical circuit.
   bool export_canonical = false;
+  /// Cross-check a kEquivalent verdict by random simulation in the child
+  /// (RunOptions::certify); a disagreement comes back as
+  /// kCertificationFailed.
+  bool certify = false;
 };
 
 struct WorkerResponse {
@@ -96,6 +100,9 @@ struct WorkerResponse {
   Status status;
   engine::Verdict verdict = engine::Verdict::kUnknown;
   std::string detail;
+  /// Typed simulator-replayed witness for kNotEquivalent (see
+  /// certify/counterexample.h); empty otherwise.
+  certify::Counterexample counterexample;
   std::map<std::string, double> stats;
   std::vector<engine::AttemptRecord> attempts;
   bool resumed = false;

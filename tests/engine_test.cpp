@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "circuit/mutate.h"
 #include "engine/registry.h"
 #include "engine/report.h"
+#include "util/json_reader.h"
 
 namespace gfa::engine {
 namespace {
@@ -216,6 +218,46 @@ TEST(EngineDeadlines, CancellationWinsAndStopsEveryEngineAt163) {
     EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
         << engine->name() << ": " << r.status().to_string();
   }
+}
+
+TEST(EngineRun, RefutationCarriesReplayedCounterexampleIntoTheReport) {
+  const Gf2k field = Gf2k::make(4);
+  const Netlist spec = make_mastrovito_multiplier(field);
+  const EquivEngine* abstraction =
+      EngineRegistry::global().find("abstraction");
+  ASSERT_NE(abstraction, nullptr);
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const Netlist buggy = inject_random_bug(spec, seed);
+    const EngineRun run =
+        run_engine(*abstraction, spec, buggy, field, RunOptions{});
+    ASSERT_TRUE(run.status.ok()) << run.status.to_string();
+    if (run.verdict != Verdict::kNotEquivalent) continue;  // benign mutation
+
+    // The typed witness: simulator-replayed concrete field elements.
+    ASSERT_FALSE(run.counterexample.empty());
+    EXPECT_TRUE(run.counterexample.replayed);
+    EXPECT_FALSE(run.counterexample.inputs.empty());
+    EXPECT_NE(run.counterexample.expected, run.counterexample.actual);
+
+    // And its JSON shape in the report.
+    std::ostringstream out;
+    write_run_report(out, "verify", 4, {run});
+    const Result<JsonValue> report = parse_json(out.str());
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    const JsonValue* runs = report->find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->items().size(), 1u);
+    const JsonValue* cex = runs->items()[0].find("counterexample");
+    ASSERT_NE(cex, nullptr);
+    EXPECT_TRUE(cex->bool_or("replayed", false));
+    EXPECT_FALSE(cex->string_or("output_word", "").empty());
+    EXPECT_FALSE(cex->string_or("expected", "").empty());
+    const JsonValue* inputs = cex->find("inputs");
+    ASSERT_NE(inputs, nullptr);
+    EXPECT_FALSE(inputs->members().empty());
+    return;
+  }
+  FAIL() << "no mutation seed in 1..32 produced a refutation";
 }
 
 TEST(EngineRun, TimesTheCallAndNeverThrows) {

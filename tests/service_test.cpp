@@ -183,6 +183,11 @@ TEST(ServiceProtocol, ResponseCodecRoundTrips) {
   resp.wall_ms = 123.5;
   resp.cache = "hit";
   resp.stats["worker_attempts"] = 2.0;
+  resp.counterexample.inputs = {{"A", "x^2 + 1"}, {"B", "x"}};
+  resp.counterexample.output_word = "Z";
+  resp.counterexample.expected = "x^3 + x";
+  resp.counterexample.actual = "x + 1";
+  resp.counterexample.replayed = true;
   const Result<JobResponse> back =
       service::decode_job_response(service::encode_job_response(resp));
   ASSERT_TRUE(back.ok()) << back.status().to_string();
@@ -194,6 +199,22 @@ TEST(ServiceProtocol, ResponseCodecRoundTrips) {
   EXPECT_EQ(back->wall_ms, resp.wall_ms);
   EXPECT_EQ(back->cache, resp.cache);
   EXPECT_EQ(back->stats, resp.stats);
+  EXPECT_EQ(back->counterexample.inputs, resp.counterexample.inputs);
+  EXPECT_EQ(back->counterexample.output_word, "Z");
+  EXPECT_EQ(back->counterexample.expected, "x^3 + x");
+  EXPECT_EQ(back->counterexample.actual, "x + 1");
+  EXPECT_TRUE(back->counterexample.replayed);
+}
+
+TEST(ServiceProtocol, ClearQuarantineOpRoundTrips) {
+  JobRequest req;
+  req.op = "clear-quarantine";
+  req.id = 12;
+  const Result<JobRequest> back =
+      service::decode_job_request(service::encode_job_request(req));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->op, "clear-quarantine");
+  EXPECT_EQ(back->id, 12u);
 }
 
 TEST(ServiceProtocol, DecodeRejectsGarbage) {
@@ -400,6 +421,121 @@ TEST(Service, WorkerCrashIsContainedAndServerKeepsServing) {
   const service::ServiceSnapshot snap = srv.server->snapshot();
   EXPECT_EQ(snap.jobs_failed, 1u);
   EXPECT_EQ(snap.jobs_completed, 2u);
+  EXPECT_EQ(srv.drain_and_join(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Poison-job quarantine.
+
+TEST(Service, QuarantinedJobFastFailsWithoutForkingUntilCleared) {
+  Disarmer disarm;
+  const Instance inst = make_instance(4);
+  const std::string path = temp_dir() + "/gfa.sock";
+  ServerOptions options = base_options(path);
+  options.cache_enabled = false;
+  options.max_attempts = 1;
+  options.quarantine_strikes = 1;  // a single crash trips the quarantine
+  TestServer srv;
+  ASSERT_TRUE(srv.start(std::move(options)).ok());
+
+  Result<ServiceClient> client = ServiceClient::connect(path);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  // Strike one: the forked worker crashes and the fingerprint trips.
+  ASSERT_TRUE(fault::arm_spec("worker:crash").ok());
+  const Result<JobResponse> crashed =
+      client->call(verify_request(inst.spec, inst.impl, 4), 60.0);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().to_string();
+  EXPECT_EQ(crashed->status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_TRUE(fault::fired());
+  fault::disarm();  // a re-run would now succeed — unless quarantined
+
+  // The identical submission answers kWorkerCrashed without forking: no
+  // worker_attempts stat, the telltale "quarantined" detail, and the fault is
+  // no longer armed so an actual fork would have produced a clean verdict.
+  const Result<JobResponse> blocked =
+      client->call(verify_request(inst.spec, inst.impl, 4), 60.0);
+  ASSERT_TRUE(blocked.ok()) << blocked.status().to_string();
+  EXPECT_EQ(blocked->status.code(), StatusCode::kWorkerCrashed);
+  EXPECT_EQ(blocked->detail, "quarantined");
+  EXPECT_EQ(blocked->stats.count("worker_attempts"), 0u);
+
+  // A *different* job (same spec, different impl content) is unaffected, and
+  // its refutation carries the simulator-replayed counterexample.
+  const Result<JobResponse> other =
+      client->call(verify_request(inst.spec, inst.bug, 4), 60.0);
+  ASSERT_TRUE(other.ok()) << other.status().to_string();
+  ASSERT_TRUE(other->status.ok()) << other->status.to_string();
+  EXPECT_EQ(other->verdict, engine::Verdict::kNotEquivalent);
+  ASSERT_FALSE(other->counterexample.empty());
+  EXPECT_TRUE(other->counterexample.replayed);
+  EXPECT_NE(other->counterexample.expected, other->counterexample.actual);
+
+  const service::ServiceSnapshot snap = srv.server->snapshot();
+  EXPECT_EQ(snap.quarantine_tracked, 1u);
+  EXPECT_EQ(snap.quarantine_active, 1u);
+  EXPECT_EQ(snap.quarantine_trips, 1u);
+  EXPECT_EQ(snap.quarantine_fast_fails, 1u);
+
+  // The status op reports the same numbers over the wire.
+  const Result<std::string> status_text = client->status_json(60.0);
+  ASSERT_TRUE(status_text.ok()) << status_text.status().to_string();
+  const Result<JsonValue> status_json = parse_json(*status_text);
+  ASSERT_TRUE(status_json.ok()) << status_json.status().to_string();
+  const JsonValue* quarantine = status_json->find("quarantine");
+  ASSERT_NE(quarantine, nullptr);
+  EXPECT_EQ(quarantine->u64_or("strikes", 0), 1u);
+  EXPECT_EQ(quarantine->u64_or("active", 99), 1u);
+  EXPECT_EQ(quarantine->u64_or("fast_fails", 99), 1u);
+
+  // clear-quarantine wipes the record and the job runs (and passes) again.
+  JobRequest clear;
+  clear.op = "clear-quarantine";
+  const Result<JobResponse> cleared = client->call(std::move(clear), 60.0);
+  ASSERT_TRUE(cleared.ok()) << cleared.status().to_string();
+  ASSERT_TRUE(cleared->status.ok()) << cleared->status.to_string();
+  ASSERT_EQ(cleared->stats.count("cleared"), 1u);
+  EXPECT_EQ(cleared->stats.at("cleared"), 1.0);
+
+  const Result<JobResponse> healed =
+      client->call(verify_request(inst.spec, inst.impl, 4), 60.0);
+  ASSERT_TRUE(healed.ok()) << healed.status().to_string();
+  ASSERT_TRUE(healed->status.ok()) << healed->status.to_string();
+  EXPECT_EQ(healed->verdict, engine::Verdict::kEquivalent);
+  EXPECT_EQ(srv.server->snapshot().quarantine_tracked, 0u);
+  EXPECT_EQ(srv.drain_and_join(), 0);
+}
+
+TEST(Service, QuarantineTtlForgivesOldStrikes) {
+  Disarmer disarm;
+  const Instance inst = make_instance(4);
+  const std::string path = temp_dir() + "/gfa.sock";
+  ServerOptions options = base_options(path);
+  options.cache_enabled = false;
+  options.max_attempts = 1;
+  options.quarantine_strikes = 1;
+  options.quarantine_ttl_seconds = 0.05;
+  TestServer srv;
+  ASSERT_TRUE(srv.start(std::move(options)).ok());
+
+  Result<ServiceClient> client = ServiceClient::connect(path);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  ASSERT_TRUE(fault::arm_spec("worker:crash").ok());
+  const Result<JobResponse> crashed =
+      client->call(verify_request(inst.spec, inst.impl, 4), 60.0);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().to_string();
+  EXPECT_EQ(crashed->status.code(), StatusCode::kWorkerCrashed);
+  fault::disarm();
+
+  // After the TTL the strike record is forgotten and the job really runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const Result<JobResponse> healed =
+      client->call(verify_request(inst.spec, inst.impl, 4), 60.0);
+  ASSERT_TRUE(healed.ok()) << healed.status().to_string();
+  ASSERT_TRUE(healed->status.ok()) << healed->status.to_string();
+  EXPECT_EQ(healed->verdict, engine::Verdict::kEquivalent);
+  EXPECT_EQ(srv.server->snapshot().quarantine_tracked, 0u);
   EXPECT_EQ(srv.drain_and_join(), 0);
 }
 

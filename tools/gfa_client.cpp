@@ -1,7 +1,13 @@
 // gfa_client — submit verification jobs to a running gfa_serve.
 //
 //   gfa_client status --socket=<path>
-//       print the server's JSON health snapshot (pool, queue, jobs, cache)
+//       print the server's JSON health snapshot (pool, queue, jobs, cache,
+//       quarantine)
+//
+//   gfa_client clear-quarantine --socket=<path>
+//       drop every quarantined job fingerprint so crashed jobs may run
+//       again (e.g. after deploying a fixed engine); prints how many were
+//       being tracked
 //
 //   gfa_client verify <spec> <impl> <k> --socket=<path>
 //       [--engine=<name>] [--timeout=<s>] [--memory-budget=<size>]
@@ -48,6 +54,7 @@ int fail(const Status& status) {
 int usage() {
   std::fprintf(stderr,
                "usage: gfa_client status --socket=<path>\n"
+               "       gfa_client clear-quarantine --socket=<path>\n"
                "       gfa_client verify <spec> <impl> <k> --socket=<path>\n"
                "                  [--engine=<name>] [--timeout=<s>]\n"
                "                  [--memory-budget=<size>] [--no-cache]\n"
@@ -157,6 +164,20 @@ void write_batch_report(const std::string& path,
       w.member("message", o.response.status.message());
     w.member("verdict", engine::verdict_name(o.response.verdict));
     if (!o.response.detail.empty()) w.member("detail", o.response.detail);
+    if (!o.response.counterexample.empty()) {
+      w.key("counterexample");
+      w.begin_object();
+      w.key("inputs");
+      w.begin_object();
+      for (const auto& [name, elem] : o.response.counterexample.inputs)
+        w.member(name, elem);
+      w.end_object();
+      w.member("output_word", o.response.counterexample.output_word);
+      w.member("expected", o.response.counterexample.expected);
+      w.member("actual", o.response.counterexample.actual);
+      w.member("replayed", o.response.counterexample.replayed);
+      w.end_object();
+    }
     w.member("wall_ms", o.response.wall_ms);
     if (!o.response.cache.empty()) w.member("cache", o.response.cache);
     w.end_object();
@@ -174,6 +195,23 @@ int cmd_status(const Flags& flags) {
       client->status_json(flags.timeout_seconds);
   if (!snapshot.ok()) return fail(snapshot.status());
   std::printf("%s\n", snapshot->c_str());
+  return 0;
+}
+
+int cmd_clear_quarantine(const Flags& flags) {
+  Result<service::ServiceClient> client =
+      service::ServiceClient::connect(flags.socket);
+  if (!client.ok()) return fail(client.status());
+  service::JobRequest req;
+  req.op = "clear-quarantine";
+  const Result<service::JobResponse> resp =
+      client->call(std::move(req), flags.timeout_seconds);
+  if (!resp.ok()) return fail(resp.status());
+  if (!resp->status.ok()) return fail(resp->status);
+  const auto it = resp->stats.find("cleared");
+  std::printf("cleared %llu quarantined fingerprint(s)\n",
+              static_cast<unsigned long long>(
+                  it == resp->stats.end() ? 0.0 : it->second));
   return 0;
 }
 
@@ -202,6 +240,16 @@ int cmd_verify(const Flags& flags) {
   if (!resp->status.ok()) return exit_code_for(resp->status.code());
   if (resp->verdict == engine::Verdict::kNotEquivalent) {
     if (!resp->detail.empty()) std::printf("%s\n", resp->detail.c_str());
+    if (!resp->counterexample.empty()) {
+      std::printf("counterexample%s:",
+                  resp->counterexample.replayed ? " (replayed)" : "");
+      for (const auto& [name, elem] : resp->counterexample.inputs)
+        std::printf(" %s=%s", name.c_str(), elem.c_str());
+      std::printf(" -> %s: spec=%s, impl=%s\n",
+                  resp->counterexample.output_word.c_str(),
+                  resp->counterexample.expected.c_str(),
+                  resp->counterexample.actual.c_str());
+    }
     return 1;
   }
   return resp->verdict == engine::Verdict::kUnknown ? 3 : 0;
@@ -265,6 +313,7 @@ int main(int argc, char** argv) {
   const std::string command = flags->positional.front();
   flags->positional.erase(flags->positional.begin());
   if (command == "status") return cmd_status(*flags);
+  if (command == "clear-quarantine") return cmd_clear_quarantine(*flags);
   if (command == "verify") return cmd_verify(*flags);
   if (command == "batch") return cmd_batch(*flags);
   return usage();

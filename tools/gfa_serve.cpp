@@ -22,6 +22,15 @@
 //   --heartbeat-interval=<s>     worker telemetry cadence (default 1, 0=off)
 //   --stall-timeout=<s>          classify a silent worker as crashed after
 //                                this long (default 0 = off)
+//   --quarantine-strikes=<n>     worker crashes before an identical job
+//                                fast-fails without forking (default 3,
+//                                0 = never quarantine)
+//   --quarantine-ttl=<s>         forget a job's strike record this long
+//                                after its last crash (default 0 = keep it
+//                                until clear-quarantine)
+//   --no-certify                 skip the random-simulation cross-check of
+//                                kEquivalent answers (cache hits and forked
+//                                workers alike)
 //   --metrics                    enable the metrics registry (status replies
 //                                then embed a full snapshot)
 //   --log-level=<level>          error|warn|info|debug
@@ -68,6 +77,8 @@ int usage() {
                "[--max-memory-budget=<b>]\n"
                "                 [--retries=<n>] [--heartbeat-interval=<s>] "
                "[--stall-timeout=<s>]\n"
+               "                 [--quarantine-strikes=<n>] "
+               "[--quarantine-ttl=<s>] [--no-certify]\n"
                "                 [--metrics] [--log-level=<level>] "
                "[--inject=<site[:n]>]\n");
   return kUsage;
@@ -136,6 +147,14 @@ int main(int argc, char** argv) {
       Result<double> d = parse_double(value, 0.0, 1e9);
       if (!d.ok()) return d.status();
       options.stall_timeout_seconds = *d;
+    } else if (name == "--quarantine-strikes") {
+      Result<unsigned> n = parse_unsigned(value, 0, 1000);
+      if (!n.ok()) return n.status();
+      options.quarantine_strikes = *n;
+    } else if (name == "--quarantine-ttl") {
+      Result<double> d = parse_double(value, 0.0, 1e9);
+      if (!d.ok()) return d.status();
+      options.quarantine_ttl_seconds = *d;
     } else if (name == "--log-level") {
       Result<obs::LogLevel> level = obs::parse_log_level(value);
       if (!level.ok()) return level.status();
@@ -157,6 +176,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-cache") {
       options.cache_enabled = false;
+      continue;
+    }
+    if (arg == "--no-certify") {
+      options.certify = false;
       continue;
     }
     if (arg.rfind("--", 0) != 0) return usage();

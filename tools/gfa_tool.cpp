@@ -2,11 +2,12 @@
 //
 //   gfa_tool gen <arch> <k> <file>         generate a circuit
 //       arch: mastrovito | montgomery | karatsuba | squarer | adder | mac
+//   gfa_tool mutate <in> <seed> <out>      inject one random gate-level bug
 //   gfa_tool extract <file> <k> [--timeout=<s>]
 //   gfa_tool verify <spec> <impl> <k> [--engine=<name>] [--timeout=<s>]
 //                   [--report=<file>] [--memory-budget=<bytes|64K|512M|2G>]
 //                   [--attempt-timeout=<s>] [--portfolio-engines=<a,b,…>]
-//                   [--race]
+//                   [--race] [--certify]
 //                   [--isolate] [--retries=<n>] [--retry-backoff=<dur>]
 //                   [--retry-seed=<n>] [--retry-budget-escalation=<f>]
 //                   [--heartbeat-interval=<s>] [--stall-timeout=<s>]
@@ -41,6 +42,7 @@
 //   2  internal error              69 unsupported instance
 //   3  UNKNOWN verdict             70 resource budget exhausted
 //   64 usage                       71 worker process crashed (--isolate)
+//                                  73 certification failed (--certify)
 //                                  74 cancelled
 //                                  75 deadline (--timeout) exceeded
 
@@ -57,6 +59,7 @@
 #include "circuit/karatsuba.h"
 #include "circuit/mastrovito.h"
 #include "circuit/montgomery.h"
+#include "circuit/mutate.h"
 #include "circuit/parser.h"
 #include "circuit/verilog.h"
 #include "engine/registry.h"
@@ -119,6 +122,7 @@ struct Flags {
   double attempt_timeout_seconds = 0;     // portfolio per-attempt cap
   std::string portfolio_engines;  // comma-separated order, empty = default
   bool race = false;              // portfolio: race instead of escalate
+  bool certify = false;           // cross-check kEquivalent by simulation
   std::string inject;             // fault site spec, empty = off
   // Worker isolation & recovery (verify only).
   bool isolate = false;           // fork the engine into a supervised child
@@ -228,6 +232,10 @@ Result<Flags> parse_flags(int argc, char** argv) {
       flags.race = true;
       continue;
     }
+    if (arg == "--certify") {
+      flags.certify = true;
+      continue;
+    }
     if (arg == "--isolate") {
       flags.isolate = true;
       continue;
@@ -298,6 +306,7 @@ engine::RunOptions run_options_from(const Flags& flags) {
       static_cast<std::size_t>(flags.memory_budget_bytes);
   options.attempt_timeout_seconds = flags.attempt_timeout_seconds;
   options.portfolio_race = flags.race;
+  options.certify = flags.certify;
   options.isolate_attempts = flags.isolate_attempts;
   options.checkpoint_dir = flags.checkpoint_dir;
   options.checkpoint_interval = flags.checkpoint_interval;
@@ -359,6 +368,20 @@ int cmd_gen(const Flags& flags) {
   return 0;
 }
 
+int cmd_mutate(const Flags& flags) {
+  if (flags.positional.size() != 3) return kUsage;
+  const Result<Netlist> nl = load(flags.positional[0]);
+  if (!nl.ok()) return fail(nl.status());
+  const Result<std::uint64_t> seed = parse_u64(flags.positional[1]);
+  if (!seed.ok()) return fail(seed.status());
+  BugDescription desc;
+  const Netlist buggy = inject_random_bug(*nl, *seed, &desc);
+  save(buggy, flags.positional[2]);
+  std::printf("wrote %s: injected bug [%s]\n", flags.positional[2].c_str(),
+              desc.text.c_str());
+  return 0;
+}
+
 int cmd_extract(const Flags& flags) {
   if (flags.positional.size() != 2) return kUsage;
   const Result<Netlist> nl = load(flags.positional[0]);
@@ -396,6 +419,7 @@ worker::WorkerRequest worker_request_from(const Flags& flags, unsigned k) {
   req.memory_budget_bytes = flags.memory_budget_bytes;
   req.attempt_timeout_seconds = flags.attempt_timeout_seconds;
   req.portfolio_race = flags.race;
+  req.certify = flags.certify;
   std::string_view rest = flags.portfolio_engines;
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');
@@ -480,6 +504,16 @@ int cmd_verify(const Flags& flags) {
       std::printf("NOT EQUIVALENT [engine %s, %.2f ms]%s%s\n",
                   run.engine.c_str(), run.wall_ms,
                   run.detail.empty() ? "" : ": ", run.detail.c_str());
+      if (!run.counterexample.empty()) {
+        std::printf("counterexample%s:",
+                    run.counterexample.replayed ? " (replayed)" : "");
+        for (const auto& [name, elem] : run.counterexample.inputs)
+          std::printf(" %s=%s", name.c_str(), elem.c_str());
+        std::printf(" -> %s: spec=%s, impl=%s\n",
+                    run.counterexample.output_word.c_str(),
+                    run.counterexample.expected.c_str(),
+                    run.counterexample.actual.c_str());
+      }
       return kVerdictNotEquivalent;
     case engine::Verdict::kUnknown:
       break;
@@ -624,11 +658,12 @@ void usage() {
       stderr,
       "usage:\n"
       "  gfa_tool gen <arch> <k> <file>\n"
+      "  gfa_tool mutate <in> <seed> <out>\n"
       "  gfa_tool extract <file> <k> [--timeout=<s>]\n"
       "  gfa_tool verify <spec> <impl> <k> [--engine=<name>] [--timeout=<s>]"
       " [--report=<file>]\n"
       "          [--memory-budget=<bytes|64K|512M|2G>] [--attempt-timeout=<s>]"
-      " [--portfolio-engines=<a,b,...>] [--race]\n"
+      " [--portfolio-engines=<a,b,...>] [--race] [--certify]\n"
       "          [--isolate] [--retries=<n>] [--retry-backoff=<dur>]"
       " [--retry-seed=<n>] [--retry-budget-escalation=<f>]\n"
       "          [--heartbeat-interval=<s>] [--stall-timeout=<s>]\n"
@@ -666,6 +701,7 @@ int main(int argc, char** argv) {
   try {
     int rc = kUsage;
     if (cmd == "gen") rc = cmd_gen(*flags);
+    else if (cmd == "mutate") rc = cmd_mutate(*flags);
     else if (cmd == "extract") rc = cmd_extract(*flags);
     else if (cmd == "verify") rc = cmd_verify(*flags);
     else if (cmd == "compare") rc = cmd_compare(*flags);
